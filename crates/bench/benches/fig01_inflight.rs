@@ -1,0 +1,27 @@
+//! Criterion benchmark for the Figure 1 experiment (IPC vs in-flight
+//! instructions vs memory latency). Prints the reduced-trace report once,
+//! then times one representative point of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig01_inflight, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig01(c: &mut Criterion) {
+    let report = fig01_inflight::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_add", kernels::stream_add(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig01_inflight");
+    group.sample_size(10);
+    group.bench_function("baseline_2048_lat1000", |b| {
+        b.iter(|| run_trace(ProcessorConfig::baseline(2048, 1000), &w.trace))
+    });
+    group.bench_function("baseline_128_lat1000", |b| {
+        b.iter(|| run_trace(ProcessorConfig::baseline(128, 1000), &w.trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig01);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark for the Figure 9 experiment (main performance
+//! results). Prints the reduced-trace report once, then times the paper's
+//! headline configuration and the two reference baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig09_main, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig09(c: &mut Criterion) {
+    let report = fig09_main::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_add", kernels::stream_add(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig09_main");
+    group.sample_size(10);
+    group.bench_function("cooo_128_2048", |b| {
+        b.iter(|| run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace))
+    });
+    group.bench_function("baseline_128", |b| {
+        b.iter(|| run_trace(ProcessorConfig::baseline(128, 1000), &w.trace))
+    });
+    group.bench_function("baseline_4096", |b| {
+        b.iter(|| run_trace(ProcessorConfig::baseline(4096, 1000), &w.trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

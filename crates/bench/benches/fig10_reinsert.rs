@@ -1,0 +1,28 @@
+//! Criterion benchmark for the Figure 10 experiment (re-insertion delay
+//! sensitivity). Prints the reduced-trace report once, then times the two
+//! extreme delays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig10_reinsert, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig10(c: &mut Criterion) {
+    let report = fig10_reinsert::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_add", kernels::stream_add(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig10_reinsert");
+    group.sample_size(10);
+    for delay in [1u32, 12] {
+        group.bench_function(format!("cooo_64_1024_delay{delay}"), |b| {
+            b.iter(|| {
+                run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(delay), &w.trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

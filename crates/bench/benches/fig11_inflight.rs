@@ -1,0 +1,24 @@
+//! Criterion benchmark for the Figure 11 experiment (average in-flight
+//! instructions). Prints the reduced-trace report once, then times the
+//! largest checkpointed configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig11_inflight, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig11(c: &mut Criterion) {
+    let report = fig11_inflight::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("gather", kernels::gather(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig11_inflight");
+    group.sample_size(10);
+    group.bench_function("cooo_128_2048_gather", |b| {
+        b.iter(|| run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

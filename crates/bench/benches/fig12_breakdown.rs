@@ -1,0 +1,26 @@
+//! Criterion benchmark for the Figure 12 experiment (pseudo-ROB retirement
+//! breakdown). Prints the reduced-trace report once, then times one
+//! configuration per SLIQ size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig12_breakdown, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig12(c: &mut Criterion) {
+    let report = fig12_breakdown::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stencil27", kernels::stencil27(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig12_breakdown");
+    group.sample_size(10);
+    for sliq in [512usize, 2048] {
+        group.bench_function(format!("cooo_64_{sliq}"), |b| {
+            b.iter(|| run_trace(ProcessorConfig::cooo(64, sliq, 1000), &w.trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark for the Figure 13 experiment (checkpoint-count
+//! sensitivity). Prints the reduced-trace report once, then times the
+//! 4- and 32-checkpoint configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig13_checkpoints, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig13(c: &mut Criterion) {
+    let report = fig13_checkpoints::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_add", kernels::stream_add(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig13_checkpoints");
+    group.sample_size(10);
+    for checkpoints in [4usize, 32] {
+        group.bench_function(format!("cooo_2048iq_{checkpoints}ckpt"), |b| {
+            b.iter(|| {
+                run_trace(ProcessorConfig::cooo(2048, 2048, 1000).with_checkpoints(checkpoints), &w.trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

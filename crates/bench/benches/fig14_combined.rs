@@ -1,0 +1,30 @@
+//! Criterion benchmark for the Figure 14 experiment (out-of-order commit +
+//! SLIQ + virtual registers). Prints the reduced-trace report once, then
+//! times one virtual-register configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::fig14_combined, BENCH_TRACE_LEN};
+use koc_sim::{run_trace, ProcessorConfig, RegisterModel};
+use koc_workloads::{kernels, Workload};
+
+fn bench_fig14(c: &mut Criterion) {
+    let report = fig14_combined::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_add", kernels::stream_add(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("fig14_combined");
+    group.sample_size(10);
+    group.bench_function("cooo_virtual_1024tags_256regs", |b| {
+        b.iter(|| {
+            run_trace(
+                ProcessorConfig::cooo(128, 2048, 1000)
+                    .with_registers(RegisterModel::Virtual { virtual_tags: 1024, phys_regs: 256 }),
+                &w.trace,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the individual mechanisms from `koc-core`: the CAM
+//! rename map with future-free bits, the checkpoint table, the SLIQ wake-up
+//! walker and the instruction queue. These quantify the simulator-side cost
+//! of each structure (they are not claims about hardware latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_core::{
+    CamRenameMap, CheckpointTable, InstructionQueue, IqEntry, PhysRegFile, SliqBuffer, SliqConfig,
+};
+use koc_isa::{ArchReg, FuClass, PhysReg};
+
+fn bench_rename(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms/rename");
+    group.bench_function("rename_and_checkpoint_64_defs", |b| {
+        b.iter(|| {
+            let mut map = CamRenameMap::new(512);
+            let mut regs = PhysRegFile::new(512);
+            for i in 0..64u8 {
+                map.rename_dest(ArchReg::int(i % 32), &mut regs).unwrap();
+            }
+            let (snapshot, freed) = map.take_checkpoint(&regs);
+            (snapshot.valid.len(), freed.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms/checkpoint_table");
+    group.bench_function("take_dispatch_commit_cycle", |b| {
+        b.iter(|| {
+            let mut table = CheckpointTable::new(8);
+            let snap = koc_core::RenameCheckpoint {
+                valid: vec![false; 256],
+                future_free: vec![false; 256],
+                free_list: vec![true; 256],
+            };
+            for ckpt in 0..32usize {
+                let id = table.take(ckpt * 64, snap.clone(), vec![]).unwrap_or_else(|| {
+                    let c = table.commit_oldest();
+                    let _ = c;
+                    table.take(ckpt * 64, snap.clone(), vec![]).unwrap()
+                });
+                for _ in 0..64 {
+                    table.on_dispatch(false);
+                }
+                for _ in 0..64 {
+                    table.on_complete(id);
+                }
+            }
+            table.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sliq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms/sliq");
+    group.bench_function("fill_and_drain_1024", |b| {
+        b.iter(|| {
+            let mut sliq = SliqBuffer::new(SliqConfig::paper(1024));
+            for i in 0..1024usize {
+                let entry = IqEntry {
+                    inst: i,
+                    dest: Some(PhysReg(64 + i as u32)),
+                    srcs: vec![PhysReg(7)],
+                    fu: FuClass::Fp,
+                    ckpt: 0,
+                };
+                sliq.insert(entry, PhysReg(7));
+            }
+            sliq.on_trigger_ready(PhysReg(7), 0);
+            let mut woken = 0usize;
+            let mut cycle = 0u64;
+            while !sliq.is_empty() {
+                woken += sliq.step(cycle, 4, 4).len();
+                cycle += 1;
+            }
+            woken
+        })
+    });
+    group.finish();
+}
+
+fn bench_iq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms/instruction_queue");
+    group.bench_function("insert_wakeup_select_128", |b| {
+        b.iter(|| {
+            let mut iq = InstructionQueue::new(128);
+            for i in 0..128usize {
+                let entry = IqEntry {
+                    inst: i,
+                    dest: Some(PhysReg(200 + i as u32)),
+                    srcs: vec![PhysReg((i % 8) as u32)],
+                    fu: FuClass::Fp,
+                    ckpt: 0,
+                };
+                iq.insert(entry, |_| false).unwrap();
+            }
+            for r in 0..8u32 {
+                iq.wakeup(PhysReg(r));
+            }
+            let mut issued = 0usize;
+            while iq.ready_count() > 0 {
+                issued += iq.select_ready(&mut [4, 2, 4, 2], 4).len();
+            }
+            issued
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rename, bench_checkpoint_table, bench_sliq, bench_iq);
+criterion_main!(benches);

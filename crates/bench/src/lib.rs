@@ -1,0 +1,29 @@
+//! # koc-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, each of which re-runs the corresponding parameter sweep on the
+//! SPEC2000fp-like suite and prints the same rows/series the paper reports.
+//!
+//! * `koc-experiments <experiment> [--len N]` — the command-line driver
+//!   (`all`, `table1`, `fig1`, `fig7`, `fig9`, `fig10`, `fig11`, `fig12`,
+//!   `fig13`, `fig14`).
+//! * `cargo bench` — Criterion benchmarks, one per figure, that time a
+//!   reduced version of each sweep (and print its rows once).
+//!
+//! `EXPERIMENTS.md` at the repository root records paper-vs-measured numbers
+//! produced by this harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;
+
+/// Default dynamic trace length per workload used by the command-line driver.
+pub const DEFAULT_TRACE_LEN: usize = 20_000;
+
+/// Reduced trace length used by the Criterion benchmarks so a full
+/// `cargo bench` finishes in minutes.
+pub const BENCH_TRACE_LEN: usize = 3_000;

@@ -1,0 +1,107 @@
+//! Plain-text tabular reports, one per experiment.
+
+/// A formatted experiment report: a title, column headers, data rows and
+/// free-form notes relating the result to the paper.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment title (e.g. `"Figure 9 — main performance results"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Notes on how to read the result against the paper.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the report as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_notes() {
+        let mut r = Report::new("Figure X", &["config", "IPC"]);
+        r.push_row(vec!["baseline 128".into(), "0.41".into()]);
+        r.push_row(vec!["COoO".into(), "1.25".into()]);
+        r.push_note("higher is better");
+        let text = r.render();
+        assert!(text.contains("== Figure X =="));
+        assert!(text.contains("baseline 128"));
+        assert!(text.contains("note: higher is better"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let r = Report::new("T", &["a"]);
+        assert_eq!(r.to_string(), r.render());
+    }
+}

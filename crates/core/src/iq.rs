@@ -1,0 +1,370 @@
+//! General-purpose instruction queues with broadcast wake-up and
+//! oldest-first select.
+//!
+//! The paper's point is that these queues are the cycle-time-critical
+//! structures: every entry needs associative wake-up logic, so they must stay
+//! small (32–128 entries) even when thousands of instructions are in flight.
+//! The SLIQ mechanism removes long-latency-dependent instructions from here
+//! so the scarce entries go to work that will issue soon.
+
+use crate::checkpoint::CheckpointId;
+use koc_isa::{FuClass, InstId, PhysReg};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// An instruction waiting in (or being inserted into) an instruction queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IqEntry {
+    /// The dynamic instruction.
+    pub inst: InstId,
+    /// Renamed destination register, if any.
+    pub dest: Option<PhysReg>,
+    /// Renamed source registers.
+    pub srcs: Vec<PhysReg>,
+    /// Functional-unit class the instruction issues to.
+    pub fu: FuClass,
+    /// Checkpoint the instruction is associated with.
+    pub ckpt: CheckpointId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Slot {
+    entry: IqEntry,
+    token: u64,
+    outstanding: usize,
+}
+
+/// Error returned when inserting into a full instruction queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqFull;
+
+impl std::fmt::Display for IqFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("instruction queue is full")
+    }
+}
+
+impl std::error::Error for IqFull {}
+
+/// A wake-up/select instruction queue.
+///
+/// * **Wake-up**: [`wakeup`](InstructionQueue::wakeup) broadcasts a produced
+///   physical register; entries whose last outstanding source was produced
+///   become ready.
+/// * **Select**: [`select_ready`](InstructionQueue::select_ready) picks the
+///   oldest ready entries subject to per-functional-unit availability.
+#[derive(Debug, Clone, Default)]
+pub struct InstructionQueue {
+    capacity: usize,
+    slots: BTreeMap<InstId, Slot>,
+    ready: BTreeSet<InstId>,
+    waiters: HashMap<PhysReg, Vec<(InstId, u64)>>,
+    next_token: u64,
+}
+
+impl InstructionQueue {
+    /// Creates an instruction queue with the given number of entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "instruction queue capacity must be non-zero");
+        InstructionQueue { capacity, ..Default::default() }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the queue holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether another instruction can be inserted.
+    pub fn has_space(&self) -> bool {
+        self.slots.len() < self.capacity
+    }
+
+    /// Number of entries currently ready to issue.
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Inserts an instruction. `is_ready` reports whether a source physical
+    /// register already holds its value (the register-file scoreboard).
+    ///
+    /// # Errors
+    /// Returns [`IqFull`] if the queue has no free entry; the dispatch stage
+    /// stalls in that case.
+    pub fn insert(&mut self, entry: IqEntry, mut is_ready: impl FnMut(PhysReg) -> bool) -> Result<(), IqFull> {
+        if !self.has_space() {
+            return Err(IqFull);
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let inst = entry.inst;
+        let mut outstanding = 0;
+        for &s in &entry.srcs {
+            if !is_ready(s) {
+                outstanding += 1;
+                self.waiters.entry(s).or_default().push((inst, token));
+            }
+        }
+        if outstanding == 0 {
+            self.ready.insert(inst);
+        }
+        let prev = self.slots.insert(inst, Slot { entry, token, outstanding });
+        debug_assert!(prev.is_none(), "instruction {inst} inserted twice");
+        Ok(())
+    }
+
+    /// Inserts an instruction even if the queue is at capacity.
+    ///
+    /// Used only for SLIQ re-insertions: the wake-up path is never blocked by
+    /// queue occupancy (see `DESIGN.md`), which keeps the wake-up machinery
+    /// free of circular waits; dispatch still respects the capacity, so the
+    /// transient overshoot is bounded by the wake-up width.
+    pub fn insert_unbounded(&mut self, entry: IqEntry, is_ready: impl FnMut(PhysReg) -> bool) {
+        let capacity = self.capacity;
+        self.capacity = usize::MAX;
+        let result = self.insert(entry, is_ready);
+        self.capacity = capacity;
+        result.expect("unbounded insert cannot fail");
+    }
+
+    /// Broadcasts that `reg` now holds its value, waking dependent entries.
+    pub fn wakeup(&mut self, reg: PhysReg) {
+        let Some(waiting) = self.waiters.remove(&reg) else { return };
+        for (inst, token) in waiting {
+            if let Some(slot) = self.slots.get_mut(&inst) {
+                if slot.token == token && slot.outstanding > 0 {
+                    slot.outstanding -= 1;
+                    if slot.outstanding == 0 {
+                        self.ready.insert(inst);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Selects up to `max_total` ready instructions, oldest first, consuming
+    /// per-functional-unit availability from `fu_available` (indexed by
+    /// [`FuClass::index`]). Selected entries are removed from the queue.
+    pub fn select_ready(&mut self, fu_available: &mut [usize; FuClass::COUNT], max_total: usize) -> Vec<IqEntry> {
+        let mut picked = Vec::new();
+        let candidates: Vec<InstId> = self.ready.iter().copied().collect();
+        for inst in candidates {
+            if picked.len() >= max_total {
+                break;
+            }
+            let fu = self.slots[&inst].entry.fu;
+            if fu_available[fu.index()] == 0 {
+                continue;
+            }
+            fu_available[fu.index()] -= 1;
+            self.ready.remove(&inst);
+            let slot = self.slots.remove(&inst).expect("ready entry exists");
+            picked.push(slot.entry);
+        }
+        picked
+    }
+
+    /// Removes a specific instruction (used when the SLIQ steals a
+    /// long-latency-dependent entry). Returns the entry if it was present.
+    pub fn remove(&mut self, inst: InstId) -> Option<IqEntry> {
+        let slot = self.slots.remove(&inst)?;
+        self.ready.remove(&inst);
+        Some(slot.entry)
+    }
+
+    /// Removes every instruction at or after trace position `from`
+    /// (squash on rollback or branch recovery). Returns the removed entries.
+    pub fn squash_from(&mut self, from: InstId) -> Vec<IqEntry> {
+        let doomed: Vec<InstId> = self.slots.range(from..).map(|(&k, _)| k).collect();
+        let mut out = Vec::with_capacity(doomed.len());
+        for inst in doomed {
+            self.ready.remove(&inst);
+            out.push(self.slots.remove(&inst).expect("listed entry exists").entry);
+        }
+        out
+    }
+
+    /// Whether the queue currently holds `inst`.
+    pub fn contains(&self, inst: InstId) -> bool {
+        self.slots.contains_key(&inst)
+    }
+
+    /// Iterates over queued entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.slots.values().map(|s| &s.entry)
+    }
+
+    /// Removes everything (full pipeline flush).
+    pub fn flush(&mut self) {
+        self.slots.clear();
+        self.ready.clear();
+        self.waiters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(inst: InstId, srcs: &[u32], fu: FuClass) -> IqEntry {
+        IqEntry {
+            inst,
+            dest: Some(PhysReg(100 + inst as u32)),
+            srcs: srcs.iter().map(|&r| PhysReg(r)).collect(),
+            fu,
+            ckpt: 0,
+        }
+    }
+
+    fn all_fus() -> [usize; FuClass::COUNT] {
+        [4, 2, 4, 2]
+    }
+
+    #[test]
+    fn entry_with_ready_sources_is_immediately_ready() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(0, &[1, 2], FuClass::IntAlu), |_| true).unwrap();
+        assert_eq!(iq.ready_count(), 1);
+        let picked = iq.select_ready(&mut all_fus(), 4);
+        assert_eq!(picked.len(), 1);
+        assert!(iq.is_empty());
+    }
+
+    #[test]
+    fn wakeup_makes_dependent_entries_ready() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(0, &[7], FuClass::Fp), |_| false).unwrap();
+        assert_eq!(iq.ready_count(), 0);
+        iq.wakeup(PhysReg(7));
+        assert_eq!(iq.ready_count(), 1);
+    }
+
+    #[test]
+    fn entry_waits_for_all_sources() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(0, &[7, 8], FuClass::Fp), |_| false).unwrap();
+        iq.wakeup(PhysReg(7));
+        assert_eq!(iq.ready_count(), 0);
+        iq.wakeup(PhysReg(8));
+        assert_eq!(iq.ready_count(), 1);
+    }
+
+    #[test]
+    fn select_is_oldest_first_and_respects_fu_limits() {
+        let mut iq = InstructionQueue::new(8);
+        for i in 0..6 {
+            iq.insert(entry(i, &[], FuClass::Fp), |_| true).unwrap();
+        }
+        let mut fus = [4, 2, 2, 2]; // only 2 FP units available
+        let picked = iq.select_ready(&mut fus, 8);
+        let ids: Vec<_> = picked.iter().map(|e| e.inst).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(fus[FuClass::Fp.index()], 0);
+        assert_eq!(iq.len(), 4);
+    }
+
+    #[test]
+    fn select_respects_total_width() {
+        let mut iq = InstructionQueue::new(8);
+        for i in 0..6 {
+            iq.insert(entry(i, &[], FuClass::IntAlu), |_| true).unwrap();
+        }
+        let picked = iq.select_ready(&mut [8, 8, 8, 8], 4);
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn full_queue_rejects_inserts() {
+        let mut iq = InstructionQueue::new(2);
+        iq.insert(entry(0, &[], FuClass::IntAlu), |_| true).unwrap();
+        iq.insert(entry(1, &[], FuClass::IntAlu), |_| true).unwrap();
+        assert_eq!(iq.insert(entry(2, &[], FuClass::IntAlu), |_| true), Err(IqFull));
+        assert!(!iq.has_space());
+    }
+
+    #[test]
+    fn remove_steals_an_entry_for_the_sliq() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(3, &[9], FuClass::Fp), |_| false).unwrap();
+        let stolen = iq.remove(3).unwrap();
+        assert_eq!(stolen.inst, 3);
+        assert!(iq.is_empty());
+        // A stale wake-up for the removed entry must be harmless.
+        iq.wakeup(PhysReg(9));
+        assert_eq!(iq.ready_count(), 0);
+    }
+
+    #[test]
+    fn stale_wakeups_do_not_affect_reinserted_instructions() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(3, &[9], FuClass::Fp), |_| false).unwrap();
+        iq.remove(3).unwrap();
+        // Re-insert the same instruction id, now waiting on a different register.
+        iq.insert(entry(3, &[11], FuClass::Fp), |_| false).unwrap();
+        iq.wakeup(PhysReg(9)); // stale broadcast from the first incarnation
+        assert_eq!(iq.ready_count(), 0, "stale wakeup must not make the new incarnation ready");
+        iq.wakeup(PhysReg(11));
+        assert_eq!(iq.ready_count(), 1);
+    }
+
+    #[test]
+    fn squash_from_removes_young_entries_only() {
+        let mut iq = InstructionQueue::new(8);
+        for i in 0..6 {
+            iq.insert(entry(i, &[], FuClass::IntAlu), |_| true).unwrap();
+        }
+        let squashed = iq.squash_from(3);
+        assert_eq!(squashed.len(), 3);
+        assert!(iq.contains(2));
+        assert!(!iq.contains(3));
+        assert_eq!(iq.ready_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_source_registers_are_counted_per_occurrence() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(0, &[7, 7], FuClass::Fp), |_| false).unwrap();
+        iq.wakeup(PhysReg(7));
+        assert_eq!(iq.ready_count(), 1, "one broadcast satisfies both occurrences");
+    }
+
+    #[test]
+    fn insert_unbounded_ignores_capacity_but_preserves_it() {
+        let mut iq = InstructionQueue::new(1);
+        iq.insert(entry(0, &[], FuClass::IntAlu), |_| true).unwrap();
+        iq.insert_unbounded(entry(1, &[], FuClass::IntAlu), |_| true);
+        assert_eq!(iq.len(), 2);
+        assert_eq!(iq.capacity(), 1);
+        assert!(!iq.has_space());
+        assert_eq!(iq.insert(entry(2, &[], FuClass::IntAlu), |_| true), Err(IqFull));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut iq = InstructionQueue::new(4);
+        iq.insert(entry(0, &[5], FuClass::Fp), |_| false).unwrap();
+        iq.flush();
+        assert!(iq.is_empty());
+        assert_eq!(iq.ready_count(), 0);
+        iq.wakeup(PhysReg(5));
+        assert_eq!(iq.ready_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = InstructionQueue::new(0);
+    }
+}

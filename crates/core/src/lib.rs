@@ -1,0 +1,47 @@
+//! # koc-core
+//!
+//! The microarchitectural mechanisms proposed by *Out-of-Order Commit
+//! Processors* (HPCA 2004), plus the window structures they replace:
+//!
+//! **The paper's contribution**
+//! * [`rename::CamRenameMap`] — CAM register mapping extended with the
+//!   *Future Free* bit column (Figures 3–6),
+//! * [`checkpoint`] — the checkpoint table and the taking/committing/rollback
+//!   logic that replaces in-order ROB commit (Figure 2),
+//! * [`pseudo_rob::PseudoRob`] — the small FIFO that delays the
+//!   long-latency-instruction decision and recovers nearby branches,
+//! * [`sliq`] — Slow Lane Instruction Queuing: the dependence-mask detector
+//!   and the secondary buffer with its wake-up walker (Figure 8),
+//! * [`regfile::VirtualRegisterFile`] — the ephemeral/virtual register model
+//!   used by the combined experiment (Figure 14).
+//!
+//! **Conventional structures** (used by the baseline and shared by both
+//! machines): [`rob::ReorderBuffer`], [`iq::InstructionQueue`],
+//! [`lsq::LoadStoreQueue`], [`regfile::PhysRegFile`].
+//!
+//! All structures are plain data structures driven one cycle at a time by the
+//! pipeline in `koc-sim`; they own no global state and are directly unit- and
+//! property-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod depmask;
+pub mod iq;
+pub mod lsq;
+pub mod pseudo_rob;
+pub mod regfile;
+pub mod rename;
+pub mod rob;
+pub mod sliq;
+
+pub use checkpoint::{Checkpoint, CheckpointId, CheckpointPolicy, CheckpointTable};
+pub use depmask::DependenceMask;
+pub use iq::{InstructionQueue, IqEntry, IqFull};
+pub use lsq::{LoadStoreQueue, LsqEntry, LsqFull};
+pub use pseudo_rob::{PseudoRob, PseudoRobEntry, RetireClass};
+pub use regfile::{PhysRegFile, VirtualRegisterFile};
+pub use rename::{CamRenameMap, RenameCheckpoint, RenamedInst};
+pub use rob::{ReorderBuffer, RobEntry, RobFull};
+pub use sliq::{DependenceTracker, SliqBuffer, SliqConfig, SliqEntry, WakeupWalker};

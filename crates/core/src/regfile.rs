@@ -1,0 +1,279 @@
+//! Physical register file state: free list, ready bits, and the
+//! virtual/ephemeral register variant used by Figure 14.
+
+use koc_isa::PhysReg;
+use serde::{Deserialize, Serialize};
+
+/// Free list + ready (scoreboard) bits for a pool of physical registers.
+///
+/// The paper keeps the free list as one bit per physical register
+/// (Figure 3); this structure does the same and adds the ready bit the issue
+/// logic needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysRegFile {
+    free: Vec<bool>,
+    ready: Vec<bool>,
+    free_count: usize,
+}
+
+impl PhysRegFile {
+    /// Creates a register file with `num_regs` physical registers, all free.
+    ///
+    /// # Panics
+    /// Panics if `num_regs` is zero.
+    pub fn new(num_regs: usize) -> Self {
+        assert!(num_regs > 0, "register file must have at least one register");
+        PhysRegFile { free: vec![true; num_regs], ready: vec![false; num_regs], free_count: num_regs }
+    }
+
+    /// Total number of physical registers.
+    pub fn num_regs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of currently free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Allocates a free physical register, or `None` if the pool is exhausted.
+    ///
+    /// Newly allocated registers start *not ready* (their producer has not
+    /// executed yet).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let idx = self.free.iter().position(|&f| f)?;
+        self.free[idx] = false;
+        self.ready[idx] = false;
+        self.free_count -= 1;
+        Some(PhysReg(idx as u32))
+    }
+
+    /// Returns a physical register to the free list.
+    ///
+    /// Freeing an already-free register is a logic error in the commit
+    /// machinery and panics.
+    pub fn free(&mut self, reg: PhysReg) {
+        let idx = reg.index();
+        assert!(!self.free[idx], "double free of {reg}");
+        self.free[idx] = true;
+        self.ready[idx] = false;
+        self.free_count += 1;
+    }
+
+    /// Whether `reg` currently holds a produced value.
+    pub fn is_ready(&self, reg: PhysReg) -> bool {
+        self.ready[reg.index()]
+    }
+
+    /// Marks `reg` as produced (write-back broadcast).
+    pub fn set_ready(&mut self, reg: PhysReg) {
+        self.ready[reg.index()] = true;
+    }
+
+    /// Marks `reg` as not produced (used when re-dispatching after rollback).
+    pub fn clear_ready(&mut self, reg: PhysReg) {
+        self.ready[reg.index()] = false;
+    }
+
+    /// Whether `reg` is currently on the free list.
+    pub fn is_free(&self, reg: PhysReg) -> bool {
+        self.free[reg.index()]
+    }
+
+    /// Snapshot of the free list as a bit vector (one bool per register).
+    pub fn free_list_snapshot(&self) -> Vec<bool> {
+        self.free.clone()
+    }
+
+    /// Restores the free list from a snapshot taken by
+    /// [`free_list_snapshot`](Self::free_list_snapshot).
+    ///
+    /// # Panics
+    /// Panics if the snapshot length does not match the register count.
+    pub fn restore_free_list(&mut self, snapshot: &[bool]) {
+        assert_eq!(snapshot.len(), self.free.len(), "snapshot size mismatch");
+        self.free.copy_from_slice(snapshot);
+        self.free_count = self.free.iter().filter(|&&f| f).count();
+    }
+}
+
+/// Occupancy model for *ephemeral / virtual registers* (Figure 14).
+///
+/// In the virtual-register scheme ([19], [21] in the paper) an instruction
+/// only needs a *virtual tag* at rename time; a physical register is
+/// allocated late, when the instruction produces its result, and is released
+/// early, when the superseding definition commits. This structure tracks the
+/// two occupancies so the pipeline can stall on whichever resource is
+/// exhausted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VirtualRegisterFile {
+    virtual_capacity: usize,
+    physical_capacity: usize,
+    virtual_in_use: usize,
+    physical_in_use: usize,
+}
+
+impl VirtualRegisterFile {
+    /// Creates a virtual register file with the given tag and physical
+    /// register capacities.
+    pub fn new(virtual_capacity: usize, physical_capacity: usize) -> Self {
+        VirtualRegisterFile { virtual_capacity, physical_capacity, virtual_in_use: 0, physical_in_use: 0 }
+    }
+
+    /// Number of virtual tags still available.
+    pub fn virtual_free(&self) -> usize {
+        self.virtual_capacity - self.virtual_in_use
+    }
+
+    /// Number of physical registers still available.
+    pub fn physical_free(&self) -> usize {
+        self.physical_capacity - self.physical_in_use
+    }
+
+    /// Acquires a virtual tag at rename. Returns `false` (stall) if none left.
+    pub fn acquire_virtual(&mut self) -> bool {
+        if self.virtual_in_use < self.virtual_capacity {
+            self.virtual_in_use += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Upgrades a virtual tag to a physical register at write-back.
+    /// Returns `false` (stall the write-back) if no physical register is free.
+    pub fn acquire_physical(&mut self) -> bool {
+        if self.physical_in_use < self.physical_capacity {
+            self.physical_in_use += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the virtual tag (at checkpoint commit or squash).
+    pub fn release_virtual(&mut self) {
+        assert!(self.virtual_in_use > 0, "virtual tag underflow");
+        self.virtual_in_use -= 1;
+    }
+
+    /// Releases a physical register (early release at checkpoint commit of
+    /// the superseding definition, or squash of a completed instruction).
+    pub fn release_physical(&mut self) {
+        assert!(self.physical_in_use > 0, "physical register underflow");
+        self.physical_in_use -= 1;
+    }
+
+    /// Releases a physical register if any is in use; returns whether a
+    /// release happened. The pipeline uses this at commit, where the
+    /// occupancy model can conservatively under-count acquisitions.
+    pub fn try_release_physical(&mut self) -> bool {
+        if self.physical_in_use > 0 {
+            self.physical_in_use -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of physical registers currently occupied.
+    pub fn physical_in_use(&self) -> usize {
+        self.physical_in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut rf = PhysRegFile::new(4);
+        assert_eq!(rf.free_count(), 4);
+        let a = rf.alloc().unwrap();
+        let b = rf.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.free_count(), 2);
+        rf.free(a);
+        assert_eq!(rf.free_count(), 3);
+        assert!(rf.is_free(a));
+        assert!(!rf.is_free(b));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = PhysRegFile::new(2);
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_none());
+    }
+
+    #[test]
+    fn ready_bits_track_production() {
+        let mut rf = PhysRegFile::new(4);
+        let r = rf.alloc().unwrap();
+        assert!(!rf.is_ready(r));
+        rf.set_ready(r);
+        assert!(rf.is_ready(r));
+        rf.clear_ready(r);
+        assert!(!rf.is_ready(r));
+    }
+
+    #[test]
+    fn freed_register_is_not_ready_when_reallocated() {
+        let mut rf = PhysRegFile::new(1);
+        let r = rf.alloc().unwrap();
+        rf.set_ready(r);
+        rf.free(r);
+        let r2 = rf.alloc().unwrap();
+        assert_eq!(r, r2);
+        assert!(!rf.is_ready(r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut rf = PhysRegFile::new(2);
+        let r = rf.alloc().unwrap();
+        rf.free(r);
+        rf.free(r);
+    }
+
+    #[test]
+    fn snapshot_and_restore_free_list() {
+        let mut rf = PhysRegFile::new(4);
+        let _a = rf.alloc().unwrap();
+        let snap = rf.free_list_snapshot();
+        let b = rf.alloc().unwrap();
+        let c = rf.alloc().unwrap();
+        assert_eq!(rf.free_count(), 1);
+        rf.restore_free_list(&snap);
+        assert_eq!(rf.free_count(), 3);
+        assert!(rf.is_free(b));
+        assert!(rf.is_free(c));
+    }
+
+    #[test]
+    fn virtual_register_file_enforces_both_capacities() {
+        let mut v = VirtualRegisterFile::new(2, 1);
+        assert!(v.acquire_virtual());
+        assert!(v.acquire_virtual());
+        assert!(!v.acquire_virtual(), "virtual tags exhausted");
+        assert!(v.acquire_physical());
+        assert!(!v.acquire_physical(), "physical registers exhausted");
+        v.release_physical();
+        assert!(v.acquire_physical());
+        v.release_virtual();
+        assert_eq!(v.virtual_free(), 1);
+        assert_eq!(v.physical_in_use(), 1);
+        assert!(v.try_release_physical());
+        assert!(!v.try_release_physical(), "nothing left to release");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn virtual_underflow_panics() {
+        let mut v = VirtualRegisterFile::new(2, 2);
+        v.release_virtual();
+    }
+}

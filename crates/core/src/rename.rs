@@ -1,0 +1,335 @@
+//! CAM register mapping with *Future Free* bits (Figures 3–6 of the paper).
+//!
+//! The mapping table is indexed by **physical** register, as in the Alpha
+//! 21264 and HAL Sparc renaming schemes the paper cites. Each entry holds the
+//! logical register it maps, a `valid` bit (this entry is the current
+//! mapping) and the paper's extension: a `future_free` bit marking registers
+//! that must be returned to the free list when the *next checkpoint commits*.
+//!
+//! Taking a checkpoint therefore costs two bits per physical register (the
+//! valid column and the future-free column); this module additionally
+//! snapshots the free list so the simulator can restore it on rollback
+//! without recomputation (an implementation convenience documented in
+//! `DESIGN.md`).
+
+use crate::regfile::PhysRegFile;
+use koc_isa::{ArchReg, PhysReg, NUM_ARCH_REGS};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of renaming one instruction's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenamedInst {
+    /// The physical register newly allocated for the destination.
+    pub new_phys: PhysReg,
+    /// The physical register that previously held the same logical register,
+    /// if any. Under conventional (ROB) commit this is freed when the
+    /// renaming instruction commits; under out-of-order commit its
+    /// `future_free` bit has been set instead.
+    pub prev_phys: Option<PhysReg>,
+}
+
+/// A snapshot of the rename state taken when a checkpoint is created.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenameCheckpoint {
+    /// The valid column at checkpoint time.
+    pub valid: Vec<bool>,
+    /// The future-free column at checkpoint time (before it is cleared).
+    pub future_free: Vec<bool>,
+    /// The free list at checkpoint time.
+    pub free_list: Vec<bool>,
+}
+
+/// The CAM rename map extended with future-free bits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CamRenameMap {
+    /// Logical register mapped by each physical register (meaningful only
+    /// while `valid` or `future_free` is set, mirroring the paper's figures).
+    logical: Vec<u8>,
+    valid: Vec<bool>,
+    future_free: Vec<bool>,
+    /// Current mapping per logical register (the CAM lookup, kept as a
+    /// direct-mapped shadow for O(1) source lookups).
+    map: Vec<Option<PhysReg>>,
+}
+
+impl CamRenameMap {
+    /// Creates a rename map for `num_phys` physical registers with no logical
+    /// register mapped.
+    pub fn new(num_phys: usize) -> Self {
+        CamRenameMap {
+            logical: vec![0; num_phys],
+            valid: vec![false; num_phys],
+            future_free: vec![false; num_phys],
+            map: vec![None; NUM_ARCH_REGS],
+        }
+    }
+
+    /// Number of physical registers covered by the map.
+    pub fn num_phys(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// The current mapping of a logical register, if any.
+    pub fn lookup(&self, reg: ArchReg) -> Option<PhysReg> {
+        self.map[reg.flat_index()]
+    }
+
+    /// Renames the destination of an instruction: allocates a new physical
+    /// register from `regs`, marks the previous mapping of `dest` as
+    /// future-free, and installs the new mapping.
+    ///
+    /// Returns `None` (rename stall) if no physical register is free.
+    pub fn rename_dest(&mut self, dest: ArchReg, regs: &mut PhysRegFile) -> Option<RenamedInst> {
+        let new_phys = regs.alloc()?;
+        let prev = self.map[dest.flat_index()];
+        if let Some(p) = prev {
+            // The previous mapping is no longer the current one; it will be
+            // freed when the next checkpoint commits (future-free), or at the
+            // renaming instruction's commit under conventional ROB commit.
+            self.valid[p.index()] = false;
+            self.future_free[p.index()] = true;
+        }
+        let idx = new_phys.index();
+        self.logical[idx] = dest.flat_index() as u8;
+        self.valid[idx] = true;
+        self.future_free[idx] = false;
+        self.map[dest.flat_index()] = Some(new_phys);
+        Some(RenamedInst { new_phys, prev_phys: prev })
+    }
+
+    /// Takes a checkpoint: saves the valid, future-free and free-list
+    /// columns, then clears the future-free column (the cleared column will
+    /// accumulate the registers to free when the *new* checkpoint commits).
+    ///
+    /// Returns the snapshot together with the set of physical registers whose
+    /// future-free bit was set — the registers to release when the checkpoint
+    /// *preceding* this one commits.
+    pub fn take_checkpoint(&mut self, regs: &PhysRegFile) -> (RenameCheckpoint, Vec<PhysReg>) {
+        let snapshot = RenameCheckpoint {
+            valid: self.valid.clone(),
+            future_free: self.future_free.clone(),
+            free_list: regs.free_list_snapshot(),
+        };
+        let to_free = self.drain_future_free();
+        (snapshot, to_free)
+    }
+
+    /// Clears and returns the set of physical registers currently marked
+    /// future-free. Used when closing a checkpoint window.
+    pub fn drain_future_free(&mut self) -> Vec<PhysReg> {
+        let mut out = Vec::new();
+        for (i, ff) in self.future_free.iter_mut().enumerate() {
+            if *ff {
+                out.push(PhysReg(i as u32));
+                *ff = false;
+            }
+        }
+        out
+    }
+
+    /// Restores the rename state from a checkpoint snapshot (rollback), and
+    /// restores the free list of `regs`.
+    ///
+    /// The live future-free column is cleared rather than copied from the
+    /// snapshot: the registers recorded in the snapshot belong to the window
+    /// *before* the checkpoint and are already attached to that older
+    /// checkpoint's `free_on_commit` set, while every redefinition made after
+    /// the checkpoint is being squashed.
+    pub fn restore(&mut self, snapshot: &RenameCheckpoint, regs: &mut PhysRegFile) {
+        assert_eq!(snapshot.valid.len(), self.valid.len(), "snapshot size mismatch");
+        self.valid.copy_from_slice(&snapshot.valid);
+        self.future_free.iter_mut().for_each(|b| *b = false);
+        regs.restore_free_list(&snapshot.free_list);
+        // Rebuild the logical→physical shadow map from the valid column.
+        self.map = vec![None; NUM_ARCH_REGS];
+        for (i, &v) in self.valid.iter().enumerate() {
+            if v {
+                self.map[self.logical[i] as usize] = Some(PhysReg(i as u32));
+            }
+        }
+    }
+
+    /// Undoes the rename of one squashed instruction (walk-back recovery for
+    /// branches that are still inside the pseudo-ROB, or conventional ROB
+    /// squash in the baseline). Must be applied youngest-first.
+    ///
+    /// The squashed instruction's destination register is returned to the
+    /// free list of `regs` and the previous mapping is re-installed.
+    pub fn undo_rename(
+        &mut self,
+        dest: ArchReg,
+        new_phys: PhysReg,
+        prev_phys: Option<PhysReg>,
+        regs: &mut PhysRegFile,
+    ) {
+        self.valid[new_phys.index()] = false;
+        self.future_free[new_phys.index()] = false;
+        regs.free(new_phys);
+        self.map[dest.flat_index()] = prev_phys;
+        if let Some(p) = prev_phys {
+            self.valid[p.index()] = true;
+            self.future_free[p.index()] = false;
+            self.logical[p.index()] = dest.flat_index() as u8;
+        }
+    }
+
+    /// Number of physical registers currently holding a valid mapping.
+    pub fn valid_count(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Number of physical registers currently marked future-free.
+    pub fn future_free_count(&self) -> usize {
+        self.future_free.iter().filter(|&&v| v).count()
+    }
+
+    /// Whether physical register `p` currently holds the valid mapping of
+    /// some logical register.
+    pub fn is_valid(&self, p: PhysReg) -> bool {
+        self.valid[p.index()]
+    }
+
+    /// Whether physical register `p` is marked to be freed at the next
+    /// checkpoint commit.
+    pub fn is_future_free(&self, p: PhysReg) -> bool {
+        self.future_free[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(num_phys: usize) -> (CamRenameMap, PhysRegFile) {
+        (CamRenameMap::new(num_phys), PhysRegFile::new(num_phys))
+    }
+
+    #[test]
+    fn renaming_installs_a_new_mapping() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        let out = map.rename_dest(r1, &mut regs).unwrap();
+        assert_eq!(out.prev_phys, None);
+        assert_eq!(map.lookup(r1), Some(out.new_phys));
+        assert!(map.is_valid(out.new_phys));
+        assert_eq!(map.valid_count(), 1);
+    }
+
+    /// Re-enacts Figure 4: decoding `R1 = R2 + R3` when `R1` was mapped to
+    /// physical 4 sets physical 4's future-free bit and maps `R1` to the
+    /// newly allocated register.
+    #[test]
+    fn figure4_redefinition_sets_future_free() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        let first = map.rename_dest(r1, &mut regs).unwrap();
+        let second = map.rename_dest(r1, &mut regs).unwrap();
+        assert_eq!(second.prev_phys, Some(first.new_phys));
+        assert!(!map.is_valid(first.new_phys));
+        assert!(map.is_future_free(first.new_phys));
+        assert!(map.is_valid(second.new_phys));
+        assert_eq!(map.lookup(r1), Some(second.new_phys));
+    }
+
+    /// Re-enacts Figure 5: two successive redefinitions of the same logical
+    /// register leave two physical registers marked future-free, to be freed
+    /// together at the next checkpoint commit.
+    #[test]
+    fn figure5_two_redefinitions_accumulate_future_free() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r1, &mut regs).unwrap();
+        assert_eq!(map.future_free_count(), 2);
+        assert_eq!(map.valid_count(), 1);
+    }
+
+    /// Re-enacts Figure 6: taking a checkpoint saves valid + future-free and
+    /// clears the future-free column.
+    #[test]
+    fn figure6_checkpoint_saves_and_clears_future_free() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        let r4 = ArchReg::int(4);
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r4, &mut regs).unwrap();
+        let (snapshot, to_free) = map.take_checkpoint(&regs);
+        assert_eq!(to_free.len(), 1, "one register was redefined");
+        assert_eq!(map.future_free_count(), 0, "column cleared after checkpoint");
+        assert_eq!(snapshot.future_free.iter().filter(|&&b| b).count(), 1);
+        assert_eq!(snapshot.valid.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn rename_stalls_when_no_physical_register_is_free() {
+        let (mut map, mut regs) = setup(2);
+        assert!(map.rename_dest(ArchReg::int(1), &mut regs).is_some());
+        assert!(map.rename_dest(ArchReg::int(2), &mut regs).is_some());
+        assert!(map.rename_dest(ArchReg::int(3), &mut regs).is_none());
+    }
+
+    #[test]
+    fn rollback_restores_mappings_and_free_list() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        let r2 = ArchReg::int(2);
+        let a = map.rename_dest(r1, &mut regs).unwrap().new_phys;
+        let (snapshot, _) = map.take_checkpoint(&regs);
+        let free_before = regs.free_count();
+        // Speculative work after the checkpoint.
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r2, &mut regs).unwrap();
+        assert_ne!(regs.free_count(), free_before);
+        map.restore(&snapshot, &mut regs);
+        assert_eq!(regs.free_count(), free_before);
+        assert_eq!(map.lookup(r1), Some(a));
+        assert_eq!(map.lookup(r2), None);
+    }
+
+    #[test]
+    fn drain_future_free_returns_each_register_once() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        map.rename_dest(r1, &mut regs).unwrap();
+        map.rename_dest(r1, &mut regs).unwrap();
+        let first = map.drain_future_free();
+        let second = map.drain_future_free();
+        assert_eq!(first.len(), 1);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn undo_rename_restores_the_previous_mapping_youngest_first() {
+        let (mut map, mut regs) = setup(8);
+        let r1 = ArchReg::int(1);
+        let a = map.rename_dest(r1, &mut regs).unwrap();
+        let b = map.rename_dest(r1, &mut regs).unwrap();
+        let c = map.rename_dest(r1, &mut regs).unwrap();
+        let free_before = regs.free_count();
+        // Squash the two youngest definitions, youngest first.
+        map.undo_rename(r1, c.new_phys, c.prev_phys, &mut regs);
+        map.undo_rename(r1, b.new_phys, b.prev_phys, &mut regs);
+        assert_eq!(map.lookup(r1), Some(a.new_phys));
+        assert!(map.is_valid(a.new_phys));
+        assert!(!map.is_future_free(a.new_phys));
+        assert_eq!(regs.free_count(), free_before + 2);
+    }
+
+    #[test]
+    fn undo_rename_of_first_definition_unmaps_the_register() {
+        let (mut map, mut regs) = setup(4);
+        let r2 = ArchReg::int(2);
+        let a = map.rename_dest(r2, &mut regs).unwrap();
+        map.undo_rename(r2, a.new_phys, a.prev_phys, &mut regs);
+        assert_eq!(map.lookup(r2), None);
+        assert_eq!(map.valid_count(), 0);
+    }
+
+    #[test]
+    fn lookup_of_unmapped_register_is_none() {
+        let (map, _) = setup(4);
+        assert_eq!(map.lookup(ArchReg::fp(3)), None);
+    }
+}

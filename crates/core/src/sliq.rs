@@ -1,0 +1,496 @@
+//! Slow Lane Instruction Queuing (Section 3, Figure 8).
+//!
+//! Instructions that depend (transitively) on a load that missed in L2 will
+//! not issue for hundreds of cycles; keeping them in the wake-up/select
+//! instruction queue wastes its scarce entries. When such an instruction is
+//! identified at pseudo-ROB extraction time, it is *moved* from the
+//! instruction queue into the SLIQ — a large, simple, RAM-like in-order
+//! buffer with no wake-up logic. Each SLIQ entry is tagged with the
+//! destination physical register of the long-latency load it depends on;
+//! when that register is finally produced, a wake-up walker re-inserts the
+//! dependent instructions into the instruction queue at 4 per cycle, after a
+//! configurable re-insertion delay (Figure 10 sweeps 1/4/8/12 cycles).
+//!
+//! [`DependenceTracker`] implements the classification: the logical-register
+//! bit mask of [`crate::depmask`] plus a per-register record of *which* load
+//! the dependence chains back to.
+
+use crate::depmask::DependenceMask;
+use crate::iq::IqEntry;
+use koc_isa::{ArchReg, InstId, Instruction, PhysReg};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the SLIQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliqConfig {
+    /// Number of entries (512 / 1024 / 2048 in the paper).
+    pub capacity: usize,
+    /// Cycles between the triggering register being produced and the first
+    /// re-insertion (4 in the paper; Figure 10 sweeps 1–12).
+    pub reinsert_delay: u32,
+    /// Instructions re-inserted per cycle (4 in the paper).
+    pub wake_width: usize,
+}
+
+impl SliqConfig {
+    /// The paper's default: 4-cycle re-insertion delay, 4 instructions/cycle.
+    pub fn paper(capacity: usize) -> Self {
+        SliqConfig { capacity, reinsert_delay: 4, wake_width: 4 }
+    }
+}
+
+/// One SLIQ entry: the stolen instruction-queue entry plus its trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliqEntry {
+    /// The instruction-queue entry to re-insert on wake-up.
+    pub iq_entry: IqEntry,
+    /// The physical register (destination of a long-latency load) whose
+    /// production wakes this entry.
+    pub trigger: PhysReg,
+}
+
+/// A trigger whose register has been produced and whose dependent entries
+/// will start re-inserting once the re-insertion delay has elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WakeupWalker {
+    /// The trigger register being processed.
+    pub trigger: PhysReg,
+    /// Cycle at which re-insertion of its dependents may begin.
+    pub ready_at: u64,
+}
+
+/// The Slow Lane Instruction Queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliqBuffer {
+    config: SliqConfig,
+    entries: VecDeque<SliqEntry>,
+    pending_triggers: VecDeque<WakeupWalker>,
+    /// Peak occupancy, for reporting.
+    high_water: usize,
+    /// Total instructions that ever entered the SLIQ.
+    total_moved: u64,
+}
+
+impl SliqBuffer {
+    /// Creates an empty SLIQ.
+    ///
+    /// # Panics
+    /// Panics if the configured capacity or wake width is zero.
+    pub fn new(config: SliqConfig) -> Self {
+        assert!(config.capacity > 0, "SLIQ capacity must be non-zero");
+        assert!(config.wake_width > 0, "SLIQ wake width must be non-zero");
+        SliqBuffer {
+            config,
+            entries: VecDeque::new(),
+            pending_triggers: VecDeque::new(),
+            high_water: 0,
+            total_moved: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SliqConfig {
+        &self.config
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the SLIQ holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another instruction can be moved in.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.config.capacity
+    }
+
+    /// Peak occupancy seen so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total instructions ever moved into the SLIQ.
+    pub fn total_moved(&self) -> u64 {
+        self.total_moved
+    }
+
+    /// Moves an instruction into the SLIQ (in program order), tagged with its
+    /// triggering load's destination register.
+    ///
+    /// Returns `false` if the SLIQ is full; the caller then leaves the
+    /// instruction in the instruction queue.
+    pub fn insert(&mut self, iq_entry: IqEntry, trigger: PhysReg) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        self.entries.push_back(SliqEntry { iq_entry, trigger });
+        self.total_moved += 1;
+        self.high_water = self.high_water.max(self.entries.len());
+        true
+    }
+
+    /// Notifies the SLIQ that `trigger` (a long-latency load destination) has
+    /// been produced at cycle `now`. Its dependents become eligible for
+    /// re-insertion after the configured re-insertion delay (the delay models
+    /// re-computing source availability and overlaps across triggers).
+    pub fn on_trigger_ready(&mut self, trigger: PhysReg, now: u64) {
+        if !self.pending_triggers.iter().any(|w| w.trigger == trigger) {
+            self.pending_triggers
+                .push_back(WakeupWalker { trigger, ready_at: now + self.config.reinsert_delay as u64 });
+        }
+    }
+
+    /// Advances the wake-up machinery by one cycle and returns the entries to
+    /// re-insert into the instruction queues this cycle: at most `wake_width`
+    /// in total, and never more than the free space of each target queue
+    /// (`int_space` for integer/memory entries, `fp_space` for floating-point
+    /// entries). Entries of one trigger re-insert oldest first; re-insertion
+    /// stops at the first entry whose queue is full to preserve order.
+    pub fn step(&mut self, now: u64, mut int_space: usize, mut fp_space: usize) -> Vec<IqEntry> {
+        let mut budget = self.config.wake_width;
+        let mut out = Vec::new();
+        while budget > 0 {
+            let Some(front) = self.pending_triggers.front().copied() else { break };
+            if front.ready_at > now {
+                break;
+            }
+            // Re-insert this trigger's entries, oldest first.
+            let mut blocked = false;
+            let mut idx = 0;
+            while idx < self.entries.len() && budget > 0 {
+                if self.entries[idx].trigger != front.trigger {
+                    idx += 1;
+                    continue;
+                }
+                let is_fp = self.entries[idx].iq_entry.fu == koc_isa::FuClass::Fp;
+                let space = if is_fp { &mut fp_space } else { &mut int_space };
+                if *space == 0 {
+                    blocked = true;
+                    break;
+                }
+                *space -= 1;
+                budget -= 1;
+                let e = self.entries.remove(idx).expect("index in range");
+                out.push(e.iq_entry);
+            }
+            let remaining = self.entries.iter().any(|e| e.trigger == front.trigger);
+            if remaining {
+                if blocked || budget == 0 {
+                    break;
+                }
+                // Budget ran out exactly at the end of the scan.
+                break;
+            } else {
+                self.pending_triggers.pop_front();
+            }
+        }
+        out
+    }
+
+    /// The pending wake-up triggers (for tests and statistics).
+    pub fn pending_triggers(&self) -> impl Iterator<Item = &WakeupWalker> {
+        self.pending_triggers.iter()
+    }
+
+    /// Removes every entry at or after trace position `from` (squash) and
+    /// returns how many were removed.
+    pub fn squash_from(&mut self, from: InstId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.iq_entry.inst < from);
+        before - self.entries.len()
+    }
+
+    /// Removes everything, including pending wake-ups (full flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.pending_triggers.clear();
+    }
+}
+
+/// Tracks which in-flight long-latency load every logical register's value
+/// (transitively) depends on. This is the pseudo-ROB extraction logic's
+/// dependence computation: the bit mask of Section 3 plus the trigger
+/// association needed to tag SLIQ entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependenceTracker {
+    mask: DependenceMask,
+    trigger_of: Vec<Option<PhysReg>>,
+}
+
+impl Default for DependenceTracker {
+    fn default() -> Self {
+        DependenceTracker { mask: DependenceMask::new(), trigger_of: vec![None; koc_isa::NUM_ARCH_REGS] }
+    }
+}
+
+impl DependenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a long-latency load: its destination becomes a dependence
+    /// source, triggered by the load's destination physical register.
+    pub fn add_long_latency_load(&mut self, dest: ArchReg, dest_phys: PhysReg) {
+        self.mask.set(dest);
+        self.trigger_of[dest.flat_index()] = Some(dest_phys);
+    }
+
+    /// Classifies an instruction extracted from the pseudo-ROB.
+    ///
+    /// Returns the trigger register if the instruction depends on an
+    /// outstanding long-latency load (it should be moved to the SLIQ), or
+    /// `None` if it is independent. The tracker state is updated either way.
+    pub fn classify(&mut self, inst: &Instruction) -> Option<PhysReg> {
+        let trigger = inst
+            .sources()
+            .find(|s| self.mask.contains(*s))
+            .and_then(|s| self.trigger_of[s.flat_index()]);
+        let dependent = self.mask.classify_and_update(inst);
+        if let Some(dest) = inst.dest {
+            self.trigger_of[dest.flat_index()] = if dependent { trigger } else { None };
+        }
+        if dependent {
+            trigger
+        } else {
+            None
+        }
+    }
+
+    /// Clears the dependence of `reg` (its long-latency producer completed
+    /// before the dependents were extracted, so they are no longer "slow").
+    pub fn clear_register(&mut self, reg: ArchReg) {
+        self.mask.clear(reg);
+        self.trigger_of[reg.flat_index()] = None;
+    }
+
+    /// Clears `reg` only if it is currently triggered by `phys` — used at
+    /// write-back so that a completing long-latency load stops poisoning the
+    /// mask, without erasing a younger redefinition that happens to use the
+    /// same logical register.
+    pub fn clear_if_trigger(&mut self, reg: ArchReg, phys: PhysReg) {
+        if self.trigger_of[reg.flat_index()] == Some(phys) {
+            self.clear_register(reg);
+        }
+    }
+
+    /// The physical register currently recorded as the long-latency trigger
+    /// of `reg`, if any.
+    pub fn trigger_for(&self, reg: ArchReg) -> Option<PhysReg> {
+        self.trigger_of[reg.flat_index()]
+    }
+
+    /// Whether any dependence is currently tracked.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Resets all tracked state (pipeline flush or rollback).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koc_isa::{FuClass, OpKind};
+
+    fn iq_entry(inst: InstId) -> IqEntry {
+        IqEntry { inst, dest: Some(PhysReg(200 + inst as u32)), srcs: vec![], fu: FuClass::Fp, ckpt: 0 }
+    }
+
+    fn cfg(capacity: usize, delay: u32) -> SliqConfig {
+        SliqConfig { capacity, reinsert_delay: delay, wake_width: 4 }
+    }
+
+    #[test]
+    fn paper_config_uses_four_cycle_delay_and_width() {
+        let c = SliqConfig::paper(1024);
+        assert_eq!(c.capacity, 1024);
+        assert_eq!(c.reinsert_delay, 4);
+        assert_eq!(c.wake_width, 4);
+    }
+
+    #[test]
+    fn insert_respects_capacity() {
+        let mut s = SliqBuffer::new(cfg(2, 0));
+        assert!(s.insert(iq_entry(0), PhysReg(1)));
+        assert!(s.insert(iq_entry(1), PhysReg(1)));
+        assert!(!s.insert(iq_entry(2), PhysReg(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_moved(), 2);
+        assert_eq!(s.high_water(), 2);
+    }
+
+    #[test]
+    fn wakeup_reinserts_after_the_configured_delay() {
+        let mut s = SliqBuffer::new(cfg(16, 2));
+        for i in 0..3 {
+            s.insert(iq_entry(i), PhysReg(7));
+        }
+        s.on_trigger_ready(PhysReg(7), 10);
+        assert!(s.step(10, 16, 16).is_empty(), "delay cycle 1");
+        assert!(s.step(11, 16, 16).is_empty(), "delay cycle 2");
+        let woken = s.step(12, 16, 16);
+        assert_eq!(woken.len(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wakeup_is_limited_to_four_per_cycle() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        for i in 0..6 {
+            s.insert(iq_entry(i), PhysReg(7));
+        }
+        s.on_trigger_ready(PhysReg(7), 0);
+        let first = s.step(0, 16, 16);
+        assert_eq!(first.len(), 4);
+        assert_eq!(first[0].inst, 0, "oldest first");
+        let second = s.step(1, 16, 16);
+        assert_eq!(second.len(), 2);
+        assert_eq!(s.pending_triggers().count(), 0, "walk completes when its entries are gone");
+    }
+
+    #[test]
+    fn wakeup_stalls_when_the_target_queue_is_full() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        for i in 0..4 {
+            s.insert(iq_entry(i), PhysReg(7)); // all FP entries
+        }
+        s.on_trigger_ready(PhysReg(7), 0);
+        assert!(s.step(0, 16, 0).is_empty(), "no FP queue space, nothing re-inserted");
+        assert_eq!(s.step(1, 16, 2).len(), 2);
+        assert_eq!(s.step(2, 16, 16).len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn multiple_triggers_share_the_per_cycle_budget() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        s.insert(iq_entry(0), PhysReg(7));
+        s.insert(iq_entry(1), PhysReg(9));
+        s.on_trigger_ready(PhysReg(7), 0);
+        s.on_trigger_ready(PhysReg(9), 0);
+        let woken = s.step(0, 16, 16);
+        assert_eq!(woken.len(), 2, "both triggers' entries fit in one cycle's budget");
+        assert_eq!(woken[0].inst, 0);
+        assert_eq!(woken[1].inst, 1);
+    }
+
+    #[test]
+    fn duplicate_trigger_notifications_are_ignored() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        s.insert(iq_entry(0), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 0);
+        s.on_trigger_ready(PhysReg(7), 0);
+        assert_eq!(s.step(0, 16, 16).len(), 1);
+        assert!(s.step(1, 16, 16).is_empty());
+        assert!(s.step(2, 16, 16).is_empty());
+    }
+
+    #[test]
+    fn squash_removes_young_entries() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        for i in 0..5 {
+            s.insert(iq_entry(i), PhysReg(7));
+        }
+        assert_eq!(s.squash_from(2), 3);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn flush_clears_entries_and_pending_triggers() {
+        let mut s = SliqBuffer::new(cfg(16, 4));
+        s.insert(iq_entry(0), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 0);
+        s.flush();
+        assert!(s.is_empty());
+        assert_eq!(s.pending_triggers().count(), 0);
+        assert!(s.step(100, 16, 16).is_empty());
+    }
+
+    #[test]
+    fn a_blocked_entry_preserves_order_within_its_trigger() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        // Entry 0 targets the integer queue, entry 1 the FP queue.
+        let mut int_entry = iq_entry(0);
+        int_entry.fu = FuClass::IntAlu;
+        s.insert(int_entry, PhysReg(7));
+        s.insert(iq_entry(1), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 0);
+        // No integer-queue space: nothing moves (order preserved).
+        assert!(s.step(0, 0, 16).is_empty());
+        let woken = s.step(1, 16, 16);
+        assert_eq!(woken.len(), 2);
+        assert_eq!(woken[0].inst, 0);
+    }
+
+    // --- DependenceTracker -------------------------------------------------
+
+    #[test]
+    fn tracker_tags_direct_and_transitive_dependents_with_the_load_trigger() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        let direct = Instruction::op(0, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1)]);
+        let transitive = Instruction::op(4, OpKind::FpAlu, Some(ArchReg::fp(3)), &[ArchReg::fp(2)]);
+        assert_eq!(t.classify(&direct), Some(PhysReg(41)));
+        assert_eq!(t.classify(&transitive), Some(PhysReg(41)));
+    }
+
+    #[test]
+    fn tracker_distinguishes_two_loads() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        t.add_long_latency_load(ArchReg::fp(10), PhysReg(55));
+        let a = Instruction::op(0, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1)]);
+        let b = Instruction::op(4, OpKind::FpAlu, Some(ArchReg::fp(11)), &[ArchReg::fp(10)]);
+        assert_eq!(t.classify(&a), Some(PhysReg(41)));
+        assert_eq!(t.classify(&b), Some(PhysReg(55)));
+    }
+
+    #[test]
+    fn independent_redefinition_clears_the_trigger() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        let redef = Instruction::op(0, OpKind::FpAlu, Some(ArchReg::fp(1)), &[ArchReg::fp(9)]);
+        assert_eq!(t.classify(&redef), None);
+        let reader = Instruction::op(4, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1)]);
+        assert_eq!(t.classify(&reader), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_register_stops_tracking_a_completed_load() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        t.clear_register(ArchReg::fp(1));
+        let reader = Instruction::op(0, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1)]);
+        assert_eq!(t.classify(&reader), None);
+    }
+
+    #[test]
+    fn clear_if_trigger_only_clears_the_matching_load() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        assert_eq!(t.trigger_for(ArchReg::fp(1)), Some(PhysReg(41)));
+        t.clear_if_trigger(ArchReg::fp(1), PhysReg(99));
+        assert_eq!(t.trigger_for(ArchReg::fp(1)), Some(PhysReg(41)), "mismatched trigger is ignored");
+        t.clear_if_trigger(ArchReg::fp(1), PhysReg(41));
+        assert_eq!(t.trigger_for(ArchReg::fp(1)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut t = DependenceTracker::new();
+        t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
+        t.reset();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the core mechanisms: rename/free-list
+//! consistency, checkpoint accounting, dependence-mask propagation and SLIQ
+//! conservation.
+
+use koc_core::{
+    CamRenameMap, CheckpointPolicy, CheckpointTable, DependenceMask, InstructionQueue, IqEntry,
+    PhysRegFile, SliqBuffer, SliqConfig,
+};
+use koc_isa::{ArchReg, FuClass, Instruction, OpKind, PhysReg, NUM_ARCH_REGS};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    (0..NUM_ARCH_REGS).prop_map(ArchReg::from_flat_index)
+}
+
+proptest! {
+    /// Renaming any sequence of destinations never loses registers: the
+    /// number of free + valid + future-free registers always equals the pool.
+    #[test]
+    fn rename_conserves_registers(dests in proptest::collection::vec(arb_reg(), 1..200)) {
+        let pool = 256;
+        let mut map = CamRenameMap::new(pool);
+        let mut regs = PhysRegFile::new(pool);
+        for d in dests {
+            if map.rename_dest(d, &mut regs).is_none() {
+                break;
+            }
+            let accounted = regs.free_count() + map.valid_count() + map.future_free_count();
+            prop_assert_eq!(accounted, pool, "free + valid + future-free must cover the pool");
+        }
+    }
+
+    /// After a checkpoint/restore round trip, the rename map maps exactly the
+    /// same registers as at checkpoint time.
+    #[test]
+    fn checkpoint_restore_round_trips(
+        before in proptest::collection::vec(arb_reg(), 1..100),
+        after in proptest::collection::vec(arb_reg(), 1..100),
+    ) {
+        let pool = 512;
+        let mut map = CamRenameMap::new(pool);
+        let mut regs = PhysRegFile::new(pool);
+        for d in &before {
+            map.rename_dest(*d, &mut regs).unwrap();
+        }
+        let lookups_before: Vec<_> = ArchReg::all().map(|r| map.lookup(r)).collect();
+        let free_before = regs.free_count();
+        let (snapshot, _) = map.take_checkpoint(&regs);
+        for d in &after {
+            if map.rename_dest(*d, &mut regs).is_none() {
+                break;
+            }
+        }
+        map.restore(&snapshot, &mut regs);
+        let lookups_after: Vec<_> = ArchReg::all().map(|r| map.lookup(r)).collect();
+        prop_assert_eq!(lookups_before, lookups_after);
+        prop_assert_eq!(regs.free_count(), free_before);
+    }
+
+    /// The checkpoint policy fires iff one of its thresholds is reached.
+    #[test]
+    fn policy_thresholds_are_exact(insts in 0usize..1000, stores in 0usize..200, is_branch in any::<bool>()) {
+        let p = CheckpointPolicy::paper();
+        let expected = insts > 0
+            && ((is_branch && insts >= 64) || insts >= 512 || stores >= 64);
+        prop_assert_eq!(p.should_take(insts, stores, is_branch), expected);
+    }
+
+    /// Checkpoint-table pending counters never go negative and commits only
+    /// happen when every associated instruction completed.
+    #[test]
+    fn checkpoint_accounting_is_consistent(windows in proptest::collection::vec(1usize..40, 1..10)) {
+        let mut table = CheckpointTable::new(windows.len() + 1);
+        let snap = koc_core::RenameCheckpoint {
+            valid: vec![false; 64],
+            future_free: vec![false; 64],
+            free_list: vec![true; 64],
+        };
+        let mut ids = Vec::new();
+        let mut trace_index = 0;
+        for w in &windows {
+            let id = table.take(trace_index, snap.clone(), vec![]).unwrap();
+            ids.push((id, *w));
+            for _ in 0..*w {
+                table.on_dispatch(false);
+            }
+            trace_index += w;
+        }
+        // Complete everything, oldest window first, and commit as we go.
+        let total_windows = ids.len();
+        for (i, (id, w)) in ids.iter().enumerate() {
+            for _ in 0..*w {
+                table.on_complete(*id);
+            }
+            let has_younger = i + 1 < total_windows;
+            prop_assert_eq!(
+                table.can_commit_oldest(false),
+                has_younger,
+                "a closed window with no pending work commits; an open one needs trace_done"
+            );
+            prop_assert!(table.can_commit_oldest(true));
+            let c = table.commit_oldest();
+            prop_assert_eq!(c.total_insts, *w);
+            prop_assert_eq!(c.id, *id);
+        }
+        prop_assert!(table.is_empty());
+    }
+
+    /// Dependence-mask propagation: an instruction is dependent iff at least
+    /// one of its sources is currently masked.
+    #[test]
+    fn dependence_mask_matches_reference(seed in arb_reg(), ops in proptest::collection::vec((arb_reg(), arb_reg(), arb_reg()), 1..100)) {
+        let mut mask = DependenceMask::seeded(seed);
+        let mut reference: std::collections::HashSet<ArchReg> = [seed].into_iter().collect();
+        for (dest, s1, s2) in ops {
+            let inst = Instruction::op(0, OpKind::FpAlu, Some(dest), &[s1, s2]);
+            let dependent = mask.classify_and_update(&inst);
+            let expected = reference.contains(&s1) || reference.contains(&s2);
+            prop_assert_eq!(dependent, expected);
+            if expected {
+                reference.insert(dest);
+            } else {
+                reference.remove(&dest);
+            }
+        }
+    }
+
+    /// Instructions moved into the SLIQ are all eventually returned, exactly
+    /// once, in program order per trigger.
+    #[test]
+    fn sliq_conserves_instructions(count in 1usize..200, triggers in 1u32..8) {
+        let mut sliq = SliqBuffer::new(SliqConfig::paper(4096));
+        for i in 0..count {
+            let entry = IqEntry {
+                inst: i,
+                dest: Some(PhysReg(100 + i as u32)),
+                srcs: vec![],
+                fu: if i % 2 == 0 { FuClass::Fp } else { FuClass::IntAlu },
+                ckpt: 0,
+            };
+            sliq.insert(entry, PhysReg(i as u32 % triggers));
+        }
+        for t in 0..triggers {
+            sliq.on_trigger_ready(PhysReg(t), 0);
+        }
+        let mut woken = Vec::new();
+        let mut cycle = 0u64;
+        while !sliq.is_empty() && cycle < 10_000 {
+            woken.extend(sliq.step(cycle, 4, 4).into_iter().map(|e| e.inst));
+            cycle += 1;
+        }
+        prop_assert_eq!(woken.len(), count, "every entry is returned exactly once");
+        let mut seen = std::collections::HashSet::new();
+        for w in &woken {
+            prop_assert!(seen.insert(*w), "duplicate wake-up for {}", w);
+        }
+    }
+
+    /// The instruction queue issues every inserted instruction exactly once,
+    /// once its sources are produced.
+    #[test]
+    fn iq_conserves_instructions(srcs in proptest::collection::vec(0u32..16, 1..100)) {
+        let mut iq = InstructionQueue::new(256);
+        for (i, s) in srcs.iter().enumerate() {
+            let entry = IqEntry {
+                inst: i,
+                dest: Some(PhysReg(1000 + i as u32)),
+                srcs: vec![PhysReg(*s)],
+                fu: FuClass::IntAlu,
+                ckpt: 0,
+            };
+            iq.insert(entry, |_| false).unwrap();
+        }
+        for s in 0u32..16 {
+            iq.wakeup(PhysReg(s));
+        }
+        let mut issued = 0;
+        loop {
+            let picked = iq.select_ready(&mut [4, 4, 4, 4], 4);
+            if picked.is_empty() {
+                break;
+            }
+            issued += picked.len();
+        }
+        prop_assert_eq!(issued, srcs.len());
+        prop_assert!(iq.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! A convenience builder for hand-written instruction sequences.
+//!
+//! Workload kernels and unit tests construct traces through this builder so
+//! that program counters stay consistent and common idioms (loads, FP ops,
+//! loop back-edges) stay one-liners.
+
+use crate::inst::Instruction;
+use crate::op::OpKind;
+use crate::reg::ArchReg;
+use crate::trace::{InstId, Trace};
+
+/// Builds a [`Trace`] instruction by instruction.
+///
+/// ```
+/// use koc_isa::{ArchReg, TraceBuilder};
+/// let mut b = TraceBuilder::new();
+/// let base = ArchReg::int(1);
+/// b.int_alu(base, &[]);
+/// b.load(ArchReg::fp(0), base, 0x1000);
+/// b.fp_alu(ArchReg::fp(1), &[ArchReg::fp(0)]);
+/// b.store(ArchReg::fp(1), base, 0x2000);
+/// b.backward_branch(base, true);
+/// let t = b.finish();
+/// assert_eq!(t.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    trace: Trace,
+    pc: u64,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder with the program counter at 0.
+    pub fn new() -> Self {
+        TraceBuilder { trace: Trace::new("built"), pc: 0 }
+    }
+
+    /// Creates an empty builder for a named trace.
+    pub fn named(name: impl Into<String>) -> Self {
+        TraceBuilder { trace: Trace::new(name), pc: 0 }
+    }
+
+    /// The current program counter (the pc the *next* instruction will get).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Emits an arbitrary pre-built instruction (its pc is overwritten to keep
+    /// the stream consistent).
+    pub fn raw(&mut self, mut inst: Instruction) -> InstId {
+        inst.pc = self.pc;
+        self.pc += 4;
+        self.trace.push(inst)
+    }
+
+    /// Emits an integer ALU operation writing `dest`.
+    pub fn int_alu(&mut self, dest: ArchReg, srcs: &[ArchReg]) -> InstId {
+        self.raw(Instruction::op(0, OpKind::IntAlu, Some(dest), srcs))
+    }
+
+    /// Emits an integer multiply writing `dest`.
+    pub fn int_mul(&mut self, dest: ArchReg, srcs: &[ArchReg]) -> InstId {
+        self.raw(Instruction::op(0, OpKind::IntMul, Some(dest), srcs))
+    }
+
+    /// Emits a floating-point operation writing `dest`.
+    pub fn fp_alu(&mut self, dest: ArchReg, srcs: &[ArchReg]) -> InstId {
+        self.raw(Instruction::op(0, OpKind::FpAlu, Some(dest), srcs))
+    }
+
+    /// Emits a floating-point divide writing `dest`.
+    pub fn fp_div(&mut self, dest: ArchReg, srcs: &[ArchReg]) -> InstId {
+        self.raw(Instruction::op(0, OpKind::FpDiv, Some(dest), srcs))
+    }
+
+    /// Emits a load of `dest` from address `addr` with base register `base`.
+    pub fn load(&mut self, dest: ArchReg, base: ArchReg, addr: u64) -> InstId {
+        self.raw(Instruction::load(0, dest, base, addr))
+    }
+
+    /// Emits a store of `data` to address `addr` with base register `base`.
+    pub fn store(&mut self, data: ArchReg, base: ArchReg, addr: u64) -> InstId {
+        self.raw(Instruction::store(0, data, base, addr))
+    }
+
+    /// Emits a conditional branch with explicit outcome and target pc.
+    pub fn branch_to(&mut self, cond: ArchReg, taken: bool, target: u64) -> InstId {
+        self.raw(Instruction::branch(0, cond, taken, target))
+    }
+
+    /// Emits a loop back-edge: a branch whose target is `loop_head_pc`,
+    /// conventionally taken on every iteration but the last.
+    pub fn backward_branch(&mut self, cond: ArchReg, taken: bool) -> InstId {
+        let target = self.pc.saturating_sub(64);
+        self.branch_to(cond, taken, target)
+    }
+
+    /// Emits a no-op (padding).
+    pub fn nop(&mut self) -> InstId {
+        self.raw(Instruction::op(0, OpKind::Nop, None, &[]))
+    }
+
+    /// Emits an instruction that raises an exception at execute.
+    pub fn excepting_op(&mut self, dest: ArchReg, srcs: &[ArchReg]) -> InstId {
+        self.raw(Instruction::op(0, OpKind::IntAlu, Some(dest), srcs).with_exception())
+    }
+
+    /// Finishes the builder and returns the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcs_advance_by_four() {
+        let mut b = TraceBuilder::new();
+        b.nop();
+        b.nop();
+        b.nop();
+        let t = b.finish();
+        assert_eq!(t[0].pc, 0);
+        assert_eq!(t[1].pc, 4);
+        assert_eq!(t[2].pc, 8);
+    }
+
+    #[test]
+    fn named_builder_names_the_trace() {
+        let b = TraceBuilder::named("swim-like");
+        assert!(b.is_empty());
+        let t = b.finish();
+        assert_eq!(t.name(), "swim-like");
+    }
+
+    #[test]
+    fn helpers_emit_the_right_kinds() {
+        let mut b = TraceBuilder::new();
+        b.int_alu(ArchReg::int(1), &[]);
+        b.int_mul(ArchReg::int(2), &[ArchReg::int(1)]);
+        b.fp_alu(ArchReg::fp(1), &[]);
+        b.fp_div(ArchReg::fp(2), &[ArchReg::fp(1)]);
+        b.load(ArchReg::fp(3), ArchReg::int(1), 0x10);
+        b.store(ArchReg::fp(3), ArchReg::int(1), 0x18);
+        b.branch_to(ArchReg::int(1), false, 0);
+        let t = b.finish();
+        let kinds: Vec<_> = t.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::IntAlu,
+                OpKind::IntMul,
+                OpKind::FpAlu,
+                OpKind::FpDiv,
+                OpKind::Load,
+                OpKind::Store,
+                OpKind::Branch
+            ]
+        );
+    }
+
+    #[test]
+    fn excepting_op_sets_the_flag() {
+        let mut b = TraceBuilder::new();
+        let id = b.excepting_op(ArchReg::int(1), &[]);
+        let t = b.finish();
+        assert!(t[id].raises_exception);
+    }
+
+    #[test]
+    fn backward_branch_targets_earlier_pc() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..32 {
+            b.nop();
+        }
+        let id = b.backward_branch(ArchReg::int(1), true);
+        let t = b.finish();
+        let br = t[id].branch.unwrap();
+        assert!(br.taken);
+        assert!(br.target < t[id].pc);
+    }
+}

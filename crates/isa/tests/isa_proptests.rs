@@ -1,0 +1,90 @@
+//! Property-based tests for the instruction and trace model.
+
+use koc_isa::{ArchReg, Instruction, OpKind, Trace, TraceBuilder, NUM_ARCH_REGS};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    (0..NUM_ARCH_REGS).prop_map(ArchReg::from_flat_index)
+}
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::IntAlu),
+        Just(OpKind::IntMul),
+        Just(OpKind::FpAlu),
+        Just(OpKind::Load),
+        Just(OpKind::Store),
+        Just(OpKind::Branch),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn flat_index_round_trips(idx in 0..NUM_ARCH_REGS) {
+        let r = ArchReg::from_flat_index(idx);
+        prop_assert_eq!(r.flat_index(), idx);
+        prop_assert!(r.number() < 32);
+    }
+
+    #[test]
+    fn register_class_partitions_the_space(idx in 0..NUM_ARCH_REGS) {
+        let r = ArchReg::from_flat_index(idx);
+        match r.class() {
+            koc_isa::RegClass::Int => prop_assert!(idx < 32),
+            koc_isa::RegClass::Fp => prop_assert!(idx >= 32),
+        }
+    }
+
+    #[test]
+    fn op_constructor_preserves_sources(kind in arb_kind(), dest in arb_reg(), srcs in proptest::collection::vec(arb_reg(), 0..3)) {
+        let inst = Instruction::op(0x40, kind, Some(dest), &srcs);
+        prop_assert_eq!(inst.num_sources(), srcs.len());
+        let collected: Vec<_> = inst.sources().collect();
+        prop_assert_eq!(collected, srcs);
+        prop_assert_eq!(inst.dest, Some(dest));
+    }
+
+    #[test]
+    fn latencies_are_positive_and_repeat_at_most_latency(kind in arb_kind()) {
+        let l = kind.latency();
+        prop_assert!(l.latency >= 1);
+        prop_assert!(l.repeat >= 1);
+        prop_assert!(l.repeat <= l.latency);
+    }
+
+    #[test]
+    fn cursor_rewind_is_idempotent(n in 1usize..200, rewind in 0usize..200) {
+        let mut b = TraceBuilder::new();
+        for _ in 0..n {
+            b.nop();
+        }
+        let trace = b.finish();
+        let mut cursor = trace.cursor();
+        while cursor.next_inst().is_some() {}
+        let target = rewind.min(trace.len());
+        cursor.rewind_to(target);
+        prop_assert_eq!(cursor.position(), target);
+        let mut count = 0;
+        while cursor.next_inst().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, trace.len() - target);
+    }
+
+    #[test]
+    fn trace_mix_totals_match_length(kinds in proptest::collection::vec(arb_kind(), 0..300)) {
+        let mut trace = Trace::new("mix");
+        for (i, kind) in kinds.iter().enumerate() {
+            let inst = match kind {
+                OpKind::Load => Instruction::load(i as u64 * 4, ArchReg::fp(1), ArchReg::int(1), 0x100),
+                OpKind::Store => Instruction::store(i as u64 * 4, ArchReg::fp(1), ArchReg::int(1), 0x100),
+                OpKind::Branch => Instruction::branch(i as u64 * 4, ArchReg::int(1), true, 0),
+                k => Instruction::op(i as u64 * 4, *k, Some(ArchReg::int(2)), &[]),
+            };
+            trace.push(inst);
+        }
+        let mix = trace.mix();
+        prop_assert_eq!(mix.total, kinds.len());
+        prop_assert_eq!(mix.loads + mix.stores + mix.branches + mix.fp_ops + mix.int_ops, mix.total);
+    }
+}

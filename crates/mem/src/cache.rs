@@ -1,0 +1,246 @@
+//! A set-associative cache with true-LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (zero sizes, capacity not a
+    /// multiple of `ways * line_bytes`, or non-power-of-two line size).
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64, latency: u32) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be non-zero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert_eq!(
+            size_bytes % (ways as u64 * line_bytes),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        CacheConfig { size_bytes, ways, line_bytes, latency }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+
+    /// The paper's L1 configuration: 32 KB, 4-way, 32-byte lines, 2 cycles.
+    pub fn table1_l1() -> Self {
+        CacheConfig::new(32 * 1024, 4, 32, 2)
+    }
+
+    /// The paper's L2 configuration: 512 KB, 4-way, 64-byte lines, 10 cycles.
+    pub fn table1_l2() -> Self {
+        CacheConfig::new(512 * 1024, 4, 64, 10)
+    }
+}
+
+/// Whether an access hit or missed in a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (allocate-on-miss).
+    Miss,
+}
+
+impl AccessOutcome {
+    /// Returns `true` on [`AccessOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        self == AccessOutcome::Hit
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CacheSet {
+    /// Tags ordered most-recently-used first.
+    lru: Vec<u64>,
+}
+
+/// A set-associative, true-LRU, allocate-on-miss cache.
+///
+/// The cache tracks only tags (no data): the simulator needs hit/miss
+/// timing, not values.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![CacheSet::default(); config.num_sets()];
+        Cache { config, sets, hits: 0, misses: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses byte address `addr`, updating LRU state and fill state.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let line = addr / self.config.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.lru.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.lru.remove(pos);
+            set.lru.insert(0, t);
+            self.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            set.lru.insert(0, tag);
+            if set.lru.len() > ways {
+                set.lru.pop();
+            }
+            self.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// Probes for presence of the line containing `addr` without updating state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        self.sets[set_idx].lru.contains(&tag)
+    }
+
+    /// Number of hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses so far (0 when no accesses were made).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Invalidates all lines and resets statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.lru.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 2 sets, 2 ways, 64-byte lines.
+        Cache::new(CacheConfig::new(256, 2, 64, 1))
+    }
+
+    #[test]
+    fn geometry_is_derived_correctly() {
+        let c = CacheConfig::table1_l1();
+        assert_eq!(c.num_sets(), 256);
+        let l2 = CacheConfig::table1_l2();
+        assert_eq!(l2.num_sets(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn inconsistent_geometry_panics() {
+        let _ = CacheConfig::new(100, 3, 32, 1);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache();
+        assert_eq!(c.access(0x1000), AccessOutcome::Miss);
+        assert_eq!(c.access(0x1000), AccessOutcome::Hit);
+        assert_eq!(c.access(0x1008), AccessOutcome::Hit, "same line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        // Set 0 holds lines with even line index. Lines 0, 2, 4 map to set 0.
+        c.access(0 * 64); // miss, set 0 = [0]
+        c.access(2 * 64); // miss, set 0 = [2, 0]
+        c.access(0 * 64); // hit,  set 0 = [0, 2]
+        c.access(4 * 64); // miss, evicts 2; set 0 = [4, 0]
+        assert!(c.contains(0 * 64));
+        assert!(!c.contains(2 * 64));
+        assert!(c.contains(4 * 64));
+    }
+
+    #[test]
+    fn contains_does_not_change_state() {
+        let mut c = small_cache();
+        c.access(0x40);
+        let before = (c.hits(), c.misses());
+        assert!(c.contains(0x40));
+        assert!(!c.contains(0x4000));
+        assert_eq!((c.hits(), c.misses()), before);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = small_cache();
+        c.access(0x40);
+        c.access(0x40);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn miss_ratio_reflects_stream() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        // Touch 1024 distinct lines twice: first pass all miss, second pass all
+        // hit (working set exactly equals capacity).
+        for i in 0..1024u64 {
+            c.access(i * 32);
+        }
+        for i in 0..1024u64 {
+            c.access(i * 32);
+        }
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_beyond_capacity_always_misses() {
+        let mut c = small_cache();
+        for i in 0..64u64 {
+            assert_eq!(c.access(i * 64 * 2), AccessOutcome::Miss);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Memory-hierarchy configuration (Table 1 plus the perfect-L2 variant).
+
+use crate::cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the whole data/instruction memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Instruction L1 cache.
+    pub il1: CacheConfig,
+    /// Data L1 cache.
+    pub dl1: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles (the paper sweeps 100 / 500 / 1000).
+    pub memory_latency: u32,
+    /// Number of memory (cache) ports available to the core per cycle.
+    pub memory_ports: usize,
+    /// When set, every L2 access hits (Figure 1's "L2 Perfect" bars).
+    pub perfect_l2: bool,
+}
+
+impl MemoryConfig {
+    /// The Table 1 hierarchy with the given main-memory latency.
+    pub fn table1(memory_latency: u32) -> Self {
+        MemoryConfig {
+            il1: CacheConfig::table1_l1(),
+            dl1: CacheConfig::table1_l1(),
+            l2: CacheConfig::table1_l2(),
+            memory_latency,
+            memory_ports: 2,
+            perfect_l2: false,
+        }
+    }
+
+    /// The Table 1 hierarchy with a perfect L2 (never misses).
+    pub fn table1_perfect_l2() -> Self {
+        MemoryConfig { perfect_l2: true, ..MemoryConfig::table1(0) }
+    }
+
+    /// Sets the main-memory latency (builder style).
+    pub fn with_memory_latency(mut self, latency: u32) -> Self {
+        self.memory_latency = latency;
+        self
+    }
+
+    /// The worst-case latency of a data access under this configuration.
+    pub fn worst_case_latency(&self) -> u32 {
+        if self.perfect_l2 {
+            self.dl1.latency + self.l2.latency
+        } else {
+            self.dl1.latency + self.l2.latency + self.memory_latency
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    /// The paper's headline configuration: 1000-cycle main memory.
+    fn default() -> Self {
+        MemoryConfig::table1(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let m = MemoryConfig::table1(1000);
+        assert_eq!(m.dl1.size_bytes, 32 * 1024);
+        assert_eq!(m.dl1.ways, 4);
+        assert_eq!(m.dl1.line_bytes, 32);
+        assert_eq!(m.dl1.latency, 2);
+        assert_eq!(m.l2.size_bytes, 512 * 1024);
+        assert_eq!(m.l2.line_bytes, 64);
+        assert_eq!(m.l2.latency, 10);
+        assert_eq!(m.memory_latency, 1000);
+        assert_eq!(m.memory_ports, 2);
+        assert!(!m.perfect_l2);
+    }
+
+    #[test]
+    fn perfect_l2_has_no_memory_component() {
+        let m = MemoryConfig::table1_perfect_l2();
+        assert!(m.perfect_l2);
+        assert_eq!(m.worst_case_latency(), 12);
+    }
+
+    #[test]
+    fn default_is_the_1000_cycle_machine() {
+        assert_eq!(MemoryConfig::default(), MemoryConfig::table1(1000));
+    }
+
+    #[test]
+    fn with_memory_latency_overrides() {
+        let m = MemoryConfig::table1(1000).with_memory_latency(500);
+        assert_eq!(m.memory_latency, 500);
+        assert_eq!(m.worst_case_latency(), 512);
+    }
+}

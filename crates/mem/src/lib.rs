@@ -1,0 +1,38 @@
+//! # koc-mem
+//!
+//! Cache and main-memory hierarchy model for the *Out-of-Order Commit
+//! Processors* reproduction.
+//!
+//! The hierarchy follows Table 1 of the paper: split 32 KB 4-way L1 caches
+//! with 32-byte lines and 2-cycle latency, a unified 512 KB 4-way L2 with
+//! 64-byte lines and 10-cycle latency, and a configurable main-memory
+//! latency (100 / 500 / 1000 cycles in the evaluation). A *perfect L2* mode
+//! is provided for Figure 1's first bar.
+//!
+//! The model is a latency model: an access returns which level served it and
+//! how many cycles it took; bandwidth at the core side is modelled by the
+//! pipeline's two memory ports, and miss-level parallelism is unconstrained
+//! (outstanding misses overlap freely), matching the paper's assumption that
+//! enough in-flight instructions expose memory-level parallelism.
+//!
+//! ```
+//! use koc_mem::{MemoryConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(MemoryConfig::table1(1000));
+//! let first = mem.access_data(0x4_0000, false);
+//! let second = mem.access_data(0x4_0000, false);
+//! assert!(first.latency > second.latency); // second hits in L1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod stats;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig};
+pub use config::MemoryConfig;
+pub use hierarchy::{DataAccessResult, MemLevel, MemoryHierarchy};
+pub use stats::MemoryStats;

@@ -1,0 +1,75 @@
+//! Memory-hierarchy statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`MemoryHierarchy`](crate::MemoryHierarchy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Total data-side accesses (loads + stores).
+    pub data_accesses: u64,
+    /// Data-side accesses that were stores.
+    pub store_accesses: u64,
+    /// Data L1 hits.
+    pub dl1_hits: u64,
+    /// Data L1 misses.
+    pub dl1_misses: u64,
+    /// L2 hits (data side).
+    pub l2_hits: u64,
+    /// L2 misses (data side) — long-latency accesses.
+    pub l2_misses: u64,
+    /// Instruction-side accesses.
+    pub inst_accesses: u64,
+}
+
+impl MemoryStats {
+    /// Data L1 miss ratio (0 when there were no accesses).
+    pub fn dl1_miss_ratio(&self) -> f64 {
+        ratio(self.dl1_misses, self.dl1_hits + self.dl1_misses)
+    }
+
+    /// L2 miss ratio relative to L2 accesses.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        ratio(self.l2_misses, self.l2_hits + self.l2_misses)
+    }
+
+    /// Fraction of all data accesses that go all the way to memory.
+    pub fn memory_access_ratio(&self) -> f64 {
+        ratio(self.l2_misses, self.data_accesses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_zero_without_accesses() {
+        let s = MemoryStats::default();
+        assert_eq!(s.dl1_miss_ratio(), 0.0);
+        assert_eq!(s.l2_miss_ratio(), 0.0);
+        assert_eq!(s.memory_access_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute_fractions() {
+        let s = MemoryStats {
+            data_accesses: 100,
+            dl1_hits: 80,
+            dl1_misses: 20,
+            l2_hits: 10,
+            l2_misses: 10,
+            ..Default::default()
+        };
+        assert!((s.dl1_miss_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.l2_miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.memory_access_ratio() - 0.1).abs() < 1e-12);
+    }
+}

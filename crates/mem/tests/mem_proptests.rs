@@ -1,0 +1,73 @@
+//! Property-based tests for the cache and memory-hierarchy model.
+
+use koc_mem::{Cache, CacheConfig, MemLevel, MemoryConfig, MemoryHierarchy};
+use proptest::prelude::*;
+
+proptest! {
+    /// An LRU cache always hits on an address that was just accessed.
+    #[test]
+    fn immediate_reuse_always_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::table1_l1());
+        for a in addrs {
+            cache.access(a);
+            prop_assert!(cache.contains(a));
+            prop_assert!(cache.access(a).is_hit());
+        }
+    }
+
+    /// Hits plus misses always equals the number of accesses.
+    #[test]
+    fn hit_miss_accounting(addrs in proptest::collection::vec(0u64..1u64 << 24, 1..500)) {
+        let mut cache = Cache::new(CacheConfig::table1_l2());
+        for a in &addrs {
+            cache.access(*a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        prop_assert!(cache.miss_ratio() >= 0.0 && cache.miss_ratio() <= 1.0);
+    }
+
+    /// A working set that fits in the cache never misses after the first pass.
+    #[test]
+    fn resident_working_set_stops_missing(lines in 1u64..256) {
+        let mut cache = Cache::new(CacheConfig::table1_l1());
+        // 256 lines of 32 bytes = 8 KB, always within the 32 KB capacity.
+        for pass in 0..3 {
+            for i in 0..lines {
+                let outcome = cache.access(i * 32);
+                if pass > 0 {
+                    prop_assert!(outcome.is_hit(), "pass {pass}, line {i}");
+                }
+            }
+        }
+    }
+
+    /// The hierarchy's reported latency always matches the level that served
+    /// the access, and levels only get slower.
+    #[test]
+    fn latency_matches_level(addrs in proptest::collection::vec(0u64..1u64 << 30, 1..300), latency in 50u32..2000) {
+        let config = MemoryConfig::table1(latency);
+        let mut mem = MemoryHierarchy::new(config);
+        for a in addrs {
+            let r = mem.access_data(a, false);
+            let expected = match r.level {
+                MemLevel::L1 => config.dl1.latency,
+                MemLevel::L2 => config.dl1.latency + config.l2.latency,
+                MemLevel::Memory => config.dl1.latency + config.l2.latency + latency,
+            };
+            prop_assert_eq!(r.latency, expected);
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.dl1_hits + s.dl1_misses, s.data_accesses);
+    }
+
+    /// `would_miss_l2` is a sound predictor of the next access's level.
+    #[test]
+    fn would_miss_l2_is_consistent(addrs in proptest::collection::vec(0u64..1u64 << 26, 1..200)) {
+        let mut mem = MemoryHierarchy::new(MemoryConfig::table1(500));
+        for a in addrs {
+            let predicted_miss = mem.would_miss_l2(a);
+            let r = mem.access_data(a, false);
+            prop_assert_eq!(predicted_miss, r.level == MemLevel::Memory);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Bookkeeping for instructions between dispatch and commit.
+
+use koc_core::CheckpointId;
+use koc_isa::{ArchReg, InstId, OpKind, PhysReg};
+use koc_mem::MemLevel;
+use serde::{Deserialize, Serialize};
+
+/// The execution state of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstState {
+    /// Dispatched; waiting in an instruction queue.
+    Waiting,
+    /// Moved into the SLIQ, waiting for its triggering load.
+    InSliq,
+    /// Issued to a functional unit; completes at the recorded cycle.
+    Executing {
+        /// Cycle at which the result is produced.
+        done_cycle: u64,
+    },
+    /// Execution finished; waiting for commit.
+    Done,
+}
+
+/// One in-flight dynamic instruction instance.
+///
+/// Rollback re-execution can create a new instance of the same trace
+/// position, so each instance carries a unique `seq` number; stale
+/// completion events are matched against it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InFlight {
+    /// Trace position of the instruction.
+    pub inst: InstId,
+    /// Unique instance number (monotonic across the whole run).
+    pub seq: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Architectural destination, if any.
+    pub dest_arch: Option<ArchReg>,
+    /// Renamed destination, if any.
+    pub dest_phys: Option<PhysReg>,
+    /// Previously mapped physical register for the destination, if any.
+    pub prev_phys: Option<PhysReg>,
+    /// Renamed sources.
+    pub src_phys: Vec<PhysReg>,
+    /// Owning checkpoint (checkpointed engine) — 0 for the baseline.
+    pub ckpt: CheckpointId,
+    /// Current state.
+    pub state: InstState,
+    /// Cycle at which the instruction was dispatched.
+    pub dispatch_cycle: u64,
+    /// For loads: which level served the access (known once issued).
+    pub mem_level: Option<MemLevel>,
+    /// For branches: the predicted direction.
+    pub predicted_taken: Option<bool>,
+    /// Whether the branch was mispredicted (resolved against the trace).
+    pub mispredicted: bool,
+    /// Whether this instance raises an exception at execution.
+    pub raises_exception: bool,
+}
+
+impl InFlight {
+    /// Whether the instruction has finished executing.
+    pub fn is_done(&self) -> bool {
+        self.state == InstState::Done
+    }
+
+    /// Whether the instruction has been issued (is executing or done).
+    pub fn is_issued(&self) -> bool {
+        matches!(self.state, InstState::Executing { .. } | InstState::Done)
+    }
+
+    /// Whether the instruction still waits to issue (in an IQ or the SLIQ).
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, InstState::Waiting | InstState::InSliq)
+    }
+
+    /// Whether the instruction is a load that (so far) went to main memory.
+    pub fn is_long_latency_load(&self) -> bool {
+        self.kind == OpKind::Load && self.mem_level == Some(MemLevel::Memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inflight(state: InstState) -> InFlight {
+        InFlight {
+            inst: 0,
+            seq: 1,
+            kind: OpKind::Load,
+            dest_arch: Some(ArchReg::fp(0)),
+            dest_phys: Some(PhysReg(5)),
+            prev_phys: None,
+            src_phys: vec![],
+            ckpt: 0,
+            state,
+            dispatch_cycle: 0,
+            mem_level: None,
+            predicted_taken: None,
+            mispredicted: false,
+            raises_exception: false,
+        }
+    }
+
+    #[test]
+    fn state_predicates_are_consistent() {
+        assert!(inflight(InstState::Waiting).is_live());
+        assert!(inflight(InstState::InSliq).is_live());
+        assert!(!inflight(InstState::Done).is_live());
+        assert!(inflight(InstState::Executing { done_cycle: 5 }).is_issued());
+        assert!(inflight(InstState::Done).is_done());
+        assert!(!inflight(InstState::Waiting).is_issued());
+    }
+
+    #[test]
+    fn long_latency_requires_memory_level() {
+        let mut i = inflight(InstState::Executing { done_cycle: 100 });
+        assert!(!i.is_long_latency_load());
+        i.mem_level = Some(MemLevel::Memory);
+        assert!(i.is_long_latency_load());
+        i.mem_level = Some(MemLevel::L2);
+        assert!(!i.is_long_latency_load());
+    }
+}

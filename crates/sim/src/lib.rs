@@ -1,0 +1,41 @@
+//! # koc-sim
+//!
+//! A cycle-level, trace-driven superscalar out-of-order processor simulator
+//! with two commit engines:
+//!
+//! * the conventional **in-order ROB commit** baseline (Table 1 of the
+//!   paper), and
+//! * the paper's **checkpointed out-of-order commit** machine, built from the
+//!   mechanisms in [`koc-core`]: CAM renaming with future-free bits, a small
+//!   checkpoint table, a pseudo-ROB, and Slow Lane Instruction Queuing.
+//!
+//! ```no_run
+//! use koc_sim::{run_suite, ProcessorConfig};
+//!
+//! // The paper's headline comparison (Figure 9, rightmost group):
+//! let proposal = run_suite(ProcessorConfig::cooo(128, 2048, 1000), 30_000);
+//! let baseline4096 = run_suite(ProcessorConfig::baseline(4096, 1000), 30_000);
+//! let baseline128 = run_suite(ProcessorConfig::baseline(128, 1000), 30_000);
+//! println!(
+//!     "COoO 128/2048: {:.2} IPC vs baseline-4096 {:.2} and baseline-128 {:.2}",
+//!     proposal.mean_ipc(),
+//!     baseline4096.mean_ipc(),
+//!     baseline128.mean_ipc()
+//! );
+//! ```
+//!
+//! [`koc-core`]: https://example.org
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod inflight;
+pub mod processor;
+pub mod runner;
+pub mod stats;
+
+pub use config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterModel};
+pub use processor::Processor;
+pub use runner::{run_suite, run_trace, run_workloads, SuiteResult, WorkloadResult};
+pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallStats};

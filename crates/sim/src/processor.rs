@@ -1,0 +1,991 @@
+//! The cycle-level pipeline: fetch/rename/dispatch, issue, execute,
+//! write-back and commit, with either the conventional in-order ROB commit
+//! engine or the paper's checkpointed out-of-order commit engine.
+//!
+//! The simulator is trace driven. Branch mispredictions use a
+//! squash-and-refetch model: fetch continues past an unresolved mispredicted
+//! branch (the fetched instructions stand in for wrong-path work and occupy
+//! machine resources); when the branch resolves, younger instructions are
+//! squashed and fetch restarts after the branch — or, if the branch has
+//! already left the pseudo-ROB, the machine rolls back to the owning
+//! checkpoint and re-executes from there, which is exactly the recovery cost
+//! the paper attributes to coarse-grain checkpointing.
+
+use crate::config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterModel};
+use crate::inflight::{InFlight, InstState};
+use crate::stats::SimStats;
+use koc_core::{
+    CamRenameMap, CheckpointId, CheckpointPolicy, CheckpointTable, DependenceTracker, InstructionQueue,
+    IqEntry, LoadStoreQueue, LsqEntry, PhysRegFile, PseudoRob, PseudoRobEntry, ReorderBuffer, RetireClass,
+    RobEntry, SliqBuffer, VirtualRegisterFile,
+};
+use koc_frontend::{BranchPredictor, GsharePredictor, PerfectPredictor};
+use koc_isa::{FuClass, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
+use koc_mem::{MemLevel, MemoryHierarchy};
+use std::collections::{BTreeMap, HashSet};
+
+/// Interval (in cycles) at which the expensive live-instruction breakdown
+/// (Figure 7) is sampled.
+const LIVE_SAMPLE_INTERVAL: u64 = 32;
+
+/// Why dispatch stopped this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    IqFull,
+    RobFull,
+    LsqFull,
+    RegsFull,
+    CheckpointFull,
+}
+
+enum PredictorImpl {
+    Gshare(Box<GsharePredictor>),
+    Perfect(PerfectPredictor),
+}
+
+impl PredictorImpl {
+    fn predict_and_train(&mut self, pc: u64, taken: bool, stats: &mut koc_frontend::BranchStats) -> bool {
+        match self {
+            PredictorImpl::Gshare(p) => p.predict_and_train(pc, taken, stats),
+            PredictorImpl::Perfect(p) => p.predict_and_train(pc, taken, stats),
+        }
+    }
+}
+
+/// The commit engine: the only part of the pipeline that differs between the
+/// baseline and the proposed machine.
+enum CommitEngine {
+    Rob(ReorderBuffer),
+    Cooo {
+        table: CheckpointTable,
+        policy: CheckpointPolicy,
+        pseudo_rob: PseudoRob,
+        sliq: SliqBuffer,
+        dep: DependenceTracker,
+        sliq_triggers: HashSet<PhysReg>,
+    },
+}
+
+/// The processor: all microarchitectural state for one simulation run.
+pub struct Processor<'a> {
+    config: ProcessorConfig,
+    trace: &'a Trace,
+    cursor: TraceCursor<'a>,
+    cycle: u64,
+
+    rename: CamRenameMap,
+    regs: PhysRegFile,
+    vregs: Option<VirtualRegisterFile>,
+    int_iq: InstructionQueue,
+    fp_iq: InstructionQueue,
+    lsq: LoadStoreQueue,
+    mem: MemoryHierarchy,
+    predictor: PredictorImpl,
+    engine: CommitEngine,
+
+    inflight: BTreeMap<InstId, InFlight>,
+    next_seq: u64,
+    /// Completion events: cycle -> [(inst, seq)].
+    events: BTreeMap<u64, Vec<(InstId, u64)>>,
+    /// Fetch is stalled (misprediction redirect) until this cycle.
+    fetch_stall_until: u64,
+    /// Number of dispatched-but-not-issued instructions (incremental).
+    live_count: usize,
+    /// Exceptions already delivered (so re-execution does not re-raise).
+    handled_exceptions: HashSet<InstId>,
+    /// Take a checkpoint exactly before this instruction (precise exception
+    /// re-execution).
+    force_checkpoint_at: Option<InstId>,
+
+    stats: SimStats,
+}
+
+impl<'a> Processor<'a> {
+    /// Builds a processor for one run over `trace`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`ProcessorConfig::validate`].
+    pub fn new(config: ProcessorConfig, trace: &'a Trace) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid processor configuration: {e}");
+        }
+        let rename_pool = config.registers.rename_pool_size();
+        let vregs = match config.registers {
+            RegisterModel::Conventional { .. } => None,
+            RegisterModel::Virtual { virtual_tags, phys_regs } => {
+                Some(VirtualRegisterFile::new(virtual_tags, phys_regs))
+            }
+        };
+        let predictor = match config.predictor {
+            BranchPredictorKind::Gshare16k => PredictorImpl::Gshare(Box::new(GsharePredictor::table1())),
+            BranchPredictorKind::Perfect => PredictorImpl::Perfect(PerfectPredictor::new()),
+        };
+        let engine = match config.commit {
+            CommitConfig::InOrderRob { rob_size } => CommitEngine::Rob(ReorderBuffer::new(rob_size)),
+            CommitConfig::Checkpointed { checkpoint_entries, pseudo_rob_size, sliq, policy } => {
+                CommitEngine::Cooo {
+                    table: CheckpointTable::new(checkpoint_entries),
+                    policy,
+                    pseudo_rob: PseudoRob::new(pseudo_rob_size),
+                    sliq: SliqBuffer::new(sliq),
+                    dep: DependenceTracker::new(),
+                    sliq_triggers: HashSet::new(),
+                }
+            }
+        };
+        Processor {
+            cursor: trace.cursor(),
+            trace,
+            cycle: 0,
+            rename: CamRenameMap::new(rename_pool),
+            regs: PhysRegFile::new(rename_pool),
+            vregs,
+            int_iq: InstructionQueue::new(config.iq_size),
+            fp_iq: InstructionQueue::new(config.iq_size),
+            lsq: LoadStoreQueue::new(config.lsq_size),
+            mem: MemoryHierarchy::new(config.memory),
+            predictor,
+            engine,
+            inflight: BTreeMap::new(),
+            next_seq: 0,
+            events: BTreeMap::new(),
+            fetch_stall_until: 0,
+            live_count: 0,
+            handled_exceptions: HashSet::new(),
+            force_checkpoint_at: None,
+            stats: SimStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this processor was built with.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Whether the run is complete: the whole trace has been fetched,
+    /// executed and committed.
+    pub fn is_done(&self) -> bool {
+        let engine_empty = match &self.engine {
+            CommitEngine::Rob(rob) => rob.is_empty(),
+            CommitEngine::Cooo { table, .. } => table.is_empty(),
+        };
+        self.cursor.at_end() && self.inflight.is_empty() && engine_empty
+    }
+
+    /// Runs until completion and returns the statistics.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn run(mut self) -> SimStats {
+        let bound = self.cycle_bound();
+        while !self.is_done() {
+            self.step();
+            assert!(
+                self.cycle < bound,
+                "simulation exceeded {bound} cycles: likely pipeline deadlock ({} of {} committed)",
+                self.stats.committed_instructions,
+                self.trace.len()
+            );
+        }
+        self.finalize();
+        self.stats
+    }
+
+    fn cycle_bound(&self) -> u64 {
+        let worst_inst = self.config.memory.worst_case_latency() as u64 + 64;
+        1_000_000 + self.trace.len() as u64 * worst_inst
+    }
+
+    fn finalize(&mut self) {
+        self.stats.memory = *self.mem.stats();
+        if let CommitEngine::Cooo { sliq, .. } = &self.engine {
+            self.stats.sliq_moved = sliq.total_moved();
+            self.stats.sliq_high_water = sliq.high_water();
+        }
+        debug_assert_eq!(
+            self.stats.committed_instructions as usize,
+            self.trace.len(),
+            "every trace instruction must commit exactly once"
+        );
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.writeback_stage();
+        self.commit_stage();
+        self.sliq_stage();
+        self.issue_stage();
+        self.frontend_stage();
+        self.sample_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Write-back
+    // ------------------------------------------------------------------
+
+    fn writeback_stage(&mut self) {
+        let Some(finished) = self.events.remove(&self.cycle) else { return };
+        for (inst, seq) in finished {
+            let Some(fl) = self.inflight.get(&inst) else { continue };
+            if fl.seq != seq || fl.is_done() {
+                continue;
+            }
+            // Exceptions are delivered at completion.
+            if fl.raises_exception && !self.handled_exceptions.contains(&inst) {
+                let squashed = self.handle_exception(inst);
+                if squashed {
+                    continue;
+                }
+            }
+            // Ephemeral/virtual registers: a physical register is allocated
+            // late, at write-back, and the register holding the superseded
+            // value of the same logical register is recycled early, at the
+            // same moment (the ephemeral-registers scheme of [19]/[9]). If no
+            // physical register is free the write-back retries next cycle.
+            if let Some(f) = self.inflight.get(&inst) {
+                if f.dest_phys.is_some() {
+                    let has_prev = f.prev_phys.is_some();
+                    if let Some(v) = &mut self.vregs {
+                        if has_prev {
+                            v.try_release_physical();
+                        }
+                        if !v.acquire_physical() {
+                            self.events.entry(self.cycle + 1).or_default().push((inst, seq));
+                            continue;
+                        }
+                    }
+                }
+            }
+            let Some(fl) = self.inflight.get_mut(&inst) else { continue };
+            fl.state = InstState::Done;
+            let dest_phys = fl.dest_phys;
+            let dest_arch = fl.dest_arch;
+            let ckpt = fl.ckpt;
+            let kind = fl.kind;
+            let mispredicted = fl.mispredicted;
+            if let Some(p) = dest_phys {
+                self.regs.set_ready(p);
+                self.int_iq.wakeup(p);
+                self.fp_iq.wakeup(p);
+            }
+            match &mut self.engine {
+                CommitEngine::Rob(rob) => rob.mark_finished(inst),
+                CommitEngine::Cooo { table, sliq, sliq_triggers, dep, .. } => {
+                    table.on_complete(ckpt);
+                    if let Some(p) = dest_phys {
+                        if sliq_triggers.remove(&p) {
+                            sliq.on_trigger_ready(p, self.cycle);
+                        }
+                        if kind == OpKind::Load {
+                            if let Some(a) = dest_arch {
+                                dep.clear_if_trigger(a, p);
+                            }
+                        }
+                    }
+                }
+            }
+            if kind == OpKind::Branch && mispredicted {
+                self.recover_mispredicted_branch(inst);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        match &mut self.engine {
+            CommitEngine::Rob(_) => self.commit_rob(),
+            CommitEngine::Cooo { .. } => self.commit_checkpoint(),
+        }
+    }
+
+    fn commit_rob(&mut self) {
+        let CommitEngine::Rob(rob) = &mut self.engine else { unreachable!() };
+        let committed = rob.commit(self.config.commit_width);
+        if committed.is_empty() {
+            return;
+        }
+        let mut frontier = 0;
+        for e in &committed {
+            if let Some((_, _, Some(prev))) = e.rename {
+                self.regs.free(prev);
+            }
+            self.inflight.remove(&e.inst);
+            frontier = e.inst + 1;
+        }
+        self.stats.committed_instructions += committed.len() as u64;
+        self.drain_stores(frontier);
+    }
+
+    fn commit_checkpoint(&mut self) {
+        let trace_done = self.cursor.at_end();
+        let CommitEngine::Cooo { table, .. } = &mut self.engine else { unreachable!() };
+        if !table.can_commit_oldest(trace_done) {
+            return;
+        }
+        let committed = table.commit_oldest();
+        let frontier = table.oldest().map(|c| c.trace_index).unwrap_or_else(|| self.cursor.position());
+        self.stats.checkpoints_committed += 1;
+        self.stats.committed_instructions += committed.total_insts as u64;
+        for p in &committed.free_on_commit {
+            self.regs.free(*p);
+        }
+        let id = committed.id;
+        self.inflight.retain(|_, fl| fl.ckpt != id);
+        self.drain_stores(frontier);
+    }
+
+    fn drain_stores(&mut self, frontier: InstId) {
+        let drained = self.lsq.release_older_than(frontier);
+        for s in drained {
+            self.mem.access_data(s.addr, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SLIQ wake-up
+    // ------------------------------------------------------------------
+
+    fn sliq_stage(&mut self) {
+        let CommitEngine::Cooo { sliq, .. } = &mut self.engine else { return };
+        // Wake-ups are never blocked by queue occupancy: a re-inserted
+        // instruction may transiently push a queue above its capacity
+        // (bounded by the wake width). Blocking here can create a circular
+        // wait — the queue would only drain once instructions still parked in
+        // the SLIQ execute — so the overshoot is the documented modelling
+        // choice (DESIGN.md).
+        let woken = sliq.step(self.cycle, usize::MAX, usize::MAX);
+        for entry in woken {
+            let inst = entry.inst;
+            let queue = if entry.fu == FuClass::Fp { &mut self.fp_iq } else { &mut self.int_iq };
+            let regs = &self.regs;
+            queue.insert_unbounded(entry, |p| regs.is_ready(p));
+            if let Some(fl) = self.inflight.get_mut(&inst) {
+                fl.state = InstState::Waiting;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let mut fu = [
+            self.config.int_alu_units,
+            self.config.int_mul_units,
+            self.config.fp_units,
+            self.config.mem_ports,
+        ];
+        let budget = self.config.issue_width;
+        // Alternate which queue gets first pick to avoid starving either.
+        let int_first = self.cycle % 2 == 0;
+        let mut picked = Vec::with_capacity(budget);
+        if int_first {
+            picked.extend(self.int_iq.select_ready(&mut fu, budget));
+            let left = budget - picked.len();
+            picked.extend(self.fp_iq.select_ready(&mut fu, left));
+        } else {
+            picked.extend(self.fp_iq.select_ready(&mut fu, budget));
+            let left = budget - picked.len();
+            picked.extend(self.int_iq.select_ready(&mut fu, left));
+        }
+        for entry in picked {
+            self.begin_execution(entry.inst);
+        }
+    }
+
+    fn begin_execution(&mut self, inst: InstId) {
+        let trace_inst = &self.trace[inst];
+        let (latency, level) = match trace_inst.kind {
+            OpKind::Load => {
+                let access = self.mem.access_data(trace_inst.mem.expect("load has address").addr, false);
+                (access.latency, Some(access.level))
+            }
+            OpKind::Store => (1, None),
+            kind => (kind.latency().latency, None),
+        };
+        let fl = self.inflight.get_mut(&inst).expect("issued instruction is in flight");
+        debug_assert!(fl.is_live(), "issuing an instruction that is not waiting");
+        let done = self.cycle + latency as u64;
+        fl.state = InstState::Executing { done_cycle: done };
+        fl.mem_level = level;
+        self.live_count = self.live_count.saturating_sub(1);
+        self.events.entry(done).or_default().push((inst, fl.seq));
+    }
+
+    // ------------------------------------------------------------------
+    // Frontend: pseudo-ROB retirement, rename/dispatch, fetch
+    // ------------------------------------------------------------------
+
+    fn frontend_stage(&mut self) {
+        // Drain the pseudo-ROB when fetch has finished so classification and
+        // SLIQ moves keep happening for the tail of the trace.
+        if self.cursor.at_end() {
+            self.retire_from_pseudo_rob(self.config.fetch_width);
+        }
+        if self.cycle < self.fetch_stall_until {
+            self.stats.stalls.redirect += 1;
+            return;
+        }
+        let mut dispatched = 0;
+        while dispatched < self.config.fetch_width {
+            let Some((id, inst)) = self.cursor.peek() else { break };
+            match self.try_dispatch(id, inst) {
+                Ok(()) => {
+                    self.cursor.next_inst();
+                    dispatched += 1;
+                    // A taken branch ends the fetch group.
+                    if inst.is_branch() && inst.branch.map(|b| b.taken).unwrap_or(false) {
+                        break;
+                    }
+                }
+                Err(reason) => {
+                    self.record_stall(reason);
+                    if reason == StallReason::IqFull {
+                        // Make forward progress by classifying (and possibly
+                        // moving to the SLIQ) the oldest pseudo-ROB entries.
+                        self.retire_from_pseudo_rob(self.config.fetch_width);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn record_stall(&mut self, reason: StallReason) {
+        match reason {
+            StallReason::IqFull => self.stats.stalls.iq_full += 1,
+            StallReason::RobFull => self.stats.stalls.rob_full += 1,
+            StallReason::LsqFull => self.stats.stalls.lsq_full += 1,
+            StallReason::RegsFull => self.stats.stalls.regs_full += 1,
+            StallReason::CheckpointFull => self.stats.stalls.checkpoint_full += 1,
+        }
+    }
+
+    fn target_queue_is(&self, inst: &Instruction) -> bool {
+        // true => FP queue, false => integer queue (loads/stores/branches and
+        // integer arithmetic use the integer queue).
+        inst.kind.is_fp()
+    }
+
+    fn try_dispatch(&mut self, id: InstId, inst: &Instruction) -> Result<(), StallReason> {
+        // --- Resource checks (no allocation yet) -------------------------
+        let needs_fp_queue = self.target_queue_is(inst);
+        let queue_has_space =
+            if needs_fp_queue { self.fp_iq.has_space() } else { self.int_iq.has_space() };
+        if !queue_has_space {
+            return Err(StallReason::IqFull);
+        }
+        if inst.kind.is_memory() && !self.lsq.has_space() {
+            return Err(StallReason::LsqFull);
+        }
+        if inst.dest.is_some() && self.regs.free_count() == 0 {
+            return Err(StallReason::RegsFull);
+        }
+        match &self.engine {
+            CommitEngine::Rob(rob) => {
+                if !rob.has_space() {
+                    return Err(StallReason::RobFull);
+                }
+            }
+            CommitEngine::Cooo { .. } => {}
+        }
+
+        // --- Checkpoint policy (checkpointed engine only) -----------------
+        let mut take_checkpoint = false;
+        if let CommitEngine::Cooo { table, policy, .. } = &self.engine {
+            let forced_here = self.force_checkpoint_at == Some(id);
+            let wants_checkpoint = table.is_empty()
+                || forced_here
+                || table
+                    .newest()
+                    .map(|n| policy.should_take(n.total_insts, n.stores, inst.is_branch()))
+                    .unwrap_or(true);
+            if wants_checkpoint {
+                if !table.is_full() {
+                    take_checkpoint = true;
+                } else {
+                    // Keep extending the youngest window, unless the store
+                    // bound would risk exhausting the LSQ.
+                    let stores = table.newest().map(|n| n.stores).unwrap_or(0);
+                    if stores >= policy.force_after_stores.saturating_mul(2) {
+                        return Err(StallReason::CheckpointFull);
+                    }
+                }
+            }
+        }
+        if take_checkpoint {
+            let (snapshot, freed) = self.rename.take_checkpoint(&self.regs);
+            let CommitEngine::Cooo { table, .. } = &mut self.engine else { unreachable!() };
+            table.take(id, snapshot, freed).expect("table was not full");
+            self.stats.checkpoints_taken += 1;
+            if self.force_checkpoint_at == Some(id) {
+                self.force_checkpoint_at = None;
+            }
+        }
+
+        // --- Rename -------------------------------------------------------
+        let src_phys: Vec<PhysReg> = inst.sources().filter_map(|s| self.rename.lookup(s)).collect();
+        let renamed = match inst.dest {
+            Some(dest) => {
+                Some(self.rename.rename_dest(dest, &mut self.regs).expect("free register was checked"))
+            }
+            None => None,
+        };
+        let dest_phys = renamed.map(|r| r.new_phys);
+        let prev_phys = renamed.and_then(|r| r.prev_phys);
+
+        // --- Branch prediction ---------------------------------------------
+        let (predicted, mispredicted) = if let Some(b) = inst.branch {
+            if b.unconditional {
+                (Some(true), false)
+            } else {
+                let correct = self.predictor.predict_and_train(inst.pc, b.taken, &mut self.stats.branches);
+                (Some(if correct { b.taken } else { !b.taken }), !correct)
+            }
+        } else {
+            (None, false)
+        };
+
+        // --- Structure allocation ------------------------------------------
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(mem) = inst.mem {
+            self.lsq
+                .allocate(LsqEntry { inst: id, is_store: inst.is_store(), addr: mem.addr })
+                .expect("LSQ space was checked");
+        }
+        let ckpt: CheckpointId = match &mut self.engine {
+            CommitEngine::Rob(rob) => {
+                rob.push(RobEntry {
+                    inst: id,
+                    finished: false,
+                    rename: inst.dest.map(|d| (d, dest_phys.expect("dest renamed"), prev_phys)),
+                    is_store: inst.is_store(),
+                    is_branch: inst.is_branch(),
+                    ckpt: 0,
+                })
+                .expect("ROB space was checked");
+                0
+            }
+            CommitEngine::Cooo { table, .. } => table.on_dispatch(inst.is_store()),
+        };
+        let iq_entry = IqEntry {
+            inst: id,
+            dest: dest_phys,
+            srcs: src_phys.clone(),
+            fu: inst.kind.fu_class(),
+            ckpt,
+        };
+        {
+            let regs = &self.regs;
+            let queue = if needs_fp_queue { &mut self.fp_iq } else { &mut self.int_iq };
+            queue.insert(iq_entry, |p| regs.is_ready(p)).expect("queue space was checked");
+        }
+        let retired = match &mut self.engine {
+            CommitEngine::Cooo { pseudo_rob, .. } => pseudo_rob.push(PseudoRobEntry {
+                inst: id,
+                ckpt,
+                rename: inst.dest.map(|d| (d, dest_phys.expect("dest renamed"), prev_phys)),
+                is_store: inst.is_store(),
+                is_branch: inst.is_branch(),
+            }),
+            CommitEngine::Rob(_) => None,
+        };
+        if let Some(entry) = retired {
+            self.classify_retired(entry);
+        }
+        self.inflight.insert(
+            id,
+            InFlight {
+                inst: id,
+                seq,
+                kind: inst.kind,
+                dest_arch: inst.dest,
+                dest_phys,
+                prev_phys,
+                src_phys,
+                ckpt,
+                state: InstState::Waiting,
+                dispatch_cycle: self.cycle,
+                mem_level: None,
+                predicted_taken: predicted,
+                mispredicted,
+                raises_exception: inst.raises_exception && !self.handled_exceptions.contains(&id),
+            },
+        );
+        self.live_count += 1;
+        self.stats.dispatched_instructions += 1;
+        Ok(())
+    }
+
+    /// Extracts up to `budget` oldest entries from the pseudo-ROB and
+    /// classifies them (Figure 12 / SLIQ move decision). Used when dispatch
+    /// is stalled on a full instruction queue and when draining at the end of
+    /// the trace; the common path extracts through [`PseudoRob::push`].
+    fn retire_from_pseudo_rob(&mut self, budget: usize) {
+        for _ in 0..budget {
+            let CommitEngine::Cooo { pseudo_rob, .. } = &mut self.engine else { return };
+            let Some(entry) = pseudo_rob.pop_oldest() else { return };
+            self.classify_retired(entry);
+        }
+    }
+
+    fn classify_retired(&mut self, entry: PseudoRobEntry) {
+        let trace_inst = &self.trace[entry.inst];
+        let CommitEngine::Cooo { dep, sliq, sliq_triggers, .. } = &mut self.engine else { return };
+        // Update the dependence mask with this instruction regardless of its
+        // class: independent redefinitions kill dependences.
+        let trigger = dep.classify(trace_inst);
+        let fl = self.inflight.get(&entry.inst);
+        let class = if entry.is_store {
+            RetireClass::Store
+        } else if trace_inst.kind == OpKind::Load {
+            match fl {
+                Some(fl) if fl.is_done() => RetireClass::FinishedLoad,
+                Some(fl) if fl.is_issued() && fl.mem_level != Some(MemLevel::Memory) => {
+                    RetireClass::FinishedLoad
+                }
+                None => RetireClass::FinishedLoad,
+                Some(fl) => {
+                    // Still outstanding: the paper treats it as long latency.
+                    if let (Some(dest), Some(phys)) = (trace_inst.dest, fl.dest_phys) {
+                        dep.add_long_latency_load(dest, phys);
+                        sliq_triggers.insert(phys);
+                    }
+                    RetireClass::LongLatLoad
+                }
+            }
+        } else {
+            match fl {
+                Some(fl) if fl.is_done() => RetireClass::Finished,
+                None => RetireClass::Finished,
+                Some(fl) => {
+                    if trigger.is_some() && !fl.is_issued() {
+                        RetireClass::ShortLat // provisional; upgraded to Moved below
+                    } else {
+                        RetireClass::ShortLat
+                    }
+                }
+            }
+        };
+        // Move still-waiting dependent instructions (of any kind except the
+        // triggering loads themselves) from the IQ into the SLIQ. If the
+        // triggering register has already been produced, the instruction will
+        // issue shortly, so it stays in the queue (and moving it would leave
+        // it stranded: its wake-up event has already fired).
+        let mut final_class = class;
+        if class != RetireClass::LongLatLoad {
+            if let (Some(trigger), Some(fl)) = (trigger, self.inflight.get_mut(&entry.inst)) {
+                if fl.state == InstState::Waiting && !self.regs.is_ready(trigger) && sliq.has_space() {
+                    let queue =
+                        if trace_inst.kind.is_fp() { &mut self.fp_iq } else { &mut self.int_iq };
+                    if let Some(iq_entry) = queue.remove(entry.inst) {
+                        if sliq.insert(iq_entry, trigger) {
+                            fl.state = InstState::InSliq;
+                            sliq_triggers.insert(trigger);
+                            if !entry.is_store && trace_inst.kind != OpKind::Load {
+                                final_class = RetireClass::Moved;
+                            }
+                        } else {
+                            unreachable!("space was checked");
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.retire_breakdown.record(final_class);
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    fn recover_mispredicted_branch(&mut self, branch: InstId) {
+        match &self.engine {
+            CommitEngine::Rob(_) => {
+                self.stats.recoveries.near_recoveries += 1;
+                self.squash_younger_walkback(branch);
+            }
+            CommitEngine::Cooo { pseudo_rob, .. } => {
+                if pseudo_rob.contains(branch) {
+                    self.stats.recoveries.near_recoveries += 1;
+                    self.squash_younger_walkback(branch);
+                } else {
+                    self.stats.recoveries.checkpoint_rollbacks += 1;
+                    let ckpt = self.inflight[&branch].ckpt;
+                    self.rollback_to_checkpoint(ckpt);
+                }
+            }
+        }
+        self.fetch_stall_until = self.cycle + self.config.mispredict_penalty as u64;
+    }
+
+    /// Delivers an exception raised by `inst`. Returns `true` if the
+    /// excepting instruction itself was squashed (checkpointed engine, which
+    /// re-executes it from the checkpoint) and `false` if it survives and
+    /// should complete normally (baseline, which squashes only younger work).
+    fn handle_exception(&mut self, inst: InstId) -> bool {
+        self.handled_exceptions.insert(inst);
+        self.stats.recoveries.exceptions += 1;
+        self.fetch_stall_until = self.cycle + self.config.mispredict_penalty as u64;
+        match &self.engine {
+            CommitEngine::Rob(_) => {
+                // The baseline delivers the exception precisely by squashing
+                // everything younger; the excepting instruction completes.
+                self.squash_younger_walkback(inst);
+                false
+            }
+            CommitEngine::Cooo { .. } => {
+                // Roll back to the owning checkpoint and re-execute in
+                // "strict" mode: a checkpoint is forced right at the
+                // excepting instruction so the architectural state there is
+                // precise.
+                let ckpt = self.inflight[&inst].ckpt;
+                self.force_checkpoint_at = Some(inst);
+                self.rollback_to_checkpoint(ckpt);
+                true
+            }
+        }
+    }
+
+    /// Squashes everything younger than `boundary` (exclusive) by walking the
+    /// rename undo records (baseline ROB or pseudo-ROB), and rewinds fetch to
+    /// just after `boundary`.
+    fn squash_younger_walkback(&mut self, boundary: InstId) {
+        // Collect undo records, youngest first.
+        let undo: Vec<(InstId, Option<(koc_isa::ArchReg, PhysReg, Option<PhysReg>)>)> = match &mut self.engine
+        {
+            CommitEngine::Rob(rob) => {
+                rob.squash_younger_than(boundary).into_iter().map(|e| (e.inst, e.rename)).collect()
+            }
+            CommitEngine::Cooo { pseudo_rob, .. } => pseudo_rob
+                .squash_younger_than(boundary)
+                .into_iter()
+                .map(|e| (e.inst, e.rename))
+                .collect(),
+        };
+        for (inst, rename) in &undo {
+            if let Some((arch, newp, prevp)) = rename {
+                self.rename.undo_rename(*arch, *newp, *prevp, &mut self.regs);
+            }
+            self.forget_inflight(*inst);
+        }
+        // Any instruction younger than `boundary` that was dispatched while
+        // the boundary instruction had already left the pseudo-ROB cannot
+        // exist (FIFO order), so the undo set is complete.
+        self.int_iq.squash_from(boundary + 1);
+        self.fp_iq.squash_from(boundary + 1);
+        self.lsq.squash_from(boundary + 1);
+        if let CommitEngine::Cooo { sliq, table, .. } = &mut self.engine {
+            sliq.squash_from(boundary + 1);
+            table.drop_taken_at_or_after(boundary + 1);
+        }
+        // Registers that became valid mappings again must not be freed by an
+        // older checkpoint's commit.
+        if let CommitEngine::Cooo { table, .. } = &mut self.engine {
+            let rename = &self.rename;
+            table.retain_free_on_commit(|p| !rename.is_valid(p));
+        }
+        self.stats.recoveries.squashed_instructions += undo.len() as u64;
+        self.requeue_after_squash(boundary + 1);
+    }
+
+    /// Rolls back to checkpoint `ckpt`: restores the rename snapshot, drops
+    /// younger checkpoints, squashes every instruction from the checkpoint's
+    /// trace position onwards and rewinds fetch there.
+    fn rollback_to_checkpoint(&mut self, ckpt: CheckpointId) {
+        let CommitEngine::Cooo { table, pseudo_rob, sliq, dep, .. } = &mut self.engine else {
+            unreachable!("checkpoint rollback requires the checkpointed engine")
+        };
+        let (snapshot, trace_index) = table.rollback_to(ckpt);
+        self.rename.restore(&snapshot, &mut self.regs);
+        pseudo_rob.squash_from(trace_index);
+        sliq.squash_from(trace_index);
+        dep.reset();
+        self.int_iq.squash_from(trace_index);
+        self.fp_iq.squash_from(trace_index);
+        self.lsq.squash_from(trace_index);
+        // Remove squashed in-flight instances. Their registers come back via
+        // the restored free list, not via explicit frees.
+        let doomed: Vec<InstId> = self.inflight.range(trace_index..).map(|(&k, _)| k).collect();
+        let mut squashed = 0u64;
+        for inst in doomed {
+            if let Some(fl) = self.inflight.remove(&inst) {
+                if fl.is_live() {
+                    self.live_count = self.live_count.saturating_sub(1);
+                }
+                squashed += 1;
+            }
+        }
+        self.stats.recoveries.squashed_instructions += squashed;
+        self.stats.recoveries.reexecuted_instructions +=
+            self.cursor.position().saturating_sub(trace_index) as u64;
+        self.cursor.rewind_to(trace_index);
+    }
+
+    /// Removes a squashed instruction's in-flight record and releases its
+    /// bookkeeping (pending counters, live count).
+    fn forget_inflight(&mut self, inst: InstId) {
+        if let Some(fl) = self.inflight.remove(&inst) {
+            if fl.is_live() {
+                self.live_count = self.live_count.saturating_sub(1);
+            }
+            if let CommitEngine::Cooo { table, .. } = &mut self.engine {
+                table.on_squash(fl.ckpt, !fl.is_done());
+            }
+        }
+    }
+
+    /// Rewinds the trace cursor so fetch restarts at `target`.
+    fn requeue_after_squash(&mut self, target: InstId) {
+        if target < self.cursor.position() {
+            self.cursor.rewind_to(target);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics sampling
+    // ------------------------------------------------------------------
+
+    fn sample_stats(&mut self) {
+        self.stats.inflight.record(self.inflight.len());
+        self.stats.live.record(self.live_count);
+        if self.cycle % LIVE_SAMPLE_INTERVAL == 0 {
+            self.sample_live_breakdown();
+        }
+    }
+
+    /// Splits the live (not yet issued) instructions into blocked-long and
+    /// blocked-short, following Figure 7's definition: blocked-long means the
+    /// instruction is a load that missed in L2 or (transitively) depends on
+    /// one.
+    fn sample_live_breakdown(&mut self) {
+        let mut long_regs: HashSet<PhysReg> = HashSet::new();
+        for fl in self.inflight.values() {
+            if fl.is_long_latency_load() && !fl.is_done() {
+                if let Some(p) = fl.dest_phys {
+                    long_regs.insert(p);
+                }
+            }
+        }
+        let mut long = 0usize;
+        let mut short = 0usize;
+        for fl in self.inflight.values() {
+            if !fl.is_live() {
+                continue;
+            }
+            let blocked_long = fl.src_phys.iter().any(|p| long_regs.contains(p));
+            if blocked_long {
+                long += 1;
+                if let Some(p) = fl.dest_phys {
+                    long_regs.insert(p);
+                }
+            } else {
+                short += 1;
+            }
+        }
+        self.stats.live_long.record(long);
+        self.stats.live_short.record(short);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessorConfig;
+    use koc_isa::{ArchReg, TraceBuilder};
+
+    fn tiny_independent_trace(n: usize) -> Trace {
+        let mut b = TraceBuilder::named("tiny");
+        for i in 0..n {
+            b.int_alu(ArchReg::int((i % 8) as u8 + 1), &[]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn baseline_commits_every_instruction() {
+        let trace = tiny_independent_trace(100);
+        let stats = Processor::new(ProcessorConfig::baseline(128, 100), &trace).run();
+        assert_eq!(stats.committed_instructions, 100);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.5);
+    }
+
+    #[test]
+    fn cooo_commits_every_instruction() {
+        let trace = tiny_independent_trace(100);
+        let stats = Processor::new(ProcessorConfig::cooo(32, 512, 100), &trace).run();
+        assert_eq!(stats.committed_instructions, 100);
+        assert!(stats.checkpoints_taken >= 1);
+        assert_eq!(stats.checkpoints_taken, stats.checkpoints_committed);
+    }
+
+    #[test]
+    fn independent_alu_instructions_approach_the_issue_width() {
+        let trace = tiny_independent_trace(2000);
+        let stats = Processor::new(ProcessorConfig::baseline(256, 100), &trace).run();
+        // 4-wide machine, 4 integer ALUs, no memory: IPC should be close to 4.
+        assert!(stats.ipc() > 2.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn a_dependent_chain_is_serialized() {
+        let mut b = TraceBuilder::named("chain");
+        let r = ArchReg::fp(1);
+        b.fp_alu(r, &[]);
+        for _ in 0..499 {
+            b.fp_alu(r, &[r]);
+        }
+        let trace = b.finish();
+        let stats = Processor::new(ProcessorConfig::baseline(128, 100), &trace).run();
+        // FP latency 2, fully serial: at least ~2 cycles per instruction.
+        assert!(stats.ipc() < 0.7, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn loads_that_miss_stall_a_small_window_machine() {
+        let mut b = TraceBuilder::named("misses");
+        let base = ArchReg::int(1);
+        for i in 0..200u64 {
+            b.load(ArchReg::fp((i % 24) as u8), base, 0x100_0000 + i * 4096);
+            b.fp_alu(ArchReg::fp(((i % 24) + 1) as u8 % 28), &[ArchReg::fp((i % 24) as u8)]);
+        }
+        let trace = b.finish();
+        let small = Processor::new(ProcessorConfig::baseline(32, 500), &trace).run();
+        let big = Processor::new(ProcessorConfig::baseline(1024, 500), &trace).run();
+        assert!(
+            big.ipc() > small.ipc() * 1.5,
+            "large window should overlap misses: small={} big={}",
+            small.ipc(),
+            big.ipc()
+        );
+    }
+
+    #[test]
+    fn stats_invariants_hold() {
+        let trace = tiny_independent_trace(300);
+        let stats = Processor::new(ProcessorConfig::cooo(32, 512, 100), &trace).run();
+        assert_eq!(stats.committed_instructions, 300);
+        assert!(stats.dispatched_instructions >= stats.committed_instructions);
+        assert!(stats.inflight.count() as u64 == stats.cycles);
+    }
+}

@@ -1,0 +1,92 @@
+//! Convenience entry points: run one configuration over one workload or over
+//! the whole SPEC2000fp-like suite, as the paper's experiments do.
+
+use crate::config::ProcessorConfig;
+use crate::processor::Processor;
+use crate::stats::SimStats;
+use koc_isa::Trace;
+use koc_workloads::{spec2000fp_like_suite, suite::suite_average, Workload};
+
+/// Runs `config` over `trace` to completion and returns the statistics.
+pub fn run_trace(config: ProcessorConfig, trace: &Trace) -> SimStats {
+    Processor::new(config, trace).run()
+}
+
+/// The result of running one configuration over one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The workload's suite name.
+    pub workload: String,
+    /// Full statistics for the run.
+    pub stats: SimStats,
+}
+
+/// The result of running one configuration over the whole suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Per-workload results, in suite order.
+    pub per_workload: Vec<WorkloadResult>,
+}
+
+impl SuiteResult {
+    /// The suite-average IPC — the reduction every figure of the paper
+    /// reports.
+    pub fn mean_ipc(&self) -> f64 {
+        suite_average(&self.per_workload.iter().map(|r| r.stats.ipc()).collect::<Vec<_>>())
+    }
+
+    /// The suite-average number of in-flight instructions (Figure 11).
+    pub fn mean_inflight(&self) -> f64 {
+        suite_average(&self.per_workload.iter().map(|r| r.stats.avg_inflight()).collect::<Vec<_>>())
+    }
+
+    /// Per-workload IPC values, in suite order.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.per_workload.iter().map(|r| r.stats.ipc()).collect()
+    }
+}
+
+/// Runs `config` over an already-generated set of workloads.
+pub fn run_workloads(config: ProcessorConfig, workloads: &[Workload]) -> SuiteResult {
+    let per_workload = workloads
+        .iter()
+        .map(|w| WorkloadResult { workload: w.name.clone(), stats: run_trace(config, &w.trace) })
+        .collect();
+    SuiteResult { per_workload }
+}
+
+/// Generates the SPEC2000fp-like suite at the given trace length and runs
+/// `config` over it.
+pub fn run_suite(config: ProcessorConfig, trace_len: usize) -> SuiteResult {
+    let workloads = spec2000fp_like_suite(trace_len);
+    run_workloads(config, &workloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessorConfig;
+    use koc_workloads::kernels;
+
+    #[test]
+    fn run_trace_completes_a_small_kernel() {
+        let w = Workload::generate("stream_add", kernels::stream_add(), 2_000);
+        let stats = run_trace(ProcessorConfig::baseline(128, 100), &w.trace);
+        assert_eq!(stats.committed_instructions as usize, w.trace.len());
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn suite_result_averages_per_workload_ipc() {
+        let workloads = vec![
+            Workload::generate("stream_add", kernels::stream_add(), 1_000),
+            Workload::generate("dense_blocked", kernels::dense_blocked(), 1_000),
+        ];
+        let result = run_workloads(ProcessorConfig::baseline(256, 100), &workloads);
+        assert_eq!(result.per_workload.len(), 2);
+        let mean = result.mean_ipc();
+        let ipcs = result.ipcs();
+        assert!(mean > 0.0);
+        assert!((mean - (ipcs[0] + ipcs[1]) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation statistics: everything the paper's figures report.
+
+use koc_core::RetireClass;
+use koc_frontend::BranchStats;
+use koc_mem::MemoryStats;
+use serde::{Deserialize, Serialize};
+
+/// A streaming distribution of per-cycle samples with percentile queries
+/// (used for Figure 7's live-instruction distribution and Figure 11's
+/// in-flight counts).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Distribution {
+    samples: Vec<u32>,
+    sum: u64,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-cycle sample.
+    pub fn record(&mut self, value: usize) {
+        self.samples.push(value as u32);
+        self.sum += value as u64;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// The maximum sample (0 if empty).
+    pub fn max(&self) -> usize {
+        self.samples.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of the samples, 0 if empty.
+    pub fn percentile(&self, p: f64) -> usize {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank] as usize
+    }
+
+    /// The percentiles reported by Figure 7: 10 / 25 / 50 / 75 / 90.
+    pub fn figure7_percentiles(&self) -> [usize; 5] {
+        [
+            self.percentile(0.10),
+            self.percentile(0.25),
+            self.percentile(0.50),
+            self.percentile(0.75),
+            self.percentile(0.90),
+        ]
+    }
+}
+
+/// Counters for the pseudo-ROB retirement breakdown (Figure 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetireBreakdown {
+    counts: [u64; RetireClass::COUNT],
+}
+
+impl RetireBreakdown {
+    /// Records one retirement of the given class.
+    pub fn record(&mut self, class: RetireClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Count for a class.
+    pub fn count(&self, class: RetireClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total retirements recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of retirements in the given class (0 if none recorded).
+    pub fn fraction(&self, class: RetireClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+}
+
+/// Recovery-event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Mispredicted branches recovered inside the pseudo-ROB (or via the ROB
+    /// in the baseline): selective squash.
+    pub near_recoveries: u64,
+    /// Mispredicted branches recovered by rolling back to a checkpoint.
+    pub checkpoint_rollbacks: u64,
+    /// Exceptions taken (tests exercise these).
+    pub exceptions: u64,
+    /// Instructions squashed by all recovery events.
+    pub squashed_instructions: u64,
+    /// Instructions re-executed because of checkpoint rollbacks.
+    pub reexecuted_instructions: u64,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed (equals the trace length at the end of a run).
+    pub committed_instructions: u64,
+    /// Instructions dispatched (includes re-executions after rollbacks).
+    pub dispatched_instructions: u64,
+    /// Checkpoints taken (checkpointed engine only).
+    pub checkpoints_taken: u64,
+    /// Checkpoints committed.
+    pub checkpoints_committed: u64,
+    /// Instructions moved to the SLIQ.
+    pub sliq_moved: u64,
+    /// Peak SLIQ occupancy.
+    pub sliq_high_water: usize,
+    /// Per-cycle number of in-flight (dispatched, not committed) instructions.
+    pub inflight: Distribution,
+    /// Per-cycle number of live (dispatched, not yet issued) instructions.
+    pub live: Distribution,
+    /// Per-cycle live instructions blocked on long-latency loads.
+    pub live_long: Distribution,
+    /// Per-cycle live instructions waiting on short-latency work.
+    pub live_short: Distribution,
+    /// Pseudo-ROB retirement breakdown (Figure 12).
+    pub retire_breakdown: RetireBreakdown,
+    /// Branch-prediction statistics.
+    pub branches: BranchStats,
+    /// Recovery statistics.
+    pub recoveries: RecoveryStats,
+    /// Memory-hierarchy statistics.
+    pub memory: MemoryStats,
+    /// Dispatch stall cycles broken down by cause.
+    pub stalls: StallStats,
+}
+
+/// Dispatch-stall cycle counters by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallStats {
+    /// Stalled because the target instruction queue was full.
+    pub iq_full: u64,
+    /// Stalled because the ROB was full (baseline only).
+    pub rob_full: u64,
+    /// Stalled because the load/store queue was full.
+    pub lsq_full: u64,
+    /// Stalled because no physical register / virtual tag was available.
+    pub regs_full: u64,
+    /// Stalled waiting out a branch-misprediction redirect.
+    pub redirect: u64,
+    /// Stalled because the checkpoint store bound was hit with a full table.
+    pub checkpoint_full: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average number of in-flight instructions (Figure 11).
+    pub fn avg_inflight(&self) -> f64 {
+        self.inflight.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_mean_and_percentiles() {
+        let mut d = Distribution::new();
+        for v in 1..=100 {
+            d.record(v);
+        }
+        assert_eq!(d.count(), 100);
+        assert!((d.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(d.percentile(0.0), 1);
+        assert_eq!(d.percentile(1.0), 100);
+        assert_eq!(d.percentile(0.5), 51);
+        assert_eq!(d.max(), 100);
+        let p = d.figure7_percentiles();
+        assert!(p[0] < p[2] && p[2] < p[4]);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let d = Distribution::new();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.percentile(0.5), 0);
+        assert_eq!(d.max(), 0);
+    }
+
+    #[test]
+    fn retire_breakdown_fractions_sum_to_one() {
+        let mut b = RetireBreakdown::default();
+        b.record(RetireClass::Moved);
+        b.record(RetireClass::Moved);
+        b.record(RetireClass::Finished);
+        b.record(RetireClass::Store);
+        assert_eq!(b.total(), 4);
+        assert!((b.fraction(RetireClass::Moved) - 0.5).abs() < 1e-12);
+        let sum: f64 = RetireClass::all().iter().map(|&c| b.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_divides_committed_by_cycles() {
+        let stats = SimStats { cycles: 200, committed_instructions: 500, ..Default::default() };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+}

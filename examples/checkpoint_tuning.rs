@@ -1,0 +1,55 @@
+//! Checkpoint tuning (the paper's Figure 13, condensed): how many checkpoints
+//! does out-of-order commit actually need, and what does the checkpoint
+//! placement policy cost?
+//!
+//! ```text
+//! cargo run --release --example checkpoint_tuning
+//! ```
+
+use koc_core::CheckpointPolicy;
+use koc_sim::{run_workloads, CommitConfig, ProcessorConfig};
+use koc_workloads::spec2000fp_like_suite;
+
+fn main() {
+    let workloads = spec2000fp_like_suite(12_000);
+    let memory_latency = 1000;
+
+    // The paper's limit reference: a 4096-entry conventional machine.
+    let limit = run_workloads(ProcessorConfig::baseline(4096, memory_latency), &workloads);
+    println!("limit (4096-entry conventional machine): {:.3} IPC", limit.mean_ipc());
+    println!();
+
+    println!("sensitivity to the number of checkpoints (128-entry IQ, 2048-entry SLIQ):");
+    println!("{:>13} {:>10} {:>18} {:>18}", "checkpoints", "IPC", "slowdown vs limit", "ckpts committed");
+    println!("{:-<64}", "");
+    for checkpoints in [4usize, 8, 16, 32, 64, 128] {
+        let config = ProcessorConfig::cooo(128, 2048, memory_latency).with_checkpoints(checkpoints);
+        let r = run_workloads(config, &workloads);
+        let total_ckpts: u64 = r.per_workload.iter().map(|w| w.stats.checkpoints_committed).sum();
+        println!(
+            "{:>13} {:>10.3} {:>17.1}% {:>18}",
+            checkpoints,
+            r.mean_ipc(),
+            100.0 * (1.0 - r.mean_ipc() / limit.mean_ipc()),
+            total_ckpts
+        );
+    }
+
+    println!();
+    println!("alternative checkpoint-placement policies (8 checkpoints):");
+    println!("{:>26} {:>10}", "policy", "IPC");
+    println!("{:-<38}", "");
+    let policies: [(&str, CheckpointPolicy); 3] = [
+        ("paper (branch/64,512,64)", CheckpointPolicy::paper()),
+        ("every 128 instructions", CheckpointPolicy::every_n(128)),
+        ("every 512 instructions", CheckpointPolicy::every_n(512)),
+    ];
+    for (name, policy) in policies {
+        let mut config = ProcessorConfig::cooo(128, 2048, memory_latency);
+        if let CommitConfig::Checkpointed { policy: p, .. } = &mut config.commit {
+            *p = policy;
+        }
+        let r = run_workloads(config, &workloads);
+        println!("{:>26} {:>10.3}", name, r.mean_ipc());
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-engine integration tests: the qualitative claims of the paper hold
+//! on the synthetic suite — out-of-order commit with small queues beats a
+//! same-sized conventional machine and approaches the unbuildable large one.
+
+use koc_sim::{run_trace, run_workloads, ProcessorConfig};
+use koc_workloads::{kernels, spec2000fp_like_suite, Workload};
+
+#[test]
+fn cooo_with_small_queues_beats_the_same_size_baseline_on_memory_bound_code() {
+    let w = Workload::generate("stream_add", kernels::stream_add(), 8_000);
+    let baseline = run_trace(ProcessorConfig::baseline(128, 1000), &w.trace);
+    let cooo = run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace);
+    assert!(
+        cooo.ipc() > baseline.ipc() * 1.5,
+        "out-of-order commit should clearly beat the 128-entry baseline: {} vs {}",
+        cooo.ipc(),
+        baseline.ipc()
+    );
+}
+
+#[test]
+fn cooo_supports_far_more_inflight_instructions_than_its_queue_size() {
+    let w = Workload::generate("stream_add", kernels::stream_add(), 8_000);
+    let cooo = run_trace(ProcessorConfig::cooo(64, 2048, 1000), &w.trace);
+    assert!(
+        cooo.avg_inflight() > 256.0,
+        "with 64-entry queues the checkpointed machine should still hold hundreds of \
+         instructions in flight, got {}",
+        cooo.avg_inflight()
+    );
+}
+
+#[test]
+fn cooo_approaches_the_unrealistic_large_baseline() {
+    let workloads = spec2000fp_like_suite(6_000);
+    let limit = run_workloads(ProcessorConfig::baseline(4096, 1000), &workloads);
+    let cooo = run_workloads(ProcessorConfig::cooo(128, 2048, 1000), &workloads);
+    let ratio = cooo.mean_ipc() / limit.mean_ipc();
+    assert!(
+        ratio > 0.6,
+        "the paper reports ~10% degradation; allow generous slack but require the same shape \
+         (got {:.0}% of the limit)",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn bigger_sliq_never_hurts() {
+    let w = Workload::generate("stream_add", kernels::stream_add(), 6_000);
+    let small = run_trace(ProcessorConfig::cooo(64, 512, 1000), &w.trace);
+    let large = run_trace(ProcessorConfig::cooo(64, 2048, 1000), &w.trace);
+    assert!(
+        large.ipc() >= small.ipc() * 0.95,
+        "SLIQ growth should not hurt: 512 -> {} vs 2048 -> {}",
+        small.ipc(),
+        large.ipc()
+    );
+}
+
+#[test]
+fn more_checkpoints_never_hurt() {
+    let w = Workload::generate("stencil27", kernels::stencil27(), 6_000);
+    let few = run_trace(ProcessorConfig::cooo(128, 2048, 1000).with_checkpoints(4), &w.trace);
+    let many = run_trace(ProcessorConfig::cooo(128, 2048, 1000).with_checkpoints(64), &w.trace);
+    assert!(
+        many.ipc() >= few.ipc() * 0.95,
+        "checkpoint growth should not hurt: 4 -> {} vs 64 -> {}",
+        few.ipc(),
+        many.ipc()
+    );
+}
+
+#[test]
+fn reinsert_delay_has_only_a_small_effect() {
+    // Figure 10's claim: even a 12-cycle re-insertion delay costs ~1%.
+    let w = Workload::generate("stream_add", kernels::stream_add(), 6_000);
+    let fast = run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(1), &w.trace);
+    let slow = run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(12), &w.trace);
+    let degradation = 1.0 - slow.ipc() / fast.ipc();
+    assert!(
+        degradation < 0.10,
+        "re-insertion delay sensitivity should be small, got {:.1}%",
+        degradation * 100.0
+    );
+}
+
+#[test]
+fn both_engines_commit_identical_instruction_counts() {
+    for w in spec2000fp_like_suite(3_000) {
+        let baseline = run_trace(ProcessorConfig::baseline(256, 500), &w.trace);
+        let cooo = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
+        assert_eq!(
+            baseline.committed_instructions, cooo.committed_instructions,
+            "{}: both engines execute the same program",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn ipc_is_deterministic_across_runs() {
+    let w = Workload::generate("gather", kernels::gather(), 4_000);
+    let a = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
+    let b = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
+    assert_eq!(a.cycles, b.cycles, "the simulator must be deterministic");
+    assert_eq!(a.checkpoints_taken, b.checkpoints_taken);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: randomly generated kernel configurations and
+//! hand-built traces always simulate to completion with consistent
+//! accounting, on both commit engines.
+
+use koc_isa::{ArchReg, Trace, TraceBuilder};
+use koc_sim::{run_trace, ProcessorConfig};
+use koc_workloads::{generate_kernel, DependencePattern, KernelConfig, MemoryPattern};
+use proptest::prelude::*;
+
+fn arb_memory_pattern() -> impl Strategy<Value = MemoryPattern> {
+    prop_oneof![
+        (1u64..=64).prop_map(|s| MemoryPattern::Streaming { stride_bytes: s * 8 }),
+        (1u64..=64).prop_map(|t| MemoryPattern::Blocked { tile_bytes: t * 1024 }),
+        (1u64..=64).prop_map(|t| MemoryPattern::Gather { table_bytes: t * 1024 * 1024 }),
+    ]
+}
+
+fn arb_dependence() -> impl Strategy<Value = DependencePattern> {
+    prop_oneof![
+        Just(DependencePattern::Independent),
+        Just(DependencePattern::IntraIterationChain),
+        Just(DependencePattern::LoopCarried),
+    ]
+}
+
+prop_compose! {
+    fn arb_kernel()(
+        iterations in 2usize..30,
+        unroll in 1usize..12,
+        loads_per_unit in 1usize..4,
+        fp_per_load in 0usize..4,
+        stores_per_unit in 0usize..3,
+        memory in arb_memory_pattern(),
+        dependence in arb_dependence(),
+        irregular in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) -> KernelConfig {
+        KernelConfig {
+            iterations,
+            unroll,
+            loads_per_unit,
+            fp_per_load,
+            stores_per_unit,
+            memory,
+            dependence,
+            irregular_branch_prob: irregular,
+            seed,
+        }
+    }
+}
+
+/// A small random straight-line trace built directly from the builder.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u8..6, 0u8..28, any::<u16>()), 1..300).prop_map(|ops| {
+        let mut b = TraceBuilder::named("random");
+        let base = ArchReg::int(1);
+        for (kind, reg, addr) in ops {
+            let f = ArchReg::fp(reg % 28);
+            match kind {
+                0 => {
+                    b.int_alu(ArchReg::int(reg % 30 + 1), &[base]);
+                }
+                1 => {
+                    b.fp_alu(f, &[ArchReg::fp((reg + 1) % 28)]);
+                }
+                2 => {
+                    b.load(f, base, 0x1000_0000 + addr as u64 * 64);
+                }
+                3 => {
+                    b.store(f, base, 0x2000_0000 + addr as u64 * 64);
+                }
+                4 => {
+                    let target = b.pc() + 16;
+                    b.branch_to(base, addr % 2 == 0, target);
+                }
+                _ => {
+                    b.fp_div(f, &[ArchReg::fp((reg + 2) % 28)]);
+                }
+            }
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_kernels_are_valid_and_deterministic(config in arb_kernel()) {
+        prop_assert!(config.validate().is_ok());
+        let a = generate_kernel("k", &config);
+        let b = generate_kernel("k", &config);
+        prop_assert_eq!(&a, &b, "generation must be deterministic");
+        prop_assert!(a.len() > 0);
+        // Every load/store carries an address; every branch carries an outcome.
+        for inst in a.iter() {
+            if inst.kind.is_memory() {
+                prop_assert!(inst.mem.is_some());
+            }
+            if inst.is_branch() {
+                prop_assert!(inst.branch.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_kernels_complete_on_both_engines(config in arb_kernel()) {
+        let trace = generate_kernel("k", &config);
+        let baseline = run_trace(ProcessorConfig::baseline(64, 100), &trace);
+        prop_assert_eq!(baseline.committed_instructions as usize, trace.len());
+        let cooo = run_trace(ProcessorConfig::cooo(32, 256, 100), &trace);
+        prop_assert_eq!(cooo.committed_instructions as usize, trace.len());
+        prop_assert_eq!(cooo.checkpoints_taken, cooo.checkpoints_committed);
+    }
+
+    #[test]
+    fn random_straightline_traces_complete(trace in arb_trace()) {
+        let baseline = run_trace(ProcessorConfig::baseline(32, 100), &trace);
+        prop_assert_eq!(baseline.committed_instructions as usize, trace.len());
+        let cooo = run_trace(ProcessorConfig::cooo(16, 128, 100), &trace);
+        prop_assert_eq!(cooo.committed_instructions as usize, trace.len());
+    }
+
+    #[test]
+    fn ipc_never_exceeds_the_machine_width(config in arb_kernel()) {
+        let trace = generate_kernel("k", &config);
+        let stats = run_trace(ProcessorConfig::baseline(256, 100), &trace);
+        prop_assert!(stats.ipc() <= 4.0 + 1e-9);
+    }
+}
