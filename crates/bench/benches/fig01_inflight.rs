@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig01_inflight, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig01(c: &mut Criterion) {
@@ -15,10 +15,10 @@ fn bench_fig01(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig01_inflight");
     group.sample_size(10);
     group.bench_function("baseline_2048_lat1000", |b| {
-        b.iter(|| run_trace(ProcessorConfig::baseline(2048, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::baseline(2048, 1000), &w.trace).run())
     });
     group.bench_function("baseline_128_lat1000", |b| {
-        b.iter(|| run_trace(ProcessorConfig::baseline(128, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::baseline(128, 1000), &w.trace).run())
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig07_live, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig07(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_fig07(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig07_live");
     group.sample_size(10);
     group.bench_function("baseline_2048_lat500", |b| {
-        b.iter(|| run_trace(ProcessorConfig::baseline(2048, 500), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::baseline(2048, 500), &w.trace).run())
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig09_main, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig09(c: &mut Criterion) {
@@ -15,13 +15,13 @@ fn bench_fig09(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_main");
     group.sample_size(10);
     group.bench_function("cooo_128_2048", |b| {
-        b.iter(|| run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::cooo(128, 2048, 1000), &w.trace).run())
     });
     group.bench_function("baseline_128", |b| {
-        b.iter(|| run_trace(ProcessorConfig::baseline(128, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::baseline(128, 1000), &w.trace).run())
     });
     group.bench_function("baseline_4096", |b| {
-        b.iter(|| run_trace(ProcessorConfig::baseline(4096, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::baseline(4096, 1000), &w.trace).run())
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig10_reinsert, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig10(c: &mut Criterion) {
@@ -17,7 +17,11 @@ fn bench_fig10(c: &mut Criterion) {
     for delay in [1u32, 12] {
         group.bench_function(format!("cooo_64_1024_delay{delay}"), |b| {
             b.iter(|| {
-                run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(delay), &w.trace)
+                Processor::new(
+                    ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(delay),
+                    &w.trace,
+                )
+                .run()
             })
         });
     }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig11_inflight, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig11(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_inflight");
     group.sample_size(10);
     group.bench_function("cooo_128_2048_gather", |b| {
-        b.iter(|| run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace))
+        b.iter(|| Processor::new(ProcessorConfig::cooo(128, 2048, 1000), &w.trace).run())
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig12_breakdown, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig12(c: &mut Criterion) {
@@ -16,7 +16,7 @@ fn bench_fig12(c: &mut Criterion) {
     group.sample_size(10);
     for sliq in [512usize, 2048] {
         group.bench_function(format!("cooo_64_{sliq}"), |b| {
-            b.iter(|| run_trace(ProcessorConfig::cooo(64, sliq, 1000), &w.trace))
+            b.iter(|| Processor::new(ProcessorConfig::cooo(64, sliq, 1000), &w.trace).run())
         });
     }
     group.finish();

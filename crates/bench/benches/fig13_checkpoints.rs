@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig13_checkpoints, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig13(c: &mut Criterion) {
@@ -17,7 +17,11 @@ fn bench_fig13(c: &mut Criterion) {
     for checkpoints in [4usize, 32] {
         group.bench_function(format!("cooo_2048iq_{checkpoints}ckpt"), |b| {
             b.iter(|| {
-                run_trace(ProcessorConfig::cooo(2048, 2048, 1000).with_checkpoints(checkpoints), &w.trace)
+                Processor::new(
+                    ProcessorConfig::cooo(2048, 2048, 1000).with_checkpoints(checkpoints),
+                    &w.trace,
+                )
+                .run()
             })
         });
     }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koc_bench::{experiments::fig14_combined, BENCH_TRACE_LEN};
-use koc_sim::{run_trace, ProcessorConfig, RegisterModel};
+use koc_sim::{Processor, ProcessorConfig, RegisterModel};
 use koc_workloads::{kernels, Workload};
 
 fn bench_fig14(c: &mut Criterion) {
@@ -16,11 +16,14 @@ fn bench_fig14(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cooo_virtual_1024tags_256regs", |b| {
         b.iter(|| {
-            run_trace(
-                ProcessorConfig::cooo(128, 2048, 1000)
-                    .with_registers(RegisterModel::Virtual { virtual_tags: 1024, phys_regs: 256 }),
+            Processor::new(
+                ProcessorConfig::cooo(128, 2048, 1000).with_registers(RegisterModel::Virtual {
+                    virtual_tags: 1024,
+                    phys_regs: 256,
+                }),
                 &w.trace,
             )
+            .run()
         })
     });
     group.finish();

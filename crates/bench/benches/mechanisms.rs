@@ -36,11 +36,13 @@ fn bench_checkpoint_table(c: &mut Criterion) {
                 free_list: vec![true; 256],
             };
             for ckpt in 0..32usize {
-                let id = table.take(ckpt * 64, snap.clone(), vec![]).unwrap_or_else(|| {
-                    let c = table.commit_oldest();
-                    let _ = c;
-                    table.take(ckpt * 64, snap.clone(), vec![]).unwrap()
-                });
+                let id = table
+                    .take(ckpt * 64, snap.clone(), vec![])
+                    .unwrap_or_else(|| {
+                        let c = table.commit_oldest();
+                        let _ = c;
+                        table.take(ckpt * 64, snap.clone(), vec![]).unwrap()
+                    });
                 for _ in 0..64 {
                     table.on_dispatch(false);
                 }
@@ -110,5 +112,11 @@ fn bench_iq(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rename, bench_checkpoint_table, bench_sliq, bench_iq);
+criterion_group!(
+    benches,
+    bench_rename,
+    bench_checkpoint_table,
+    bench_sliq,
+    bench_iq
+);
 criterion_main!(benches);

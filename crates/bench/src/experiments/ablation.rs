@@ -13,68 +13,66 @@
 
 use crate::Report;
 use koc_core::CheckpointPolicy;
-use koc_sim::{run_workloads, CommitConfig, ProcessorConfig};
-use koc_workloads::{spec2000fp_like_suite, Workload};
+use koc_sim::{CommitConfig, ProcessorConfig, SimBuilder, Suite, Sweep};
 
 /// Memory latency used by the study.
 pub const MEMORY_LATENCY: u32 = 1000;
 
-fn with_policy(mut config: ProcessorConfig, policy: CheckpointPolicy) -> ProcessorConfig {
-    if let CommitConfig::Checkpointed { policy: p, .. } = &mut config.commit {
-        *p = policy;
-    }
-    config
-}
-
-fn ipc(config: ProcessorConfig, workloads: &[Workload]) -> f64 {
-    run_workloads(config, workloads).mean_ipc()
-}
-
 /// Runs the ablation study.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
-    let reference = ProcessorConfig::cooo(128, 2048, MEMORY_LATENCY);
-    let reference_ipc = ipc(reference, &workloads);
+    let reference = SimBuilder::cooo().memory_latency(MEMORY_LATENCY);
+
+    // A crippled SLIQ (capacity 1) approximates removing the mechanism: the
+    // small instruction queues must then hold every waiting instruction.
+    let no_sliq = reference.clone().sliq(1);
+    // Pseudo-ROB size ablation: shrink it to 16 while keeping the IQ at 128.
+    let mut small_prob = *reference.config();
+    if let CommitConfig::Checkpointed {
+        pseudo_rob_size, ..
+    } = &mut small_prob.commit
+    {
+        *pseudo_rob_size = 16;
+    }
+
+    let variants: Vec<(&str, ProcessorConfig)> = vec![
+        ("reference (paper policy)", *reference.config()),
+        (
+            "checkpoint every 64 insns",
+            *reference
+                .clone()
+                .checkpoint_policy(CheckpointPolicy::every_n(64))
+                .config(),
+        ),
+        (
+            "checkpoint every 512 insns",
+            *reference
+                .clone()
+                .checkpoint_policy(CheckpointPolicy::every_n(512))
+                .config(),
+        ),
+        ("SLIQ disabled (capacity 1)", *no_sliq.config()),
+        ("pseudo-ROB shrunk to 16", small_prob),
+        ("4 checkpoints", *reference.clone().checkpoints(4).config()),
+    ];
+
+    let results = Sweep::over(variants.iter().map(|(_, c)| *c))
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+    let reference_ipc = results[0].mean_ipc();
 
     let mut report = Report::new(
         "Ablation — contribution of each design choice (128 IQ / 2048 SLIQ / 8 checkpoints)",
         &["variant", "IPC", "vs reference"],
     );
-    let push = |report: &mut Report, name: &str, value: f64| {
+    for ((name, _), result) in variants.iter().zip(&results) {
+        let value = result.mean_ipc();
         report.push_row(vec![
             name.to_string(),
             format!("{value:.2}"),
             format!("{:+.1}%", 100.0 * (value / reference_ipc - 1.0)),
         ]);
-    };
-
-    push(&mut report, "reference (paper policy)", reference_ipc);
-    push(
-        &mut report,
-        "checkpoint every 64 insns",
-        ipc(with_policy(reference, CheckpointPolicy::every_n(64)), &workloads),
-    );
-    push(
-        &mut report,
-        "checkpoint every 512 insns",
-        ipc(with_policy(reference, CheckpointPolicy::every_n(512)), &workloads),
-    );
-    // A crippled SLIQ (capacity 1) approximates removing the mechanism: the
-    // small instruction queues must then hold every waiting instruction.
-    let mut no_sliq = reference;
-    if let CommitConfig::Checkpointed { sliq, .. } = &mut no_sliq.commit {
-        sliq.capacity = 1;
     }
-    push(&mut report, "SLIQ disabled (capacity 1)", ipc(no_sliq, &workloads));
-    // Pseudo-ROB size ablation: shrink it to 16 while keeping the IQ at 128.
-    let mut small_prob = reference;
-    if let CommitConfig::Checkpointed { pseudo_rob_size, .. } = &mut small_prob.commit {
-        *pseudo_rob_size = 16;
-    }
-    push(&mut report, "pseudo-ROB shrunk to 16", ipc(small_prob, &workloads));
-    // Fewer checkpoints.
-    push(&mut report, "4 checkpoints", ipc(reference.with_checkpoints(4), &workloads));
-
     report.push_note(
         "expected shape: disabling the SLIQ hurts the most on memory-bound kernels; the \
          checkpoint policy matters less as long as windows stay a few hundred instructions long",

@@ -3,8 +3,7 @@
 //! for perfect L2 and 100/500/1000-cycle main-memory latencies.
 
 use crate::Report;
-use koc_sim::{run_workloads, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 
 /// Window sizes swept by the figure.
 pub const WINDOWS: &[usize] = &[128, 256, 512, 1024, 2048, 4096];
@@ -13,17 +12,28 @@ pub const LATENCIES: &[u32] = &[100, 500, 1000];
 
 /// Runs the Figure 1 sweep.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
+    // One flat grid: per window, the perfect-L2 machine followed by one
+    // machine per memory latency. `Sweep` preserves input order.
+    let configs = WINDOWS.iter().flat_map(|&window| {
+        std::iter::once(ProcessorConfig::baseline_perfect_l2(window)).chain(
+            LATENCIES
+                .iter()
+                .map(move |&lat| ProcessorConfig::baseline(window, lat)),
+        )
+    });
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+
     let mut report = Report::new(
         "Figure 1 — IPC vs in-flight instructions and memory latency (suite average)",
         &["in-flight", "L2 perfect", "100", "500", "1000"],
     );
-    for &window in WINDOWS {
+    let per_window = 1 + LATENCIES.len();
+    for (wi, &window) in WINDOWS.iter().enumerate() {
         let mut row = vec![window.to_string()];
-        let perfect = run_workloads(ProcessorConfig::baseline_perfect_l2(window), &workloads);
-        row.push(format!("{:.2}", perfect.mean_ipc()));
-        for &lat in LATENCIES {
-            let r = run_workloads(ProcessorConfig::baseline(window, lat), &workloads);
+        for r in &results[wi * per_window..(wi + 1) * per_window] {
             row.push(format!("{:.2}", r.mean_ipc()));
         }
         report.push_row(row);

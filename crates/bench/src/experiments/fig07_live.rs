@@ -3,17 +3,25 @@
 //! 500-cycle memory.
 
 use crate::Report;
-use koc_sim::{run_trace, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{SimBuilder, SimStats, Suite};
 
 /// The percentiles Figure 7 reports.
-pub const PERCENTILES: &[(&str, f64)] =
-    &[("10%", 0.10), ("25%", 0.25), ("50%", 0.50), ("75%", 0.75), ("90%", 0.90)];
+pub const PERCENTILES: &[(&str, f64)] = &[
+    ("10%", 0.10),
+    ("25%", 0.25),
+    ("50%", 0.50),
+    ("75%", 0.75),
+    ("90%", 0.90),
+];
 
 /// Runs the Figure 7 measurement.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
-    let config = ProcessorConfig::baseline(2048, 500);
+    let result = SimBuilder::baseline(2048)
+        .memory_latency(500)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .build()
+        .run();
     let mut report = Report::new(
         "Figure 7 — live instructions vs in-flight instructions (2048-entry window, 500-cycle memory)",
         &["percentile", "in-flight", "live", "blocked-long", "blocked-short"],
@@ -21,15 +29,14 @@ pub fn run(trace_len: usize) -> Report {
 
     // Average the per-workload distributions, mirroring the paper's averaging
     // over SPEC2000fp.
-    let stats: Vec<_> = workloads.iter().map(|w| run_trace(config, &w.trace)).collect();
+    let stats: Vec<&SimStats> = result.per_workload.iter().map(|w| &w.stats).collect();
+    let avg =
+        |f: &dyn Fn(&SimStats) -> f64| stats.iter().map(|s| f(s)).sum::<f64>() / stats.len() as f64;
     for (label, p) in PERCENTILES {
-        let inflight =
-            stats.iter().map(|s| s.inflight.percentile(*p) as f64).sum::<f64>() / stats.len() as f64;
-        let live = stats.iter().map(|s| s.live.percentile(*p) as f64).sum::<f64>() / stats.len() as f64;
-        let long =
-            stats.iter().map(|s| s.live_long.percentile(*p) as f64).sum::<f64>() / stats.len() as f64;
-        let short =
-            stats.iter().map(|s| s.live_short.percentile(*p) as f64).sum::<f64>() / stats.len() as f64;
+        let inflight = avg(&|s| s.inflight.percentile(*p) as f64);
+        let live = avg(&|s| s.live.percentile(*p) as f64);
+        let long = avg(&|s| s.live_long.percentile(*p) as f64);
+        let short = avg(&|s| s.live_short.percentile(*p) as f64);
         report.push_row(vec![
             label.to_string(),
             format!("{inflight:.0}"),

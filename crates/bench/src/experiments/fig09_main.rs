@@ -3,7 +3,7 @@
 //! SLIQ entries, against the 128- and 4096-entry conventional baselines.
 
 use crate::Report;
-use koc_sim::{run_workloads, ProcessorConfig, SuiteResult};
+use koc_sim::{ProcessorConfig, SuiteResult, Sweep};
 use koc_workloads::{spec2000fp_like_suite, Workload};
 
 /// Instruction-queue (and pseudo-ROB) sizes swept.
@@ -23,20 +23,35 @@ pub struct Fig9Data {
     pub cooo: Vec<Vec<SuiteResult>>,
 }
 
-/// Runs every configuration of the figure.
+/// Runs every configuration of the figure as one parallel sweep.
 pub fn collect(workloads: &[Workload]) -> Fig9Data {
-    let baseline_128 = run_workloads(ProcessorConfig::baseline(128, MEMORY_LATENCY), workloads);
-    let baseline_4096 = run_workloads(ProcessorConfig::baseline(4096, MEMORY_LATENCY), workloads);
+    let configs = [
+        ProcessorConfig::baseline(128, MEMORY_LATENCY),
+        ProcessorConfig::baseline(4096, MEMORY_LATENCY),
+    ]
+    .into_iter()
+    .chain(SLIQ_SIZES.iter().flat_map(|&sliq| {
+        IQ_SIZES
+            .iter()
+            .map(move |&iq| ProcessorConfig::cooo(iq, sliq, MEMORY_LATENCY))
+    }));
+    let mut results = Sweep::over(configs).run_on(workloads).into_iter();
+    let baseline_128 = results.next().expect("baseline-128 result");
+    let baseline_4096 = results.next().expect("baseline-4096 result");
     let cooo = SLIQ_SIZES
         .iter()
-        .map(|&sliq| {
+        .map(|_| {
             IQ_SIZES
                 .iter()
-                .map(|&iq| run_workloads(ProcessorConfig::cooo(iq, sliq, MEMORY_LATENCY), workloads))
+                .map(|_| results.next().expect("COoO result"))
                 .collect()
         })
         .collect();
-    Fig9Data { baseline_128, baseline_4096, cooo }
+    Fig9Data {
+        baseline_128,
+        baseline_4096,
+        cooo,
+    }
 }
 
 /// Runs the Figure 9 sweep and formats it.
@@ -45,7 +60,14 @@ pub fn run(trace_len: usize) -> Report {
     let data = collect(&workloads);
     let mut report = Report::new(
         "Figure 9 — main performance results (suite-average IPC, 1000-cycle memory)",
-        &["SLIQ", "COoO 32", "COoO 64", "COoO 128", "Baseline 128", "Baseline 4096"],
+        &[
+            "SLIQ",
+            "COoO 32",
+            "COoO 64",
+            "COoO 128",
+            "Baseline 128",
+            "Baseline 4096",
+        ],
     );
     for (si, &sliq) in SLIQ_SIZES.iter().enumerate() {
         let mut row = vec![sliq.to_string()];
@@ -81,5 +103,14 @@ mod tests {
         let r = run(1_200);
         assert_eq!(r.rows.len(), SLIQ_SIZES.len());
         assert_eq!(r.notes.len(), 2);
+    }
+
+    #[test]
+    fn collect_labels_results_with_their_configs() {
+        let workloads = spec2000fp_like_suite(600);
+        let data = collect(&workloads);
+        assert_eq!(data.baseline_128.config.iq_size, 128);
+        assert_eq!(data.baseline_4096.config.iq_size, 4096);
+        assert_eq!(data.cooo[0][1].config.iq_size, IQ_SIZES[1]);
     }
 }

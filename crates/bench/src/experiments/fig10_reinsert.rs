@@ -3,8 +3,7 @@
 //! pseudo-ROB and instruction queues.
 
 use crate::Report;
-use koc_sim::{run_workloads, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 
 /// Re-insertion delays swept (cycles).
 pub const DELAYS: &[u32] = &[1, 4, 8, 12];
@@ -17,17 +16,32 @@ pub const MEMORY_LATENCY: u32 = 1000;
 
 /// Runs the Figure 10 sweep.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
+    let configs = IQ_SIZES.iter().flat_map(|&iq| {
+        DELAYS.iter().map(move |&delay| {
+            ProcessorConfig::cooo(iq, SLIQ_SIZE, MEMORY_LATENCY).with_reinsert_delay(delay)
+        })
+    });
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+
     let mut report = Report::new(
         "Figure 10 — sensitivity to the SLIQ re-insertion delay (1024-entry SLIQ)",
-        &["IQ", "delay 1", "delay 4", "delay 8", "delay 12", "worst-case loss"],
+        &[
+            "IQ",
+            "delay 1",
+            "delay 4",
+            "delay 8",
+            "delay 12",
+            "worst-case loss",
+        ],
     );
-    for &iq in IQ_SIZES {
-        let mut ipcs = Vec::new();
-        for &delay in DELAYS {
-            let config = ProcessorConfig::cooo(iq, SLIQ_SIZE, MEMORY_LATENCY).with_reinsert_delay(delay);
-            ipcs.push(run_workloads(config, &workloads).mean_ipc());
-        }
+    for (ii, &iq) in IQ_SIZES.iter().enumerate() {
+        let ipcs: Vec<f64> = results[ii * DELAYS.len()..(ii + 1) * DELAYS.len()]
+            .iter()
+            .map(|r| r.mean_ipc())
+            .collect();
         let best = ipcs.iter().cloned().fold(f64::MIN, f64::max);
         let worst = ipcs.iter().cloned().fold(f64::MAX, f64::min);
         let mut row = vec![iq.to_string()];
@@ -35,7 +49,9 @@ pub fn run(trace_len: usize) -> Report {
         row.push(format!("{:.1}%", 100.0 * (1.0 - worst / best)));
         report.push_row(row);
     }
-    report.push_note("paper shape: even a 12-cycle delay costs only ~1%, so a slow secondary buffer works");
+    report.push_note(
+        "paper shape: even a 12-cycle delay costs only ~1%, so a slow secondary buffer works",
+    );
     report
 }
 

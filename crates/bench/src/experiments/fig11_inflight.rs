@@ -11,7 +11,14 @@ pub fn run(trace_len: usize) -> Report {
     let data = collect(&workloads);
     let mut report = Report::new(
         "Figure 11 — average in-flight instructions (same configurations as Figure 9)",
-        &["SLIQ", "COoO 32", "COoO 64", "COoO 128", "Baseline 128", "Baseline 4096"],
+        &[
+            "SLIQ",
+            "COoO 32",
+            "COoO 64",
+            "COoO 128",
+            "Baseline 128",
+            "Baseline 4096",
+        ],
     );
     for (si, &sliq) in SLIQ_SIZES.iter().enumerate() {
         let mut row = vec![sliq.to_string()];

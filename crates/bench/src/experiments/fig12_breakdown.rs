@@ -3,8 +3,7 @@
 
 use crate::Report;
 use koc_core::RetireClass;
-use koc_sim::{run_workloads, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 
 /// Instruction-queue sizes swept.
 pub const IQ_SIZES: &[usize] = &[32, 64, 128];
@@ -15,14 +14,32 @@ pub const MEMORY_LATENCY: u32 = 1000;
 
 /// Runs the Figure 12 measurement.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
+    let configs = SLIQ_SIZES.iter().flat_map(|&sliq| {
+        IQ_SIZES
+            .iter()
+            .map(move |&iq| ProcessorConfig::cooo(iq, sliq, MEMORY_LATENCY))
+    });
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+
     let mut report = Report::new(
         "Figure 12 — breakdown of instructions retired from the pseudo-ROB (percent)",
-        &["SLIQ/IQ", "moved", "finished", "short-lat", "finished loads", "long-lat loads", "stores"],
+        &[
+            "SLIQ/IQ",
+            "moved",
+            "finished",
+            "short-lat",
+            "finished loads",
+            "long-lat loads",
+            "stores",
+        ],
     );
+    let mut results = results.iter();
     for &sliq in SLIQ_SIZES {
         for &iq in IQ_SIZES {
-            let result = run_workloads(ProcessorConfig::cooo(iq, sliq, MEMORY_LATENCY), &workloads);
+            let result = results.next().expect("one result per configuration");
             // Aggregate the breakdown over the suite.
             let mut counts = [0u64; RetireClass::COUNT];
             for w in &result.per_workload {
@@ -60,7 +77,10 @@ mod tests {
         assert_eq!(r.rows.len(), SLIQ_SIZES.len() * IQ_SIZES.len());
         for row in &r.rows {
             let sum: f64 = row[1..].iter().map(|c| c.parse::<f64>().unwrap()).sum();
-            assert!((sum - 100.0).abs() < 1.0, "breakdown should sum to ~100%, got {sum}");
+            assert!(
+                (sum - 100.0).abs() < 1.0,
+                "breakdown should sum to ~100%, got {sum}"
+            );
         }
     }
 }

@@ -3,8 +3,7 @@
 //! registers, against the 4096-entry ROB limit.
 
 use crate::Report;
-use koc_sim::{run_workloads, ProcessorConfig, RegisterModel};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, RegisterModel, Suite, Sweep};
 
 /// Checkpoint counts swept by the figure.
 pub const CHECKPOINTS: &[usize] = &[4, 8, 16, 32, 64, 128];
@@ -18,22 +17,33 @@ pub const MEMORY_LATENCY: u32 = 1000;
 
 /// Runs the Figure 13 sweep.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
-    let limit = run_workloads(
+    let configs = std::iter::once(
         ProcessorConfig::baseline(4096, MEMORY_LATENCY)
             .with_registers(RegisterModel::Conventional { phys_regs: 4096 }),
-        &workloads,
-    );
+    )
+    .chain(CHECKPOINTS.iter().map(|&n| {
+        ProcessorConfig::cooo(IQ_SIZE, 2048, MEMORY_LATENCY)
+            .with_checkpoints(n)
+            .with_registers(RegisterModel::Conventional {
+                phys_regs: PHYS_REGS,
+            })
+    }));
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+    let limit = &results[0];
+
     let mut report = Report::new(
         "Figure 13 — sensitivity to the number of checkpoints (2048-entry IQ, 2048 physical registers)",
         &["checkpoints", "IPC", "slowdown vs limit"],
     );
-    report.push_row(vec!["limit (4096 ROB)".into(), format!("{:.2}", limit.mean_ipc()), "0.0%".into()]);
-    for &n in CHECKPOINTS {
-        let config = ProcessorConfig::cooo(IQ_SIZE, 2048, MEMORY_LATENCY)
-            .with_checkpoints(n)
-            .with_registers(RegisterModel::Conventional { phys_regs: PHYS_REGS });
-        let r = run_workloads(config, &workloads);
+    report.push_row(vec![
+        "limit (4096 ROB)".into(),
+        format!("{:.2}", limit.mean_ipc()),
+        "0.0%".into(),
+    ]);
+    for (&n, r) in CHECKPOINTS.iter().zip(&results[1..]) {
         report.push_row(vec![
             n.to_string(),
             format!("{:.2}", r.mean_ipc()),

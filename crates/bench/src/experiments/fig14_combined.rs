@@ -4,8 +4,7 @@
 //! baseline and the fully up-sized limit.
 
 use crate::Report;
-use koc_sim::{run_workloads, ProcessorConfig, RegisterModel};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, RegisterModel, Suite, Sweep};
 
 /// Virtual-tag counts swept.
 pub const VIRTUAL_TAGS: &[usize] = &[512, 1024, 2048];
@@ -16,21 +15,50 @@ pub const LATENCIES: &[u32] = &[100, 500, 1000];
 
 /// Runs the Figure 14 sweep.
 pub fn run(trace_len: usize) -> Report {
-    let workloads = spec2000fp_like_suite(trace_len);
+    // Per latency: the two reference machines, then the virtual-register
+    // grid (tags x phys) in row-major order.
+    let configs = LATENCIES.iter().flat_map(|&latency| {
+        [
+            ProcessorConfig::baseline(128, latency),
+            ProcessorConfig::baseline(4096, latency),
+        ]
+        .into_iter()
+        .chain(VIRTUAL_TAGS.iter().flat_map(move |&vtags| {
+            PHYS_REGS.iter().map(move |&phys| {
+                ProcessorConfig::cooo(128, 2048, latency).with_registers(RegisterModel::Virtual {
+                    virtual_tags: vtags,
+                    phys_regs: phys,
+                })
+            })
+        }))
+    });
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+
     let mut report = Report::new(
         "Figure 14 — out-of-order commit + SLIQ + virtual (ephemeral) registers",
-        &["memory", "virtual tags", "256 phys", "512 phys", "baseline 128", "limit 4096"],
+        &[
+            "memory",
+            "virtual tags",
+            "256 phys",
+            "512 phys",
+            "baseline 128",
+            "limit 4096",
+        ],
     );
-    for &latency in LATENCIES {
-        let baseline = run_workloads(ProcessorConfig::baseline(128, latency), &workloads);
-        let limit = run_workloads(ProcessorConfig::baseline(4096, latency), &workloads);
-        for &vtags in VIRTUAL_TAGS {
+    let per_latency = 2 + VIRTUAL_TAGS.len() * PHYS_REGS.len();
+    for (li, &latency) in LATENCIES.iter().enumerate() {
+        let block = &results[li * per_latency..(li + 1) * per_latency];
+        let (baseline, limit) = (&block[0], &block[1]);
+        for (vi, &vtags) in VIRTUAL_TAGS.iter().enumerate() {
             let mut row = vec![latency.to_string(), vtags.to_string()];
-            for &phys in PHYS_REGS {
-                let config = ProcessorConfig::cooo(128, 2048, latency)
-                    .with_registers(RegisterModel::Virtual { virtual_tags: vtags, phys_regs: phys });
-                let r = run_workloads(config, &workloads);
-                row.push(format!("{:.2}", r.mean_ipc()));
+            for pi in 0..PHYS_REGS.len() {
+                row.push(format!(
+                    "{:.2}",
+                    block[2 + vi * PHYS_REGS.len() + pi].mean_ipc()
+                ));
             }
             row.push(format!("{:.2}", baseline.mean_ipc()));
             row.push(format!("{:.2}", limit.mean_ipc()));

@@ -18,8 +18,9 @@ pub mod table1_params;
 use crate::Report;
 
 /// Names of all experiments, in paper order, plus the extra ablation study.
-pub const ALL: &[&str] =
-    &["table1", "fig1", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation"];
+pub const ALL: &[&str] = &[
+    "table1", "fig1", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+];
 
 /// Runs one experiment by name.
 ///
@@ -37,7 +38,9 @@ pub fn run_by_name(name: &str, trace_len: usize) -> Result<Report, String> {
         "fig13" => Ok(fig13_checkpoints::run(trace_len)),
         "fig14" => Ok(fig14_combined::run(trace_len)),
         "ablation" => Ok(ablation::run(trace_len)),
-        other => Err(format!("unknown experiment '{other}'; expected one of {ALL:?}")),
+        other => Err(format!(
+            "unknown experiment '{other}'; expected one of {ALL:?}"
+        )),
     }
 }
 

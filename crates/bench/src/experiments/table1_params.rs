@@ -7,7 +7,10 @@ use koc_sim::{CommitConfig, ProcessorConfig, RegisterModel};
 /// [`ProcessorConfig::table1`], so a reader can diff them against the paper.
 pub fn run() -> Report {
     let c = ProcessorConfig::table1();
-    let mut r = Report::new("Table 1 — architectural parameters", &["parameter", "value"]);
+    let mut r = Report::new(
+        "Table 1 — architectural parameters",
+        &["parameter", "value"],
+    );
     let rob = match c.commit {
         CommitConfig::InOrderRob { rob_size } => rob_size,
         CommitConfig::Checkpointed { .. } => 0,
@@ -17,27 +20,48 @@ pub fn run() -> Report {
         RegisterModel::Virtual { phys_regs, .. } => phys_regs,
     };
     let rows: Vec<(&str, String)> = vec![
-        ("Simulation strategy", "trace-driven (execution-driven in the paper)".into()),
+        (
+            "Simulation strategy",
+            "trace-driven (execution-driven in the paper)".into(),
+        ),
         ("Issue policy", "out-of-order".into()),
-        ("Fetch/Commit width", format!("{} insns/cycle", c.fetch_width)),
+        (
+            "Fetch/Commit width",
+            format!("{} insns/cycle", c.fetch_width),
+        ),
         ("Branch predictor", "16K-entry gshare".into()),
-        ("Branch predictor penalty", format!("{} cycles", c.mispredict_penalty)),
+        (
+            "Branch predictor penalty",
+            format!("{} cycles", c.mispredict_penalty),
+        ),
         ("I-L1 size", "32 KB 4-way, 32-byte lines".into()),
         ("I-L1 latency", format!("{} cycles", c.memory.il1.latency)),
         ("D-L1 size", "32 KB 4-way, 32-byte lines".into()),
         ("D-L1 latency", format!("{} cycles", c.memory.dl1.latency)),
         ("L2 size", "512 KB 4-way, 64-byte lines".into()),
         ("L2 latency", format!("{} cycles", c.memory.l2.latency)),
-        ("Memory latency", format!("{} cycles", c.memory.memory_latency)),
+        (
+            "Memory latency",
+            format!("{} cycles", c.memory.memory_latency),
+        ),
         ("Memory ports", format!("{}", c.mem_ports)),
         ("Physical registers", format!("{phys} entries")),
         ("Load/Store queue", format!("{} entries", c.lsq_size)),
         ("Integer queue", format!("{} entries", c.iq_size)),
         ("Floating point queue", format!("{} entries", c.iq_size)),
         ("Reorder buffer", format!("{rob} entries")),
-        ("Integer general units", format!("{} (lat/rep 1/1)", c.int_alu_units)),
-        ("Integer mult/div units", format!("{} (lat/rep 3/1 and 20/20)", c.int_mul_units)),
-        ("FP functional units", format!("{} (lat/rep 2/1)", c.fp_units)),
+        (
+            "Integer general units",
+            format!("{} (lat/rep 1/1)", c.int_alu_units),
+        ),
+        (
+            "Integer mult/div units",
+            format!("{} (lat/rep 3/1 and 20/20)", c.int_mul_units),
+        ),
+        (
+            "FP functional units",
+            format!("{} (lat/rep 2/1)", c.fp_units),
+        ),
     ];
     for (k, v) in rows {
         r.push_row(vec![k.to_string(), v]);

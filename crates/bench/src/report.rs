@@ -57,13 +57,21 @@ impl Report {
             .collect();
         out.push_str(&header_line.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect();
             out.push_str(&line.join("  "));
             out.push('\n');

@@ -38,7 +38,11 @@ impl CheckpointPolicy {
     /// The paper's thresholds: branch after 64 instructions, force at 512
     /// instructions, force at 64 stores.
     pub fn paper() -> Self {
-        CheckpointPolicy { branch_after_insts: 64, force_after_insts: 512, force_after_stores: 64 }
+        CheckpointPolicy {
+            branch_after_insts: 64,
+            force_after_insts: 512,
+            force_after_stores: 64,
+        }
     }
 
     /// A policy that checkpoints every `n` instructions regardless of
@@ -54,7 +58,12 @@ impl CheckpointPolicy {
 
     /// Decides whether a checkpoint should be taken *before* dispatching the
     /// next instruction, given the state of the current (youngest) window.
-    pub fn should_take(&self, insts_in_window: usize, stores_in_window: usize, next_is_branch: bool) -> bool {
+    pub fn should_take(
+        &self,
+        insts_in_window: usize,
+        stores_in_window: usize,
+        next_is_branch: bool,
+    ) -> bool {
         if insts_in_window == 0 {
             // A fresh window never re-checkpoints at the same instruction.
             return false;
@@ -130,7 +139,11 @@ impl CheckpointTable {
     /// live checkpoint at all times.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "checkpoint table needs at least one entry");
-        CheckpointTable { capacity, entries: VecDeque::new(), next_id: 0 }
+        CheckpointTable {
+            capacity,
+            entries: VecDeque::new(),
+            next_id: 0,
+        }
     }
 
     /// Maximum number of live checkpoints.
@@ -181,7 +194,8 @@ impl CheckpointTable {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.entries.push_back(Checkpoint::new(id, trace_index, rename));
+        self.entries
+            .push_back(Checkpoint::new(id, trace_index, rename));
         Some(id)
     }
 
@@ -217,7 +231,10 @@ impl CheckpointTable {
     /// checkpoint before dispatching (the paper's "there must always exist a
     /// checkpoint").
     pub fn on_dispatch(&mut self, is_store: bool) -> CheckpointId {
-        let c = self.entries.back_mut().expect("dispatch requires a live checkpoint");
+        let c = self
+            .entries
+            .back_mut()
+            .expect("dispatch requires a live checkpoint");
         c.pending += 1;
         c.total_insts += 1;
         if is_store {
@@ -245,7 +262,10 @@ impl CheckpointTable {
     pub fn on_squash(&mut self, id: CheckpointId, was_pending: bool) {
         if let Some(c) = self.get_mut(id) {
             if was_pending {
-                assert!(c.pending > 0, "checkpoint {id} pending counter underflow on squash");
+                assert!(
+                    c.pending > 0,
+                    "checkpoint {id} pending counter underflow on squash"
+                );
                 c.pending -= 1;
             }
             c.total_insts = c.total_insts.saturating_sub(1);
@@ -304,7 +324,10 @@ impl CheckpointTable {
     /// expected to check first.
     pub fn commit_oldest(&mut self) -> Checkpoint {
         let c = self.entries.pop_front().expect("no checkpoint to commit");
-        assert!(c.pending == 0, "committing a checkpoint with pending instructions");
+        assert!(
+            c.pending == 0,
+            "committing a checkpoint with pending instructions"
+        );
         c
     }
 
@@ -350,7 +373,11 @@ mod tests {
     use super::*;
 
     fn snap() -> RenameCheckpoint {
-        RenameCheckpoint { valid: vec![false; 8], future_free: vec![false; 8], free_list: vec![true; 8] }
+        RenameCheckpoint {
+            valid: vec![false; 8],
+            future_free: vec![false; 8],
+            free_list: vec![true; 8],
+        }
     }
 
     #[test]
@@ -367,10 +394,16 @@ mod tests {
         let p = CheckpointPolicy::paper();
         assert!(!p.should_take(63, 0, true), "not enough instructions yet");
         assert!(p.should_take(64, 0, true));
-        assert!(!p.should_take(64, 0, false), "not a branch, below force threshold");
+        assert!(
+            !p.should_take(64, 0, false),
+            "not a branch, below force threshold"
+        );
         assert!(p.should_take(512, 0, false), "forced at 512 instructions");
         assert!(p.should_take(100, 64, false), "forced at 64 stores");
-        assert!(!p.should_take(0, 0, true), "fresh window never re-checkpoints");
+        assert!(
+            !p.should_take(0, 0, true),
+            "fresh window never re-checkpoints"
+        );
     }
 
     #[test]
@@ -496,9 +529,13 @@ mod tests {
     fn retain_free_on_commit_filters_registers() {
         let mut t = CheckpointTable::new(4);
         let a = t.take(0, snap(), vec![]).unwrap();
-        t.take(5, snap(), vec![PhysReg(1), PhysReg(2), PhysReg(3)]).unwrap();
+        t.take(5, snap(), vec![PhysReg(1), PhysReg(2), PhysReg(3)])
+            .unwrap();
         t.retain_free_on_commit(|p| p != PhysReg(2));
-        assert_eq!(t.get(a).unwrap().free_on_commit, vec![PhysReg(1), PhysReg(3)]);
+        assert_eq!(
+            t.get(a).unwrap().free_on_commit,
+            vec![PhysReg(1), PhysReg(3)]
+        );
     }
 
     #[test]

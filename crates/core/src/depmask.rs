@@ -102,8 +102,12 @@ mod tests {
     #[test]
     fn consumer_of_masked_register_becomes_dependent() {
         let mut m = DependenceMask::seeded(ArchReg::fp(1));
-        let consumer =
-            Instruction::op(0, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1), ArchReg::fp(3)]);
+        let consumer = Instruction::op(
+            0,
+            OpKind::FpAlu,
+            Some(ArchReg::fp(2)),
+            &[ArchReg::fp(1), ArchReg::fp(3)],
+        );
         assert!(m.classify_and_update(&consumer));
         assert!(m.contains(ArchReg::fp(2)), "destination joined the mask");
     }

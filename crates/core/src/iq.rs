@@ -69,7 +69,10 @@ impl InstructionQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "instruction queue capacity must be non-zero");
-        InstructionQueue { capacity, ..Default::default() }
+        InstructionQueue {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Maximum number of entries.
@@ -103,7 +106,11 @@ impl InstructionQueue {
     /// # Errors
     /// Returns [`IqFull`] if the queue has no free entry; the dispatch stage
     /// stalls in that case.
-    pub fn insert(&mut self, entry: IqEntry, mut is_ready: impl FnMut(PhysReg) -> bool) -> Result<(), IqFull> {
+    pub fn insert(
+        &mut self,
+        entry: IqEntry,
+        mut is_ready: impl FnMut(PhysReg) -> bool,
+    ) -> Result<(), IqFull> {
         if !self.has_space() {
             return Err(IqFull);
         }
@@ -120,7 +127,14 @@ impl InstructionQueue {
         if outstanding == 0 {
             self.ready.insert(inst);
         }
-        let prev = self.slots.insert(inst, Slot { entry, token, outstanding });
+        let prev = self.slots.insert(
+            inst,
+            Slot {
+                entry,
+                token,
+                outstanding,
+            },
+        );
         debug_assert!(prev.is_none(), "instruction {inst} inserted twice");
         Ok(())
     }
@@ -141,7 +155,9 @@ impl InstructionQueue {
 
     /// Broadcasts that `reg` now holds its value, waking dependent entries.
     pub fn wakeup(&mut self, reg: PhysReg) {
-        let Some(waiting) = self.waiters.remove(&reg) else { return };
+        let Some(waiting) = self.waiters.remove(&reg) else {
+            return;
+        };
         for (inst, token) in waiting {
             if let Some(slot) = self.slots.get_mut(&inst) {
                 if slot.token == token && slot.outstanding > 0 {
@@ -157,7 +173,11 @@ impl InstructionQueue {
     /// Selects up to `max_total` ready instructions, oldest first, consuming
     /// per-functional-unit availability from `fu_available` (indexed by
     /// [`FuClass::index`]). Selected entries are removed from the queue.
-    pub fn select_ready(&mut self, fu_available: &mut [usize; FuClass::COUNT], max_total: usize) -> Vec<IqEntry> {
+    pub fn select_ready(
+        &mut self,
+        fu_available: &mut [usize; FuClass::COUNT],
+        max_total: usize,
+    ) -> Vec<IqEntry> {
         let mut picked = Vec::new();
         let candidates: Vec<InstId> = self.ready.iter().copied().collect();
         for inst in candidates {
@@ -235,7 +255,8 @@ mod tests {
     #[test]
     fn entry_with_ready_sources_is_immediately_ready() {
         let mut iq = InstructionQueue::new(4);
-        iq.insert(entry(0, &[1, 2], FuClass::IntAlu), |_| true).unwrap();
+        iq.insert(entry(0, &[1, 2], FuClass::IntAlu), |_| true)
+            .unwrap();
         assert_eq!(iq.ready_count(), 1);
         let picked = iq.select_ready(&mut all_fus(), 4);
         assert_eq!(picked.len(), 1);
@@ -254,7 +275,8 @@ mod tests {
     #[test]
     fn entry_waits_for_all_sources() {
         let mut iq = InstructionQueue::new(4);
-        iq.insert(entry(0, &[7, 8], FuClass::Fp), |_| false).unwrap();
+        iq.insert(entry(0, &[7, 8], FuClass::Fp), |_| false)
+            .unwrap();
         iq.wakeup(PhysReg(7));
         assert_eq!(iq.ready_count(), 0);
         iq.wakeup(PhysReg(8));
@@ -290,7 +312,10 @@ mod tests {
         let mut iq = InstructionQueue::new(2);
         iq.insert(entry(0, &[], FuClass::IntAlu), |_| true).unwrap();
         iq.insert(entry(1, &[], FuClass::IntAlu), |_| true).unwrap();
-        assert_eq!(iq.insert(entry(2, &[], FuClass::IntAlu), |_| true), Err(IqFull));
+        assert_eq!(
+            iq.insert(entry(2, &[], FuClass::IntAlu), |_| true),
+            Err(IqFull)
+        );
         assert!(!iq.has_space());
     }
 
@@ -314,7 +339,11 @@ mod tests {
         // Re-insert the same instruction id, now waiting on a different register.
         iq.insert(entry(3, &[11], FuClass::Fp), |_| false).unwrap();
         iq.wakeup(PhysReg(9)); // stale broadcast from the first incarnation
-        assert_eq!(iq.ready_count(), 0, "stale wakeup must not make the new incarnation ready");
+        assert_eq!(
+            iq.ready_count(),
+            0,
+            "stale wakeup must not make the new incarnation ready"
+        );
         iq.wakeup(PhysReg(11));
         assert_eq!(iq.ready_count(), 1);
     }
@@ -335,9 +364,14 @@ mod tests {
     #[test]
     fn duplicate_source_registers_are_counted_per_occurrence() {
         let mut iq = InstructionQueue::new(4);
-        iq.insert(entry(0, &[7, 7], FuClass::Fp), |_| false).unwrap();
+        iq.insert(entry(0, &[7, 7], FuClass::Fp), |_| false)
+            .unwrap();
         iq.wakeup(PhysReg(7));
-        assert_eq!(iq.ready_count(), 1, "one broadcast satisfies both occurrences");
+        assert_eq!(
+            iq.ready_count(),
+            1,
+            "one broadcast satisfies both occurrences"
+        );
     }
 
     #[test]
@@ -348,7 +382,10 @@ mod tests {
         assert_eq!(iq.len(), 2);
         assert_eq!(iq.capacity(), 1);
         assert!(!iq.has_space());
-        assert_eq!(iq.insert(entry(2, &[], FuClass::IntAlu), |_| true), Err(IqFull));
+        assert_eq!(
+            iq.insert(entry(2, &[], FuClass::IntAlu), |_| true),
+            Err(IqFull)
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ impl LoadStoreQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "load/store queue capacity must be non-zero");
-        LoadStoreQueue { capacity, entries: VecDeque::new(), stores_released: 0, loads_released: 0 }
+        LoadStoreQueue {
+            capacity,
+            entries: VecDeque::new(),
+            stores_released: 0,
+            loads_released: 0,
+        }
     }
 
     /// Maximum number of entries.
@@ -87,7 +92,10 @@ impl LoadStoreQueue {
             return Err(LsqFull);
         }
         debug_assert!(
-            self.entries.back().map(|b| b.inst < entry.inst).unwrap_or(true),
+            self.entries
+                .back()
+                .map(|b| b.inst < entry.inst)
+                .unwrap_or(true),
             "LSQ allocations must be in program order"
         );
         self.entries.push_back(entry);
@@ -144,11 +152,19 @@ mod tests {
     use super::*;
 
     fn load(inst: InstId) -> LsqEntry {
-        LsqEntry { inst, is_store: false, addr: 0x1000 + inst as u64 * 8 }
+        LsqEntry {
+            inst,
+            is_store: false,
+            addr: 0x1000 + inst as u64 * 8,
+        }
     }
 
     fn store(inst: InstId) -> LsqEntry {
-        LsqEntry { inst, is_store: true, addr: 0x2000 + inst as u64 * 8 }
+        LsqEntry {
+            inst,
+            is_store: true,
+            addr: 0x2000 + inst as u64 * 8,
+        }
     }
 
     #[test]
@@ -190,7 +206,8 @@ mod tests {
     fn squash_removes_young_entries() {
         let mut lsq = LoadStoreQueue::new(8);
         for i in 0..5 {
-            lsq.allocate(if i % 2 == 0 { load(i) } else { store(i) }).unwrap();
+            lsq.allocate(if i % 2 == 0 { load(i) } else { store(i) })
+                .unwrap();
         }
         let removed = lsq.squash_from(2);
         assert_eq!(removed, 3);

@@ -98,7 +98,10 @@ impl PseudoRob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pseudo-ROB capacity must be non-zero");
-        PseudoRob { capacity, entries: VecDeque::with_capacity(capacity) }
+        PseudoRob {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Maximum number of entries.
@@ -125,7 +128,11 @@ impl PseudoRob {
     /// oldest entry is *retired* (extracted) and returned — this is the
     /// moment the SLIQ classification happens.
     pub fn push(&mut self, entry: PseudoRobEntry) -> Option<PseudoRobEntry> {
-        let retired = if self.is_full() { self.entries.pop_front() } else { None };
+        let retired = if self.is_full() {
+            self.entries.pop_front()
+        } else {
+            None
+        };
         self.entries.push_back(entry);
         retired
     }
@@ -187,7 +194,13 @@ mod tests {
     use super::*;
 
     fn entry(inst: InstId) -> PseudoRobEntry {
-        PseudoRobEntry { inst, ckpt: 0, rename: None, is_store: false, is_branch: false }
+        PseudoRobEntry {
+            inst,
+            ckpt: 0,
+            rename: None,
+            is_store: false,
+            is_branch: false,
+        }
     }
 
     #[test]

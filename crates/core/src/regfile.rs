@@ -22,8 +22,15 @@ impl PhysRegFile {
     /// # Panics
     /// Panics if `num_regs` is zero.
     pub fn new(num_regs: usize) -> Self {
-        assert!(num_regs > 0, "register file must have at least one register");
-        PhysRegFile { free: vec![true; num_regs], ready: vec![false; num_regs], free_count: num_regs }
+        assert!(
+            num_regs > 0,
+            "register file must have at least one register"
+        );
+        PhysRegFile {
+            free: vec![true; num_regs],
+            ready: vec![false; num_regs],
+            free_count: num_regs,
+        }
     }
 
     /// Total number of physical registers.
@@ -117,7 +124,12 @@ impl VirtualRegisterFile {
     /// Creates a virtual register file with the given tag and physical
     /// register capacities.
     pub fn new(virtual_capacity: usize, physical_capacity: usize) -> Self {
-        VirtualRegisterFile { virtual_capacity, physical_capacity, virtual_in_use: 0, physical_in_use: 0 }
+        VirtualRegisterFile {
+            virtual_capacity,
+            physical_capacity,
+            virtual_in_use: 0,
+            physical_in_use: 0,
+        }
     }
 
     /// Number of virtual tags still available.

@@ -94,7 +94,10 @@ impl CamRenameMap {
         self.valid[idx] = true;
         self.future_free[idx] = false;
         self.map[dest.flat_index()] = Some(new_phys);
-        Some(RenamedInst { new_phys, prev_phys: prev })
+        Some(RenamedInst {
+            new_phys,
+            prev_phys: prev,
+        })
     }
 
     /// Takes a checkpoint: saves the valid, future-free and free-list
@@ -136,7 +139,11 @@ impl CamRenameMap {
     /// checkpoint's `free_on_commit` set, while every redefinition made after
     /// the checkpoint is being squashed.
     pub fn restore(&mut self, snapshot: &RenameCheckpoint, regs: &mut PhysRegFile) {
-        assert_eq!(snapshot.valid.len(), self.valid.len(), "snapshot size mismatch");
+        assert_eq!(
+            snapshot.valid.len(),
+            self.valid.len(),
+            "snapshot size mismatch"
+        );
         self.valid.copy_from_slice(&snapshot.valid);
         self.future_free.iter_mut().for_each(|b| *b = false);
         regs.restore_free_list(&snapshot.free_list);
@@ -257,7 +264,11 @@ mod tests {
         map.rename_dest(r4, &mut regs).unwrap();
         let (snapshot, to_free) = map.take_checkpoint(&regs);
         assert_eq!(to_free.len(), 1, "one register was redefined");
-        assert_eq!(map.future_free_count(), 0, "column cleared after checkpoint");
+        assert_eq!(
+            map.future_free_count(),
+            0,
+            "column cleared after checkpoint"
+        );
         assert_eq!(snapshot.future_free.iter().filter(|&&b| b).count(), 1);
         assert_eq!(snapshot.valid.iter().filter(|&&b| b).count(), 2);
     }

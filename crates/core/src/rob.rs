@@ -55,7 +55,10 @@ impl ReorderBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reorder buffer capacity must be non-zero");
-        ReorderBuffer { capacity, entries: VecDeque::with_capacity(capacity.min(4096)) }
+        ReorderBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+        }
     }
 
     /// Maximum number of entries.
@@ -102,7 +105,9 @@ impl ReorderBuffer {
         let mut committed = Vec::new();
         while committed.len() < width {
             match self.entries.front() {
-                Some(e) if e.finished => committed.push(self.entries.pop_front().expect("front exists")),
+                Some(e) if e.finished => {
+                    committed.push(self.entries.pop_front().expect("front exists"))
+                }
                 _ => break,
             }
         }
@@ -145,7 +150,14 @@ mod tests {
     use super::*;
 
     fn entry(inst: InstId) -> RobEntry {
-        RobEntry { inst, finished: false, rename: None, is_store: false, is_branch: false, ckpt: 0 }
+        RobEntry {
+            inst,
+            finished: false,
+            rename: None,
+            is_store: false,
+            is_branch: false,
+            ckpt: 0,
+        }
     }
 
     #[test]

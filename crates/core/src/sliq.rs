@@ -36,7 +36,11 @@ pub struct SliqConfig {
 impl SliqConfig {
     /// The paper's default: 4-cycle re-insertion delay, 4 instructions/cycle.
     pub fn paper(capacity: usize) -> Self {
-        SliqConfig { capacity, reinsert_delay: 4, wake_width: 4 }
+        SliqConfig {
+            capacity,
+            reinsert_delay: 4,
+            wake_width: 4,
+        }
     }
 }
 
@@ -140,8 +144,10 @@ impl SliqBuffer {
     /// re-computing source availability and overlaps across triggers).
     pub fn on_trigger_ready(&mut self, trigger: PhysReg, now: u64) {
         if !self.pending_triggers.iter().any(|w| w.trigger == trigger) {
-            self.pending_triggers
-                .push_back(WakeupWalker { trigger, ready_at: now + self.config.reinsert_delay as u64 });
+            self.pending_triggers.push_back(WakeupWalker {
+                trigger,
+                ready_at: now + self.config.reinsert_delay as u64,
+            });
         }
     }
 
@@ -155,7 +161,9 @@ impl SliqBuffer {
         let mut budget = self.config.wake_width;
         let mut out = Vec::new();
         while budget > 0 {
-            let Some(front) = self.pending_triggers.front().copied() else { break };
+            let Some(front) = self.pending_triggers.front().copied() else {
+                break;
+            };
             if front.ready_at > now {
                 break;
             }
@@ -224,7 +232,10 @@ pub struct DependenceTracker {
 
 impl Default for DependenceTracker {
     fn default() -> Self {
-        DependenceTracker { mask: DependenceMask::new(), trigger_of: vec![None; koc_isa::NUM_ARCH_REGS] }
+        DependenceTracker {
+            mask: DependenceMask::new(),
+            trigger_of: vec![None; koc_isa::NUM_ARCH_REGS],
+        }
     }
 }
 
@@ -302,11 +313,21 @@ mod tests {
     use koc_isa::{FuClass, OpKind};
 
     fn iq_entry(inst: InstId) -> IqEntry {
-        IqEntry { inst, dest: Some(PhysReg(200 + inst as u32)), srcs: vec![], fu: FuClass::Fp, ckpt: 0 }
+        IqEntry {
+            inst,
+            dest: Some(PhysReg(200 + inst as u32)),
+            srcs: vec![],
+            fu: FuClass::Fp,
+            ckpt: 0,
+        }
     }
 
     fn cfg(capacity: usize, delay: u32) -> SliqConfig {
-        SliqConfig { capacity, reinsert_delay: delay, wake_width: 4 }
+        SliqConfig {
+            capacity,
+            reinsert_delay: delay,
+            wake_width: 4,
+        }
     }
 
     #[test]
@@ -354,7 +375,11 @@ mod tests {
         assert_eq!(first[0].inst, 0, "oldest first");
         let second = s.step(1, 16, 16);
         assert_eq!(second.len(), 2);
-        assert_eq!(s.pending_triggers().count(), 0, "walk completes when its entries are gone");
+        assert_eq!(
+            s.pending_triggers().count(),
+            0,
+            "walk completes when its entries are gone"
+        );
     }
 
     #[test]
@@ -364,7 +389,10 @@ mod tests {
             s.insert(iq_entry(i), PhysReg(7)); // all FP entries
         }
         s.on_trigger_ready(PhysReg(7), 0);
-        assert!(s.step(0, 16, 0).is_empty(), "no FP queue space, nothing re-inserted");
+        assert!(
+            s.step(0, 16, 0).is_empty(),
+            "no FP queue space, nothing re-inserted"
+        );
         assert_eq!(s.step(1, 16, 2).len(), 2);
         assert_eq!(s.step(2, 16, 16).len(), 2);
         assert!(s.is_empty());
@@ -378,7 +406,11 @@ mod tests {
         s.on_trigger_ready(PhysReg(7), 0);
         s.on_trigger_ready(PhysReg(9), 0);
         let woken = s.step(0, 16, 16);
-        assert_eq!(woken.len(), 2, "both triggers' entries fit in one cycle's budget");
+        assert_eq!(
+            woken.len(),
+            2,
+            "both triggers' entries fit in one cycle's budget"
+        );
         assert_eq!(woken[0].inst, 0);
         assert_eq!(woken[1].inst, 1);
     }
@@ -480,7 +512,11 @@ mod tests {
         t.add_long_latency_load(ArchReg::fp(1), PhysReg(41));
         assert_eq!(t.trigger_for(ArchReg::fp(1)), Some(PhysReg(41)));
         t.clear_if_trigger(ArchReg::fp(1), PhysReg(99));
-        assert_eq!(t.trigger_for(ArchReg::fp(1)), Some(PhysReg(41)), "mismatched trigger is ignored");
+        assert_eq!(
+            t.trigger_for(ArchReg::fp(1)),
+            Some(PhysReg(41)),
+            "mismatched trigger is ignored"
+        );
         t.clear_if_trigger(ArchReg::fp(1), PhysReg(41));
         assert_eq!(t.trigger_for(ArchReg::fp(1)), None);
         assert!(t.is_empty());

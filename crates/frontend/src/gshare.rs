@@ -21,7 +21,10 @@ impl GsharePredictor {
     /// # Panics
     /// Panics if `entries` is not a power of two or is zero.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "gshare entries must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "gshare entries must be a power of two"
+        );
         GsharePredictor {
             counters: vec![2; entries], // weakly taken
             history: 0,
@@ -87,7 +90,11 @@ mod tests {
             p.predict_and_train(0x1234, true, &mut stats);
         }
         // After warm-up the loop branch is essentially always predicted.
-        assert!(stats.misprediction_rate() < 0.01, "rate = {}", stats.misprediction_rate());
+        assert!(
+            stats.misprediction_rate() < 0.01,
+            "rate = {}",
+            stats.misprediction_rate()
+        );
     }
 
     #[test]
@@ -101,7 +108,11 @@ mod tests {
             }
         }
         // Mispredicts about once per loop exit at worst.
-        assert!(stats.misprediction_rate() < 0.05, "rate = {}", stats.misprediction_rate());
+        assert!(
+            stats.misprediction_rate() < 0.05,
+            "rate = {}",
+            stats.misprediction_rate()
+        );
     }
 
     #[test]
@@ -114,7 +125,11 @@ mod tests {
             let taken = rng.random_bool(0.5);
             p.predict_and_train(0x80, taken, &mut stats);
         }
-        assert!(stats.misprediction_rate() > 0.3, "rate = {}", stats.misprediction_rate());
+        assert!(
+            stats.misprediction_rate() > 0.3,
+            "rate = {}",
+            stats.misprediction_rate()
+        );
     }
 
     #[test]

@@ -38,12 +38,18 @@ impl Default for TraceBuilder {
 impl TraceBuilder {
     /// Creates an empty builder with the program counter at 0.
     pub fn new() -> Self {
-        TraceBuilder { trace: Trace::new("built"), pc: 0 }
+        TraceBuilder {
+            trace: Trace::new("built"),
+            pc: 0,
+        }
     }
 
     /// Creates an empty builder for a named trace.
     pub fn named(name: impl Into<String>) -> Self {
-        TraceBuilder { trace: Trace::new(name), pc: 0 }
+        TraceBuilder {
+            trace: Trace::new(name),
+            pc: 0,
+        }
     }
 
     /// The current program counter (the pc the *next* instruction will get).

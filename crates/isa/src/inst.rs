@@ -45,12 +45,20 @@ pub struct BranchInfo {
 impl BranchInfo {
     /// A conditional branch with the given outcome and target.
     pub fn conditional(taken: bool, target: u64) -> Self {
-        BranchInfo { taken, target, unconditional: false }
+        BranchInfo {
+            taken,
+            target,
+            unconditional: false,
+        }
     }
 
     /// An unconditional (always taken) branch.
     pub fn unconditional(target: u64) -> Self {
-        BranchInfo { taken: true, target, unconditional: true }
+        BranchInfo {
+            taken: true,
+            target,
+            unconditional: true,
+        }
     }
 }
 
@@ -183,7 +191,12 @@ mod tests {
 
     #[test]
     fn op_constructor_fills_sources_in_order() {
-        let i = Instruction::op(0x10, OpKind::FpAlu, Some(ArchReg::fp(1)), &[ArchReg::fp(2), ArchReg::fp(3)]);
+        let i = Instruction::op(
+            0x10,
+            OpKind::FpAlu,
+            Some(ArchReg::fp(1)),
+            &[ArchReg::fp(2), ArchReg::fp(3)],
+        );
         assert_eq!(i.num_sources(), 2);
         let srcs: Vec<_> = i.sources().collect();
         assert_eq!(srcs, vec![ArchReg::fp(2), ArchReg::fp(3)]);
@@ -212,7 +225,7 @@ mod tests {
     fn branch_records_outcome() {
         let i = Instruction::branch(0x30, ArchReg::int(1), true, 0x10);
         assert!(i.is_branch());
-        assert_eq!(i.branch.unwrap().taken, true);
+        assert!(i.branch.unwrap().taken);
         assert_eq!(i.branch.unwrap().target, 0x10);
         assert!(!i.branch.unwrap().unconditional);
     }

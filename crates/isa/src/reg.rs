@@ -59,7 +59,10 @@ impl ArchReg {
     /// # Panics
     /// Panics if `n >= 32`.
     pub fn int(n: u8) -> Self {
-        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: {n}");
+        assert!(
+            (n as usize) < NUM_INT_REGS,
+            "integer register out of range: {n}"
+        );
         ArchReg(n)
     }
 
@@ -77,7 +80,10 @@ impl ArchReg {
     /// # Panics
     /// Panics if `index >= NUM_ARCH_REGS`.
     pub fn from_flat_index(index: usize) -> Self {
-        assert!(index < NUM_ARCH_REGS, "flat register index out of range: {index}");
+        assert!(
+            index < NUM_ARCH_REGS,
+            "flat register index out of range: {index}"
+        );
         ArchReg(index as u8)
     }
 

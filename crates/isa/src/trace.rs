@@ -23,12 +23,18 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), insts: Vec::new() }
+        Trace {
+            name: name.into(),
+            insts: Vec::new(),
+        }
     }
 
     /// Creates a trace from a vector of instructions.
     pub fn from_instructions(name: impl Into<String>, insts: Vec<Instruction>) -> Self {
-        Trace { name: name.into(), insts }
+        Trace {
+            name: name.into(),
+            insts,
+        }
     }
 
     /// The workload name of this trace.
@@ -64,7 +70,10 @@ impl Trace {
 
     /// Creates a cursor positioned at the start of the trace.
     pub fn cursor(&self) -> TraceCursor<'_> {
-        TraceCursor { trace: self, pos: 0 }
+        TraceCursor {
+            trace: self,
+            pos: 0,
+        }
     }
 
     /// Fraction of instructions of each property, handy for workload sanity checks.
@@ -103,7 +112,10 @@ impl Extend<Instruction> for Trace {
 
 impl FromIterator<Instruction> for Trace {
     fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
-        Trace { name: String::new(), insts: iter.into_iter().collect() }
+        Trace {
+            name: String::new(),
+            insts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -186,7 +198,10 @@ impl<'a> TraceCursor<'a> {
     /// # Panics
     /// Panics if `id` is beyond the end of the trace.
     pub fn rewind_to(&mut self, id: InstId) {
-        assert!(id <= self.trace.len(), "rewind target {id} beyond trace end");
+        assert!(
+            id <= self.trace.len(),
+            "rewind target {id} beyond trace end"
+        );
         self.pos = id;
     }
 
@@ -204,10 +219,25 @@ mod tests {
 
     fn tiny_trace() -> Trace {
         let mut t = Trace::new("tiny");
-        t.push(Instruction::op(0, OpKind::IntAlu, Some(ArchReg::int(1)), &[]));
+        t.push(Instruction::op(
+            0,
+            OpKind::IntAlu,
+            Some(ArchReg::int(1)),
+            &[],
+        ));
         t.push(Instruction::load(4, ArchReg::fp(1), ArchReg::int(1), 0x100));
-        t.push(Instruction::op(8, OpKind::FpAlu, Some(ArchReg::fp(2)), &[ArchReg::fp(1)]));
-        t.push(Instruction::store(12, ArchReg::fp(2), ArchReg::int(1), 0x108));
+        t.push(Instruction::op(
+            8,
+            OpKind::FpAlu,
+            Some(ArchReg::fp(2)),
+            &[ArchReg::fp(1)],
+        ));
+        t.push(Instruction::store(
+            12,
+            ArchReg::fp(2),
+            ArchReg::int(1),
+            0x108,
+        ));
         t.push(Instruction::branch(16, ArchReg::int(1), true, 0));
         t
     }

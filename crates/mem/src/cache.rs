@@ -22,14 +22,25 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (zero sizes, capacity not a
     /// multiple of `ways * line_bytes`, or non-power-of-two line size).
     pub fn new(size_bytes: u64, ways: usize, line_bytes: u64, latency: u32) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be non-zero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache geometry must be non-zero"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert_eq!(
             size_bytes % (ways as u64 * line_bytes),
             0,
             "capacity must be a whole number of sets"
         );
-        CacheConfig { size_bytes, ways, line_bytes, latency }
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            latency,
+        }
     }
 
     /// Number of sets.
@@ -86,7 +97,12 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = vec![CacheSet::default(); config.num_sets()];
-        Cache { config, sets, hits: 0, misses: 0 }
+        Cache {
+            config,
+            sets,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The cache geometry.
@@ -189,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn lru_evicts_least_recently_used() {
         let mut c = small_cache();
         // Set 0 holds lines with even line index. Lines 0, 2, 4 map to set 0.

@@ -35,7 +35,10 @@ impl MemoryConfig {
 
     /// The Table 1 hierarchy with a perfect L2 (never misses).
     pub fn table1_perfect_l2() -> Self {
-        MemoryConfig { perfect_l2: true, ..MemoryConfig::table1(0) }
+        MemoryConfig {
+            perfect_l2: true,
+            ..MemoryConfig::table1(0)
+        }
     }
 
     /// Sets the main-memory latency (builder style).

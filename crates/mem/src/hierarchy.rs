@@ -83,7 +83,10 @@ impl MemoryHierarchy {
         let l1 = self.dl1.access(addr);
         if l1.is_hit() {
             self.stats.dl1_hits += 1;
-            return DataAccessResult { level: MemLevel::L1, latency: self.config.dl1.latency };
+            return DataAccessResult {
+                level: MemLevel::L1,
+                latency: self.config.dl1.latency,
+            };
         }
         self.stats.dl1_misses += 1;
         let l2 = self.l2.access(addr);
@@ -180,8 +183,8 @@ mod tests {
     fn l2_hit_latency_is_l1_plus_l2() {
         let mut m = MemoryHierarchy::new(MemoryConfig::table1(500));
         m.access_data(0x20_0000, false); // fill L2 + L1
-        // Evict from L1 by touching many other lines mapping everywhere, then
-        // the original line should still be in the much larger L2.
+                                         // Evict from L1 by touching many other lines mapping everywhere, then
+                                         // the original line should still be in the much larger L2.
         for i in 0..4096u64 {
             m.access_data(0x40_0000 + i * 32, false);
         }

@@ -148,7 +148,10 @@ impl ProcessorConfig {
 
     /// The Table 1 baseline with a perfect L2 (Figure 1's first bars).
     pub fn baseline_perfect_l2(window: usize) -> Self {
-        ProcessorConfig { memory: MemoryConfig::table1_perfect_l2(), ..Self::baseline(window, 0) }
+        ProcessorConfig {
+            memory: MemoryConfig::table1_perfect_l2(),
+            ..Self::baseline(window, 0)
+        }
     }
 
     /// The paper's proposed machine: out-of-order commit with 8 checkpoints,
@@ -174,8 +177,12 @@ impl ProcessorConfig {
     /// Panics if the commit engine is not checkpointed.
     pub fn with_checkpoints(mut self, entries: usize) -> Self {
         match &mut self.commit {
-            CommitConfig::Checkpointed { checkpoint_entries, .. } => *checkpoint_entries = entries,
-            CommitConfig::InOrderRob { .. } => panic!("checkpoint count applies to the checkpointed engine"),
+            CommitConfig::Checkpointed {
+                checkpoint_entries, ..
+            } => *checkpoint_entries = entries,
+            CommitConfig::InOrderRob { .. } => {
+                panic!("checkpoint count applies to the checkpointed engine")
+            }
         }
         self
     }
@@ -187,7 +194,9 @@ impl ProcessorConfig {
     pub fn with_reinsert_delay(mut self, delay: u32) -> Self {
         match &mut self.commit {
             CommitConfig::Checkpointed { sliq, .. } => sliq.reinsert_delay = delay,
-            CommitConfig::InOrderRob { .. } => panic!("re-insertion delay applies to the checkpointed engine"),
+            CommitConfig::InOrderRob { .. } => {
+                panic!("re-insertion delay applies to the checkpointed engine")
+            }
         }
         self
     }
@@ -227,7 +236,13 @@ impl ProcessorConfig {
         if self.registers.rename_pool_size() < 64 {
             return Err("register pool must cover at least the 64 logical registers".into());
         }
-        if let CommitConfig::Checkpointed { checkpoint_entries, pseudo_rob_size, sliq, .. } = &self.commit {
+        if let CommitConfig::Checkpointed {
+            checkpoint_entries,
+            pseudo_rob_size,
+            sliq,
+            ..
+        } = &self.commit
+        {
             if *checkpoint_entries == 0 {
                 return Err("checkpoint table must have at least one entry".into());
             }
@@ -279,7 +294,12 @@ mod tests {
     fn cooo_constructor_uses_eight_checkpoints_and_paper_policy() {
         let c = ProcessorConfig::cooo(128, 2048, 1000);
         match c.commit {
-            CommitConfig::Checkpointed { checkpoint_entries, pseudo_rob_size, sliq, policy } => {
+            CommitConfig::Checkpointed {
+                checkpoint_entries,
+                pseudo_rob_size,
+                sliq,
+                policy,
+            } => {
                 assert_eq!(checkpoint_entries, 8);
                 assert_eq!(pseudo_rob_size, 128);
                 assert_eq!(sliq.capacity, 2048);
@@ -294,15 +314,24 @@ mod tests {
 
     #[test]
     fn builder_overrides_apply() {
-        let c = ProcessorConfig::cooo(64, 1024, 500).with_checkpoints(32).with_reinsert_delay(12);
+        let c = ProcessorConfig::cooo(64, 1024, 500)
+            .with_checkpoints(32)
+            .with_reinsert_delay(12);
         match c.commit {
-            CommitConfig::Checkpointed { checkpoint_entries, sliq, .. } => {
+            CommitConfig::Checkpointed {
+                checkpoint_entries,
+                sliq,
+                ..
+            } => {
                 assert_eq!(checkpoint_entries, 32);
                 assert_eq!(sliq.reinsert_delay, 12);
             }
             _ => unreachable!(),
         }
-        let v = c.with_registers(RegisterModel::Virtual { virtual_tags: 1024, phys_regs: 256 });
+        let v = c.with_registers(RegisterModel::Virtual {
+            virtual_tags: 1024,
+            phys_regs: 256,
+        });
         assert_eq!(v.registers.rename_pool_size(), 1024);
     }
 
@@ -316,6 +345,60 @@ mod tests {
     fn perfect_l2_baseline_has_perfect_memory() {
         let c = ProcessorConfig::baseline_perfect_l2(2048);
         assert!(c.memory.perfect_l2);
+    }
+
+    #[test]
+    fn rename_pool_follows_the_register_model() {
+        // Conventional renaming consumes physical registers...
+        assert_eq!(
+            RegisterModel::Conventional { phys_regs: 4096 }.rename_pool_size(),
+            4096
+        );
+        assert_eq!(
+            RegisterModel::Conventional { phys_regs: 64 }.rename_pool_size(),
+            64
+        );
+        // ...while the ephemeral/virtual scheme renames onto virtual tags;
+        // the physical count only bounds post-write-back occupancy.
+        assert_eq!(
+            RegisterModel::Virtual {
+                virtual_tags: 1024,
+                phys_regs: 256
+            }
+            .rename_pool_size(),
+            1024
+        );
+        assert_eq!(
+            RegisterModel::Virtual {
+                virtual_tags: 512,
+                phys_regs: 4096
+            }
+            .rename_pool_size(),
+            512
+        );
+    }
+
+    #[test]
+    fn commit_config_cooo_defaults_match_table1() {
+        // The paper's main configuration: 8 checkpoints, pseudo-ROB sized
+        // like the queues, SLIQ at the requested capacity, paper policy.
+        let c = CommitConfig::cooo(128, 2048);
+        assert!(c.is_checkpointed());
+        match c {
+            CommitConfig::Checkpointed {
+                checkpoint_entries,
+                pseudo_rob_size,
+                sliq,
+                policy,
+            } => {
+                assert_eq!(checkpoint_entries, 8, "Table 1: 8 checkpoints");
+                assert_eq!(pseudo_rob_size, 128);
+                assert_eq!(sliq, SliqConfig::paper(2048));
+                assert_eq!(policy, CheckpointPolicy::paper());
+            }
+            CommitConfig::InOrderRob { .. } => unreachable!(),
+        }
+        assert!(!CommitConfig::InOrderRob { rob_size: 128 }.is_checkpointed());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The paper's commit engine: checkpointed out-of-order commit with a
+//! pseudo-ROB for classification/near recovery and Slow Lane Instruction
+//! Queuing for long-latency dependence chains.
+
+use super::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
+use crate::inflight::InstState;
+use crate::stats::SimStats;
+use koc_core::{
+    CheckpointId, CheckpointPolicy, CheckpointTable, DependenceTracker, PseudoRob, PseudoRobEntry,
+    RetireClass, SliqBuffer, SliqConfig,
+};
+use koc_isa::{FuClass, InstId, Instruction, OpKind, PhysReg};
+use std::collections::HashSet;
+
+/// Checkpointed out-of-order commit: retirement happens a whole checkpoint
+/// at a time, as soon as every instruction in the checkpoint's window has
+/// completed — regardless of younger work.
+pub struct CheckpointedEngine {
+    table: CheckpointTable,
+    policy: CheckpointPolicy,
+    pseudo_rob: PseudoRob,
+    sliq: SliqBuffer,
+    dep: DependenceTracker,
+    sliq_triggers: HashSet<PhysReg>,
+    /// Take a checkpoint exactly before this instruction (precise exception
+    /// re-execution).
+    force_checkpoint_at: Option<InstId>,
+}
+
+impl CheckpointedEngine {
+    /// An engine with the given checkpoint-table size, pseudo-ROB size, SLIQ
+    /// configuration and checkpoint-placement policy.
+    pub fn new(
+        checkpoint_entries: usize,
+        pseudo_rob_size: usize,
+        sliq: SliqConfig,
+        policy: CheckpointPolicy,
+    ) -> Self {
+        CheckpointedEngine {
+            table: CheckpointTable::new(checkpoint_entries),
+            policy,
+            pseudo_rob: PseudoRob::new(pseudo_rob_size),
+            sliq: SliqBuffer::new(sliq),
+            dep: DependenceTracker::new(),
+            sliq_triggers: HashSet::new(),
+            force_checkpoint_at: None,
+        }
+    }
+
+    /// Classifies an instruction retiring from the pseudo-ROB (Figure 12)
+    /// and moves still-waiting long-latency dependents into the SLIQ.
+    fn classify_retired(&mut self, entry: PseudoRobEntry, ctx: &mut EngineCtx<'_, '_>) {
+        let trace = ctx.trace;
+        let trace_inst = &trace[entry.inst];
+        // Update the dependence mask with this instruction regardless of its
+        // class: independent redefinitions kill dependences.
+        let trigger = self.dep.classify(trace_inst);
+        let fl = ctx.inflight.get(&entry.inst);
+        let class = if entry.is_store {
+            RetireClass::Store
+        } else if trace_inst.kind == OpKind::Load {
+            match fl {
+                Some(fl) if fl.is_done() => RetireClass::FinishedLoad,
+                Some(fl) if fl.is_issued() && fl.mem_level != Some(koc_mem::MemLevel::Memory) => {
+                    RetireClass::FinishedLoad
+                }
+                None => RetireClass::FinishedLoad,
+                Some(fl) => {
+                    // Still outstanding: the paper treats it as long latency.
+                    if let (Some(dest), Some(phys)) = (trace_inst.dest, fl.dest_phys) {
+                        self.dep.add_long_latency_load(dest, phys);
+                        self.sliq_triggers.insert(phys);
+                    }
+                    RetireClass::LongLatLoad
+                }
+            }
+        } else {
+            match fl {
+                Some(fl) if fl.is_done() => RetireClass::Finished,
+                None => RetireClass::Finished,
+                Some(_) => RetireClass::ShortLat,
+            }
+        };
+        // Move still-waiting dependent instructions (of any kind except the
+        // triggering loads themselves) from the IQ into the SLIQ. If the
+        // triggering register has already been produced, the instruction will
+        // issue shortly, so it stays in the queue (and moving it would leave
+        // it stranded: its wake-up event has already fired).
+        let mut final_class = class;
+        if class != RetireClass::LongLatLoad {
+            if let (Some(trigger), Some(fl)) = (trigger, ctx.inflight.get_mut(&entry.inst)) {
+                if fl.state == InstState::Waiting
+                    && !ctx.regs.is_ready(trigger)
+                    && self.sliq.has_space()
+                {
+                    let queue = if trace_inst.kind.is_fp() {
+                        &mut *ctx.fp_iq
+                    } else {
+                        &mut *ctx.int_iq
+                    };
+                    if let Some(iq_entry) = queue.remove(entry.inst) {
+                        if self.sliq.insert(iq_entry, trigger) {
+                            fl.state = InstState::InSliq;
+                            self.sliq_triggers.insert(trigger);
+                            if !entry.is_store && trace_inst.kind != OpKind::Load {
+                                final_class = RetireClass::Moved;
+                            }
+                        } else {
+                            unreachable!("space was checked");
+                        }
+                    }
+                }
+            }
+        }
+        ctx.stats.retire_breakdown.record(final_class);
+    }
+
+    /// Squashes everything younger than `boundary` (exclusive) by walking
+    /// the pseudo-ROB's rename undo records, and rewinds fetch after
+    /// `boundary`.
+    fn squash_younger(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_>) {
+        let undo: Vec<_> = self
+            .pseudo_rob
+            .squash_younger_than(boundary)
+            .into_iter()
+            .map(|e| (e.inst, e.rename))
+            .collect();
+        let squashed = ctx.undo_renames(&undo);
+        for fl in &squashed {
+            self.table.on_squash(fl.ckpt, !fl.is_done());
+        }
+        // Any instruction younger than `boundary` that was dispatched while
+        // the boundary instruction had already left the pseudo-ROB cannot
+        // exist (FIFO order), so the undo set is complete.
+        ctx.squash_queues_from(boundary + 1);
+        self.sliq.squash_from(boundary + 1);
+        let dropped = self.table.drop_taken_at_or_after(boundary + 1);
+        ctx.stats.checkpoints_squashed += dropped as u64;
+        // Registers that became valid mappings again must not be freed by an
+        // older checkpoint's commit.
+        let rename = &*ctx.rename;
+        self.table.retain_free_on_commit(|p| !rename.is_valid(p));
+        ctx.stats.recoveries.squashed_instructions += undo.len() as u64;
+        ctx.rewind_fetch_to(boundary + 1);
+    }
+
+    /// Rolls back to checkpoint `ckpt`: restores the rename snapshot, drops
+    /// younger checkpoints, squashes every instruction from the checkpoint's
+    /// trace position onwards and rewinds fetch there.
+    fn rollback(&mut self, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>) {
+        let before = self.table.len();
+        let (snapshot, trace_index) = self.table.rollback_to(ckpt);
+        ctx.stats.checkpoints_squashed += (before - self.table.len()) as u64;
+        ctx.rename.restore(&snapshot, ctx.regs);
+        self.pseudo_rob.squash_from(trace_index);
+        self.sliq.squash_from(trace_index);
+        self.dep.reset();
+        ctx.squash_queues_from(trace_index);
+        // Remove squashed in-flight instances. Their registers come back via
+        // the restored free list, not via explicit frees.
+        let doomed: Vec<InstId> = ctx.inflight.range(trace_index..).map(|(&k, _)| k).collect();
+        let mut squashed = 0u64;
+        for inst in doomed {
+            if ctx.forget_inflight(inst).is_some() {
+                squashed += 1;
+            }
+        }
+        ctx.stats.recoveries.squashed_instructions += squashed;
+        ctx.stats.recoveries.reexecuted_instructions +=
+            ctx.cursor.position().saturating_sub(trace_index) as u64;
+        ctx.cursor.rewind_to(trace_index);
+    }
+}
+
+impl CommitEngine for CheckpointedEngine {
+    fn name(&self) -> &'static str {
+        "checkpointed-out-of-order"
+    }
+
+    fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    fn reserve(
+        &mut self,
+        id: InstId,
+        inst: &Instruction,
+        ctx: &mut EngineCtx<'_, '_>,
+    ) -> Result<(), DispatchStall> {
+        let forced_here = self.force_checkpoint_at == Some(id);
+        let wants_checkpoint = self.table.is_empty()
+            || forced_here
+            || self
+                .table
+                .newest()
+                .map(|n| {
+                    self.policy
+                        .should_take(n.total_insts, n.stores, inst.is_branch())
+                })
+                .unwrap_or(true);
+        let mut take_checkpoint = false;
+        if wants_checkpoint {
+            if !self.table.is_full() {
+                take_checkpoint = true;
+            } else {
+                // Keep extending the youngest window, unless the store bound
+                // would risk exhausting the LSQ.
+                let stores = self.table.newest().map(|n| n.stores).unwrap_or(0);
+                if stores >= self.policy.force_after_stores.saturating_mul(2) {
+                    return Err(DispatchStall::CheckpointFull);
+                }
+            }
+        }
+        if take_checkpoint {
+            let (snapshot, freed) = ctx.rename.take_checkpoint(ctx.regs);
+            self.table
+                .take(id, snapshot, freed)
+                .expect("table was not full");
+            ctx.stats.checkpoints_taken += 1;
+            if forced_here {
+                self.force_checkpoint_at = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate(&mut self, d: &Dispatched) -> CheckpointId {
+        self.table.on_dispatch(d.is_store)
+    }
+
+    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>) {
+        let retired = self.pseudo_rob.push(PseudoRobEntry {
+            inst: d.id,
+            ckpt,
+            rename: d.rename,
+            is_store: d.is_store,
+            is_branch: d.is_branch,
+        });
+        if let Some(entry) = retired {
+            self.classify_retired(entry, ctx);
+        }
+    }
+
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) {
+        for _ in 0..budget {
+            let Some(entry) = self.pseudo_rob.pop_oldest() else {
+                return;
+            };
+            self.classify_retired(entry, ctx);
+        }
+    }
+
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+        // Wake-ups are never blocked by queue occupancy: a re-inserted
+        // instruction may transiently push a queue above its capacity
+        // (bounded by the wake width). Blocking here can create a circular
+        // wait — the queue would only drain once instructions still parked in
+        // the SLIQ execute — so the overshoot is the documented modelling
+        // choice (DESIGN.md).
+        let woken = self.sliq.step(ctx.cycle, usize::MAX, usize::MAX);
+        for entry in woken {
+            let inst = entry.inst;
+            let queue = if entry.fu == FuClass::Fp {
+                &mut *ctx.fp_iq
+            } else {
+                &mut *ctx.int_iq
+            };
+            let regs = &*ctx.regs;
+            queue.insert_unbounded(entry, |p| regs.is_ready(p));
+            if let Some(fl) = ctx.inflight.get_mut(&inst) {
+                fl.state = InstState::Waiting;
+            }
+        }
+    }
+
+    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>) {
+        self.table.on_complete(wb.ckpt);
+        if let Some(p) = wb.dest_phys {
+            if self.sliq_triggers.remove(&p) {
+                self.sliq.on_trigger_ready(p, ctx.cycle);
+            }
+            if wb.kind == OpKind::Load {
+                if let Some(a) = wb.dest_arch {
+                    self.dep.clear_if_trigger(a, p);
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+        let trace_done = ctx.cursor.at_end();
+        if !self.table.can_commit_oldest(trace_done) {
+            return;
+        }
+        let committed = self.table.commit_oldest();
+        let frontier = self
+            .table
+            .oldest()
+            .map(|c| c.trace_index)
+            .unwrap_or_else(|| ctx.cursor.position());
+        ctx.stats.checkpoints_committed += 1;
+        ctx.stats.committed_instructions += committed.total_insts as u64;
+        for p in &committed.free_on_commit {
+            ctx.regs.free(*p);
+        }
+        let id = committed.id;
+        ctx.inflight.retain(|_, fl| fl.ckpt != id);
+        ctx.drain_stores(frontier);
+    }
+
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {
+        if self.pseudo_rob.contains(branch) {
+            ctx.stats.recoveries.near_recoveries += 1;
+            self.squash_younger(branch, ctx);
+        } else {
+            ctx.stats.recoveries.checkpoint_rollbacks += 1;
+            let ckpt = ctx.inflight[&branch].ckpt;
+            self.rollback(ckpt, ctx);
+        }
+    }
+
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool {
+        // Roll back to the owning checkpoint and re-execute in "strict"
+        // mode: a checkpoint is forced right at the excepting instruction so
+        // the architectural state there is precise.
+        let ckpt = ctx.inflight[&inst].ckpt;
+        self.force_checkpoint_at = Some(inst);
+        self.rollback(ckpt, ctx);
+        true
+    }
+
+    fn finalize(&mut self, stats: &mut SimStats) {
+        stats.sliq_moved = self.sliq.total_moved();
+        stats.sliq_high_water = self.sliq.high_water();
+    }
+}

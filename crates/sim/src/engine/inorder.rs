@@ -1,0 +1,115 @@
+//! The conventional commit engine: in-order retirement from a reorder
+//! buffer (the Table 1 baseline).
+
+use super::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
+use crate::stats::SimStats;
+use koc_core::{CheckpointId, ReorderBuffer, RobEntry};
+use koc_isa::{InstId, Instruction};
+
+/// In-order ROB commit: instructions retire strictly in program order, up to
+/// the commit width per cycle, once finished.
+pub struct InOrderEngine {
+    rob: ReorderBuffer,
+}
+
+impl InOrderEngine {
+    /// An engine with a `rob_size`-entry reorder buffer.
+    pub fn new(rob_size: usize) -> Self {
+        InOrderEngine {
+            rob: ReorderBuffer::new(rob_size),
+        }
+    }
+
+    /// Squashes everything younger than `boundary` (exclusive) by walking
+    /// the ROB's rename undo records, and rewinds fetch after `boundary`.
+    fn squash_younger(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_>) {
+        let undo: Vec<_> = self
+            .rob
+            .squash_younger_than(boundary)
+            .into_iter()
+            .map(|e| (e.inst, e.rename))
+            .collect();
+        ctx.undo_renames(&undo);
+        ctx.squash_queues_from(boundary + 1);
+        ctx.stats.recoveries.squashed_instructions += undo.len() as u64;
+        ctx.rewind_fetch_to(boundary + 1);
+    }
+}
+
+impl CommitEngine for InOrderEngine {
+    fn name(&self) -> &'static str {
+        "in-order-rob"
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rob.is_empty()
+    }
+
+    fn reserve(
+        &mut self,
+        _id: InstId,
+        _inst: &Instruction,
+        _ctx: &mut EngineCtx<'_, '_>,
+    ) -> Result<(), DispatchStall> {
+        if self.rob.has_space() {
+            Ok(())
+        } else {
+            Err(DispatchStall::RobFull)
+        }
+    }
+
+    fn allocate(&mut self, d: &Dispatched) -> CheckpointId {
+        self.rob
+            .push(RobEntry {
+                inst: d.id,
+                finished: false,
+                rename: d.rename,
+                is_store: d.is_store,
+                is_branch: d.is_branch,
+                ckpt: 0,
+            })
+            .expect("ROB space was reserved");
+        0
+    }
+
+    fn dispatched(&mut self, _d: &Dispatched, _ckpt: CheckpointId, _ctx: &mut EngineCtx<'_, '_>) {}
+
+    fn frontend_drain(&mut self, _budget: usize, _ctx: &mut EngineCtx<'_, '_>) {}
+
+    fn wake(&mut self, _ctx: &mut EngineCtx<'_, '_>) {}
+
+    fn completed(&mut self, wb: &Writeback, _ctx: &mut EngineCtx<'_, '_>) {
+        self.rob.mark_finished(wb.inst);
+    }
+
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+        let committed = self.rob.commit(ctx.config.commit_width);
+        if committed.is_empty() {
+            return;
+        }
+        let mut frontier = 0;
+        for e in &committed {
+            if let Some((_, _, Some(prev))) = e.rename {
+                ctx.regs.free(prev);
+            }
+            ctx.inflight.remove(&e.inst);
+            frontier = e.inst + 1;
+        }
+        ctx.stats.committed_instructions += committed.len() as u64;
+        ctx.drain_stores(frontier);
+    }
+
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {
+        ctx.stats.recoveries.near_recoveries += 1;
+        self.squash_younger(branch, ctx);
+    }
+
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool {
+        // The baseline delivers the exception precisely by squashing
+        // everything younger; the excepting instruction completes.
+        self.squash_younger(inst, ctx);
+        false
+    }
+
+    fn finalize(&mut self, _stats: &mut SimStats) {}
+}

@@ -1,0 +1,247 @@
+//! Pluggable commit engines.
+//!
+//! The paper's whole contribution is a different *commit engine*: the
+//! baseline retires in order from a ROB, the proposal retires whole
+//! checkpoints out of order. Everything else in the pipeline — fetch,
+//! rename, the issue queues, the functional units, the memory hierarchy —
+//! is identical. This module makes that seam explicit: [`CommitEngine`] is
+//! the trait a commit scheme implements, and the pipeline shell in
+//! [`crate::pipeline`] drives whichever engine it is given without knowing
+//! which variant it has.
+//!
+//! Engines receive an [`EngineCtx`] at every hook: mutable access to the
+//! shared pipeline resources (rename map, register file, issue queues, LSQ,
+//! memory, in-flight table, statistics and the fetch cursor). The engine
+//! owns only its private retirement structures — the ROB for
+//! [`inorder::InOrderEngine`], the checkpoint table / pseudo-ROB / SLIQ for
+//! [`checkpointed::CheckpointedEngine`].
+//!
+//! Adding a third engine requires implementing [`CommitEngine`] and (if it
+//! should be constructible from a [`CommitConfig`]) extending
+//! [`from_config`]; the pipeline shell needs no edits.
+
+pub mod checkpointed;
+pub mod inorder;
+
+pub use checkpointed::CheckpointedEngine;
+pub use inorder::InOrderEngine;
+
+use crate::config::{CommitConfig, ProcessorConfig};
+use crate::inflight::InFlight;
+use crate::stats::SimStats;
+use koc_core::{CamRenameMap, CheckpointId, InstructionQueue, LoadStoreQueue, PhysRegFile};
+use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
+use koc_mem::MemoryHierarchy;
+use std::collections::BTreeMap;
+
+/// Why the engine refused to accept the next instruction this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchStall {
+    /// The reorder buffer is full (in-order engine).
+    RobFull,
+    /// The checkpoint table is full and the open window hit its store bound
+    /// (checkpointed engine).
+    CheckpointFull,
+}
+
+/// A destination rename record: `(architectural, new physical, previous
+/// physical)`.
+pub type RenameUndo = (ArchReg, PhysReg, Option<PhysReg>);
+
+/// Everything the pipeline shell knows about an instruction at dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Dispatched {
+    /// Trace position.
+    pub id: InstId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Destination rename record, if the instruction writes a register.
+    pub rename: Option<RenameUndo>,
+    /// Whether the instruction is a store.
+    pub is_store: bool,
+    /// Whether the instruction is a branch.
+    pub is_branch: bool,
+}
+
+/// Everything the pipeline shell knows about an instruction at write-back.
+#[derive(Debug, Clone, Copy)]
+pub struct Writeback {
+    /// Trace position.
+    pub inst: InstId,
+    /// Owning checkpoint (0 for engines without checkpoints).
+    pub ckpt: CheckpointId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Architectural destination, if any.
+    pub dest_arch: Option<ArchReg>,
+    /// Renamed destination, if any.
+    pub dest_phys: Option<PhysReg>,
+}
+
+/// Mutable views of the shared pipeline resources, passed to every engine
+/// hook. The engine and the shell never alias: the shell constructs the
+/// context fresh per call from its own fields.
+pub struct EngineCtx<'c, 'a> {
+    /// The run's configuration.
+    pub config: &'c ProcessorConfig,
+    /// Current cycle.
+    pub cycle: u64,
+    /// The trace being executed.
+    pub trace: &'a Trace,
+    /// Fetch cursor (recovery rewinds it).
+    pub cursor: &'c mut TraceCursor<'a>,
+    /// The CAM rename map with future-free bits.
+    pub rename: &'c mut CamRenameMap,
+    /// Physical register file / free list.
+    pub regs: &'c mut PhysRegFile,
+    /// Integer instruction queue.
+    pub int_iq: &'c mut InstructionQueue,
+    /// Floating-point instruction queue.
+    pub fp_iq: &'c mut InstructionQueue,
+    /// Load/store queue.
+    pub lsq: &'c mut LoadStoreQueue,
+    /// Memory hierarchy (committed stores drain into it).
+    pub mem: &'c mut MemoryHierarchy,
+    /// In-flight instruction table.
+    pub inflight: &'c mut BTreeMap<InstId, InFlight>,
+    /// Count of dispatched-but-not-issued instructions.
+    pub live_count: &'c mut usize,
+    /// Run statistics.
+    pub stats: &'c mut SimStats,
+}
+
+impl EngineCtx<'_, '_> {
+    /// Releases committed stores older than `frontier` to the memory
+    /// hierarchy.
+    pub fn drain_stores(&mut self, frontier: InstId) {
+        let drained = self.lsq.release_older_than(frontier);
+        for s in drained {
+            self.mem.access_data(s.addr, true);
+        }
+    }
+
+    /// Removes a squashed instruction's in-flight record, maintaining the
+    /// live count, and returns it for engine-side accounting.
+    pub fn forget_inflight(&mut self, inst: InstId) -> Option<InFlight> {
+        let fl = self.inflight.remove(&inst)?;
+        if fl.is_live() {
+            *self.live_count = self.live_count.saturating_sub(1);
+        }
+        Some(fl)
+    }
+
+    /// Squashes both issue queues and the LSQ from `boundary` (inclusive).
+    pub fn squash_queues_from(&mut self, boundary: InstId) {
+        self.int_iq.squash_from(boundary);
+        self.fp_iq.squash_from(boundary);
+        self.lsq.squash_from(boundary);
+    }
+
+    /// Rewinds fetch so it restarts at `target`, if fetch has moved past it.
+    pub fn rewind_fetch_to(&mut self, target: InstId) {
+        if target < self.cursor.position() {
+            self.cursor.rewind_to(target);
+        }
+    }
+
+    /// Undoes the youngest-first rename records of a squash walk and removes
+    /// the squashed instructions from the in-flight table. Returns the
+    /// squashed in-flight records (for engine-side accounting; entries that
+    /// were no longer in flight are skipped).
+    pub fn undo_renames(&mut self, undo: &[(InstId, Option<RenameUndo>)]) -> Vec<InFlight> {
+        let mut squashed = Vec::with_capacity(undo.len());
+        for (inst, rename) in undo {
+            if let Some((arch, newp, prevp)) = rename {
+                self.rename.undo_rename(*arch, *newp, *prevp, self.regs);
+            }
+            if let Some(fl) = self.forget_inflight(*inst) {
+                squashed.push(fl);
+            }
+        }
+        squashed
+    }
+}
+
+/// A commit engine: owns retirement order, recovery strategy and the
+/// reclamation of renamed registers. Driven by the pipeline shell through
+/// the hooks below, in pipeline-stage order.
+pub trait CommitEngine {
+    /// Short engine name, used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Whether the engine holds no uncommitted work (end-of-run condition).
+    fn is_empty(&self) -> bool;
+
+    /// Admission control for the next instruction in fetch order, called
+    /// after the shell's own resource checks (queues, LSQ, registers) pass.
+    /// The engine may mutate its state (e.g. take a checkpoint through
+    /// `ctx.rename`/`ctx.regs`) when it accepts.
+    fn reserve(
+        &mut self,
+        id: InstId,
+        inst: &Instruction,
+        ctx: &mut EngineCtx<'_, '_>,
+    ) -> Result<(), DispatchStall>;
+
+    /// Allocates retirement tracking for an accepted instruction and returns
+    /// the checkpoint that owns it (0 for engines without checkpoints).
+    fn allocate(&mut self, d: &Dispatched) -> CheckpointId;
+
+    /// Called after the accepted instruction entered its issue queue; the
+    /// checkpointed engine advances its pseudo-ROB (and may retire/classify
+    /// an older entry) here.
+    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Frontend-side retirement work when dispatch cannot make progress
+    /// (fetch drained or the issue queues are full): lets the checkpointed
+    /// engine keep classifying pseudo-ROB entries. `budget` bounds the work
+    /// to the fetch width.
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Per-cycle wake-up of any secondary buffer (the SLIQ), before issue
+    /// selection.
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Execution of `wb.inst` completed this cycle (its result, if any, is
+    /// already broadcast to the issue queues).
+    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Retires as much as the engine's commit rules allow this cycle.
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Recovers from a mispredicted branch that resolved at write-back. The
+    /// engine squashes younger work, restores rename state and rewinds fetch
+    /// (through `ctx`); the shell applies the redirect penalty afterwards.
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>);
+
+    /// Delivers an exception raised by `inst` at completion. Returns `true`
+    /// if the excepting instruction itself was squashed (it will re-execute
+    /// from an engine-internal recovery point), `false` if it survives and
+    /// completes normally.
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool;
+
+    /// End-of-run statistics owned by the engine (SLIQ counters and the
+    /// like).
+    fn finalize(&mut self, stats: &mut SimStats);
+}
+
+/// Builds the engine a [`CommitConfig`] describes.
+///
+/// This is the only place that maps configuration variants to engine types;
+/// the pipeline shell never matches on the variant.
+pub fn from_config(commit: &CommitConfig) -> Box<dyn CommitEngine> {
+    match *commit {
+        CommitConfig::InOrderRob { rob_size } => Box::new(InOrderEngine::new(rob_size)),
+        CommitConfig::Checkpointed {
+            checkpoint_entries,
+            pseudo_rob_size,
+            sliq,
+            policy,
+        } => Box::new(CheckpointedEngine::new(
+            checkpoint_entries,
+            pseudo_rob_size,
+            sliq,
+            policy,
+        )),
+    }
+}

@@ -1,41 +1,69 @@
 //! # koc-sim
 //!
 //! A cycle-level, trace-driven superscalar out-of-order processor simulator
-//! with two commit engines:
+//! with pluggable commit engines behind the [`CommitEngine`] trait:
 //!
-//! * the conventional **in-order ROB commit** baseline (Table 1 of the
-//!   paper), and
-//! * the paper's **checkpointed out-of-order commit** machine, built from the
-//!   mechanisms in [`koc-core`]: CAM renaming with future-free bits, a small
-//!   checkpoint table, a pseudo-ROB, and Slow Lane Instruction Queuing.
+//! * [`engine::InOrderEngine`] — the conventional **in-order ROB commit**
+//!   baseline (Table 1 of the paper), and
+//! * [`engine::CheckpointedEngine`] — the paper's **checkpointed
+//!   out-of-order commit** machine, built from the mechanisms in
+//!   [`koc_core`]: CAM renaming with future-free bits, a small checkpoint
+//!   table, a pseudo-ROB, and Slow Lane Instruction Queuing.
+//!
+//! Simulations are configured and run through the fluent [`SimBuilder`] /
+//! [`Session`] API; grids of configurations run in parallel through
+//! [`Sweep`]:
 //!
 //! ```no_run
-//! use koc_sim::{run_suite, ProcessorConfig};
+//! use koc_sim::{ProcessorConfig, SimBuilder, Suite, Sweep};
 //!
 //! // The paper's headline comparison (Figure 9, rightmost group):
-//! let proposal = run_suite(ProcessorConfig::cooo(128, 2048, 1000), 30_000);
-//! let baseline4096 = run_suite(ProcessorConfig::baseline(4096, 1000), 30_000);
-//! let baseline128 = run_suite(ProcessorConfig::baseline(128, 1000), 30_000);
+//! let proposal = SimBuilder::cooo()
+//!     .pseudo_rob(128)
+//!     .sliq(2048)
+//!     .workloads(Suite::paper())
+//!     .trace_len(30_000)
+//!     .build()
+//!     .run();
+//! let baselines = Sweep::over([
+//!     ProcessorConfig::baseline(4096, 1000),
+//!     ProcessorConfig::baseline(128, 1000),
+//! ])
+//! .trace_len(30_000)
+//! .run();
 //! println!(
 //!     "COoO 128/2048: {:.2} IPC vs baseline-4096 {:.2} and baseline-128 {:.2}",
 //!     proposal.mean_ipc(),
-//!     baseline4096.mean_ipc(),
-//!     baseline128.mean_ipc()
+//!     baselines[0].mean_ipc(),
+//!     baselines[1].mean_ipc()
 //! );
 //! ```
-//!
-//! [`koc-core`]: https://example.org
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod inflight;
-pub mod processor;
+pub mod pipeline;
 pub mod runner;
+pub mod session;
 pub mod stats;
 
 pub use config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterModel};
-pub use processor::Processor;
-pub use runner::{run_suite, run_trace, run_workloads, SuiteResult, WorkloadResult};
+pub use engine::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
+pub use pipeline::Processor;
+#[allow(deprecated)]
+pub use runner::{run_suite, run_trace, run_workloads};
+pub use session::{Session, SimBuilder, SuiteResult, Sweep, WorkloadResult};
 pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallStats};
+
+// Re-exported so sessions can be configured without importing
+// `koc_workloads` directly.
+pub use koc_workloads::Suite;
+
+/// Compatibility alias for the pre-engine-split module path.
+#[deprecated(since = "0.1.0", note = "the pipeline lives in `koc_sim::pipeline`")]
+pub mod processor {
+    pub use crate::pipeline::Processor;
+}

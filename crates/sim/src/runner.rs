@@ -1,68 +1,53 @@
-//! Convenience entry points: run one configuration over one workload or over
-//! the whole SPEC2000fp-like suite, as the paper's experiments do.
+//! Deprecated free-function entry points, kept as thin shims over the
+//! [`crate::session`] API for callers that predate [`crate::SimBuilder`] /
+//! [`crate::Sweep`].
 
 use crate::config::ProcessorConfig;
-use crate::processor::Processor;
+use crate::pipeline::Processor;
 use crate::stats::SimStats;
 use koc_isa::Trace;
-use koc_workloads::{spec2000fp_like_suite, suite::suite_average, Workload};
+use koc_workloads::{Suite, Workload};
+
+pub use crate::session::{SuiteResult, WorkloadResult};
 
 /// Runs `config` over `trace` to completion and returns the statistics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimBuilder::from_config(config).build().run_trace(trace)` or `Processor::new`"
+)]
 pub fn run_trace(config: ProcessorConfig, trace: &Trace) -> SimStats {
     Processor::new(config, trace).run()
 }
 
-/// The result of running one configuration over one workload.
-#[derive(Debug, Clone)]
-pub struct WorkloadResult {
-    /// The workload's suite name.
-    pub workload: String,
-    /// Full statistics for the run.
-    pub stats: SimStats,
-}
-
-/// The result of running one configuration over the whole suite.
-#[derive(Debug, Clone)]
-pub struct SuiteResult {
-    /// Per-workload results, in suite order.
-    pub per_workload: Vec<WorkloadResult>,
-}
-
-impl SuiteResult {
-    /// The suite-average IPC — the reduction every figure of the paper
-    /// reports.
-    pub fn mean_ipc(&self) -> f64 {
-        suite_average(&self.per_workload.iter().map(|r| r.stats.ipc()).collect::<Vec<_>>())
-    }
-
-    /// The suite-average number of in-flight instructions (Figure 11).
-    pub fn mean_inflight(&self) -> f64 {
-        suite_average(&self.per_workload.iter().map(|r| r.stats.avg_inflight()).collect::<Vec<_>>())
-    }
-
-    /// Per-workload IPC values, in suite order.
-    pub fn ipcs(&self) -> Vec<f64> {
-        self.per_workload.iter().map(|r| r.stats.ipc()).collect()
-    }
-}
-
 /// Runs `config` over an already-generated set of workloads.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Sweep::over([config]).run_on(workloads)` or \
+            `SimBuilder::from_config(config).workloads(Suite::custom(..)).build().run()`"
+)]
 pub fn run_workloads(config: ProcessorConfig, workloads: &[Workload]) -> SuiteResult {
-    let per_workload = workloads
-        .iter()
-        .map(|w| WorkloadResult { workload: w.name.clone(), stats: run_trace(config, &w.trace) })
-        .collect();
-    SuiteResult { per_workload }
+    crate::Sweep::over([config])
+        .run_on(workloads)
+        .pop()
+        .expect("one configuration yields one result")
 }
 
 /// Generates the SPEC2000fp-like suite at the given trace length and runs
 /// `config` over it.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimBuilder::from_config(config).workloads(Suite::paper()).trace_len(n).build().run()`"
+)]
 pub fn run_suite(config: ProcessorConfig, trace_len: usize) -> SuiteResult {
-    let workloads = spec2000fp_like_suite(trace_len);
-    run_workloads(config, &workloads)
+    crate::SimBuilder::from_config(config)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .build()
+        .run()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::ProcessorConfig;
@@ -88,5 +73,17 @@ mod tests {
         let ipcs = result.ipcs();
         assert!(mean > 0.0);
         assert!((mean - (ipcs[0] + ipcs[1]) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_the_session_api() {
+        let config = ProcessorConfig::cooo(32, 512, 100);
+        let workloads = vec![Workload::generate("gather", kernels::gather(), 1_000)];
+        let old = run_workloads(config, &workloads);
+        let new = crate::Sweep::over([config]).run_on(&workloads);
+        assert_eq!(
+            old.per_workload[0].stats.cycles,
+            new[0].per_workload[0].stats.cycles
+        );
     }
 }

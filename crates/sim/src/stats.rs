@@ -130,6 +130,11 @@ pub struct SimStats {
     pub checkpoints_taken: u64,
     /// Checkpoints committed.
     pub checkpoints_committed: u64,
+    /// Checkpoints squashed by recovery (branch walkback that dropped a
+    /// freshly taken checkpoint, or rollback past younger checkpoints).
+    /// Invariant: `checkpoints_taken == checkpoints_committed +
+    /// checkpoints_squashed` at the end of a run.
+    pub checkpoints_squashed: u64,
     /// Instructions moved to the SLIQ.
     pub sliq_moved: u64,
     /// Peak SLIQ occupancy.
@@ -230,7 +235,11 @@ mod tests {
 
     #[test]
     fn ipc_divides_committed_by_cycles() {
-        let stats = SimStats { cycles: 200, committed_instructions: 500, ..Default::default() };
+        let stats = SimStats {
+            cycles: 200,
+            committed_instructions: 500,
+            ..Default::default()
+        };
         assert!((stats.ipc() - 2.5).abs() < 1e-12);
         assert_eq!(SimStats::default().ipc(), 0.0);
     }

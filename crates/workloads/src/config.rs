@@ -139,13 +139,19 @@ mod tests {
 
     #[test]
     fn zero_iterations_is_rejected() {
-        let c = KernelConfig { iterations: 0, ..Default::default() };
+        let c = KernelConfig {
+            iterations: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn bad_probability_is_rejected() {
-        let c = KernelConfig { irregular_branch_prob: 1.5, ..Default::default() };
+        let c = KernelConfig {
+            irregular_branch_prob: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

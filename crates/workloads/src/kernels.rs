@@ -57,7 +57,9 @@ pub fn dense_blocked() -> KernelConfig {
         loads_per_unit: 2,
         fp_per_load: 3,
         stores_per_unit: 1,
-        memory: MemoryPattern::Blocked { tile_bytes: 64 * 1024 },
+        memory: MemoryPattern::Blocked {
+            tile_bytes: 64 * 1024,
+        },
         dependence: DependencePattern::Independent,
         irregular_branch_prob: 0.0,
         seed: 0xDE45E,
@@ -95,7 +97,9 @@ pub fn gather() -> KernelConfig {
         loads_per_unit: 3,
         fp_per_load: 1,
         stores_per_unit: 1,
-        memory: MemoryPattern::Gather { table_bytes: 64 * 1024 * 1024 },
+        memory: MemoryPattern::Gather {
+            table_bytes: 64 * 1024 * 1024,
+        },
         dependence: DependencePattern::Independent,
         irregular_branch_prob: 0.05,
         seed: 0x6A74E4,
@@ -140,7 +144,10 @@ mod tests {
     fn streaming_kernels_have_long_basic_blocks() {
         // The checkpoint policy ("first branch after 64 instructions") relies
         // on FP basic blocks being long; verify the suite provides them.
-        for (name, c) in [("stream_add", stream_add()), ("dense_blocked", dense_blocked())] {
+        for (name, c) in [
+            ("stream_add", stream_add()),
+            ("dense_blocked", dense_blocked()),
+        ] {
             let t = generate_kernel(name, &c.with_target_len(5_000));
             let branches = t.iter().filter(|i| i.is_branch()).count();
             let avg_block = t.len() / branches.max(1);

@@ -22,7 +22,11 @@ impl Workload {
     pub fn generate(name: &str, config: KernelConfig, target_len: usize) -> Self {
         let config = config.with_target_len(target_len);
         let trace = generate_kernel(name, &config);
-        Workload { name: name.to_string(), config, trace }
+        Workload {
+            name: name.to_string(),
+            config,
+            trace,
+        }
     }
 }
 
@@ -39,6 +43,58 @@ pub fn spec2000fp_like_suite(target_len: usize) -> Vec<Workload> {
         .into_iter()
         .map(|(name, config)| Workload::generate(name, config, target_len))
         .collect()
+}
+
+/// A declarative description of which workloads a simulation session runs.
+///
+/// A `Suite` is a *specification*: it is materialized into concrete
+/// [`Workload`]s (at a given dynamic trace length) by [`Suite::generate`],
+/// which the `koc-sim` session builder calls for you.
+#[derive(Debug, Clone)]
+pub enum Suite {
+    /// The five-kernel SPEC2000fp-like suite the paper's figures average
+    /// over.
+    Paper,
+    /// A single named kernel.
+    Kernel {
+        /// Workload name (used in reports).
+        name: String,
+        /// The kernel configuration to generate from.
+        config: KernelConfig,
+    },
+    /// Pre-generated workloads, used as-is (their length is fixed).
+    Custom(Vec<Workload>),
+}
+
+impl Suite {
+    /// The paper's suite: all five SPEC2000fp-like kernels.
+    pub fn paper() -> Self {
+        Suite::Paper
+    }
+
+    /// A single kernel by configuration (e.g. `Suite::kernel("stream_add",
+    /// kernels::stream_add())`).
+    pub fn kernel(name: impl Into<String>, config: KernelConfig) -> Self {
+        Suite::Kernel {
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// Pre-generated workloads used exactly as given.
+    pub fn custom(workloads: Vec<Workload>) -> Self {
+        Suite::Custom(workloads)
+    }
+
+    /// Materializes the suite at the given minimum dynamic trace length.
+    /// `Custom` workloads are returned as-is.
+    pub fn generate(&self, target_len: usize) -> Vec<Workload> {
+        match self {
+            Suite::Paper => spec2000fp_like_suite(target_len),
+            Suite::Kernel { name, config } => vec![Workload::generate(name, *config, target_len)],
+            Suite::Custom(workloads) => workloads.clone(),
+        }
+    }
 }
 
 /// Arithmetic mean over per-workload values, the paper's "average over
@@ -66,7 +122,12 @@ mod tests {
     #[test]
     fn workloads_meet_the_target_length() {
         for w in spec2000fp_like_suite(3_000) {
-            assert!(w.trace.len() >= 3_000, "{} too short: {}", w.name, w.trace.len());
+            assert!(
+                w.trace.len() >= 3_000,
+                "{} too short: {}",
+                w.name,
+                w.trace.len()
+            );
         }
     }
 

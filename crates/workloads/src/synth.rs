@@ -53,7 +53,12 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
     let induction = ArchReg::int(1);
     let addr_base = ArchReg::int(2);
     let cond = ArchReg::int(3);
-    let accumulators = [ArchReg::fp(28), ArchReg::fp(29), ArchReg::fp(30), ArchReg::fp(31)];
+    let accumulators = [
+        ArchReg::fp(28),
+        ArchReg::fp(29),
+        ArchReg::fp(30),
+        ArchReg::fp(31),
+    ];
 
     let mut pool = RegPool::new();
     // Element cursor per array stream, advanced across the whole run.
@@ -102,7 +107,12 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
             }
 
             for s in 0..config.stores_per_unit {
-                let addr = unit_address(config, &mut rng, (config.loads_per_unit + s) as u64, element);
+                let addr = unit_address(
+                    config,
+                    &mut rng,
+                    (config.loads_per_unit + s) as u64,
+                    element,
+                );
                 b.store(last_result, addr_base, addr);
             }
             element += 1;
@@ -161,7 +171,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let c = KernelConfig { iterations: 20, ..Default::default() };
+        let c = KernelConfig {
+            iterations: 20,
+            ..Default::default()
+        };
         assert_eq!(small(c), small(c));
     }
 
@@ -169,7 +182,9 @@ mod tests {
     fn different_seeds_differ_for_gather_kernels() {
         let base = KernelConfig {
             iterations: 20,
-            memory: MemoryPattern::Gather { table_bytes: 1 << 24 },
+            memory: MemoryPattern::Gather {
+                table_bytes: 1 << 24,
+            },
             ..Default::default()
         };
         let a = small(KernelConfig { seed: 1, ..base });
@@ -179,7 +194,12 @@ mod tests {
 
     #[test]
     fn back_edges_are_taken_except_the_last() {
-        let c = KernelConfig { iterations: 5, unroll: 2, irregular_branch_prob: 0.0, ..Default::default() };
+        let c = KernelConfig {
+            iterations: 5,
+            unroll: 2,
+            irregular_branch_prob: 0.0,
+            ..Default::default()
+        };
         let t = small(c);
         let branches: Vec<_> = t.iter().filter(|i| i.is_branch()).collect();
         assert_eq!(branches.len(), 5);
@@ -238,7 +258,9 @@ mod tests {
             .iter()
             .filter(|i| {
                 i.kind == OpKind::FpAlu
-                    && i.dest.map(|d| d.number() >= 28 && d.class() == koc_isa::RegClass::Fp).unwrap_or(false)
+                    && i.dest
+                        .map(|d| d.number() >= 28 && d.class() == koc_isa::RegClass::Fp)
+                        .unwrap_or(false)
             })
             .count();
         assert!(acc_writes > 0);
@@ -247,7 +269,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid kernel configuration")]
     fn invalid_config_panics() {
-        let c = KernelConfig { iterations: 0, ..Default::default() };
+        let c = KernelConfig {
+            iterations: 0,
+            ..Default::default()
+        };
         let _ = small(c);
     }
 

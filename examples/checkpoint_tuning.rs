@@ -7,25 +7,43 @@
 //! ```
 
 use koc_core::CheckpointPolicy;
-use koc_sim::{run_workloads, CommitConfig, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{SimBuilder, Suite, Sweep};
 
 fn main() {
-    let workloads = spec2000fp_like_suite(12_000);
-    let memory_latency = 1000;
+    let trace_len = 12_000;
+    let checkpoint_counts = [4usize, 8, 16, 32, 64, 128];
+    let cooo = SimBuilder::cooo();
 
-    // The paper's limit reference: a 4096-entry conventional machine.
-    let limit = run_workloads(ProcessorConfig::baseline(4096, memory_latency), &workloads);
-    println!("limit (4096-entry conventional machine): {:.3} IPC", limit.mean_ipc());
+    // The paper's limit reference (a 4096-entry conventional machine), then
+    // the checkpoint-count sweep — one parallel grid.
+    let configs = std::iter::once(*SimBuilder::baseline(4096).config()).chain(
+        checkpoint_counts
+            .iter()
+            .map(|&n| *cooo.clone().checkpoints(n).config()),
+    );
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(trace_len)
+        .run();
+    let limit = &results[0];
+    println!(
+        "limit (4096-entry conventional machine): {:.3} IPC",
+        limit.mean_ipc()
+    );
     println!();
 
     println!("sensitivity to the number of checkpoints (128-entry IQ, 2048-entry SLIQ):");
-    println!("{:>13} {:>10} {:>18} {:>18}", "checkpoints", "IPC", "slowdown vs limit", "ckpts committed");
+    println!(
+        "{:>13} {:>10} {:>18} {:>18}",
+        "checkpoints", "IPC", "slowdown vs limit", "ckpts committed"
+    );
     println!("{:-<64}", "");
-    for checkpoints in [4usize, 8, 16, 32, 64, 128] {
-        let config = ProcessorConfig::cooo(128, 2048, memory_latency).with_checkpoints(checkpoints);
-        let r = run_workloads(config, &workloads);
-        let total_ckpts: u64 = r.per_workload.iter().map(|w| w.stats.checkpoints_committed).sum();
+    for (&checkpoints, r) in checkpoint_counts.iter().zip(&results[1..]) {
+        let total_ckpts: u64 = r
+            .per_workload
+            .iter()
+            .map(|w| w.stats.checkpoints_committed)
+            .sum();
         println!(
             "{:>13} {:>10.3} {:>17.1}% {:>18}",
             checkpoints,
@@ -44,12 +62,15 @@ fn main() {
         ("every 128 instructions", CheckpointPolicy::every_n(128)),
         ("every 512 instructions", CheckpointPolicy::every_n(512)),
     ];
-    for (name, policy) in policies {
-        let mut config = ProcessorConfig::cooo(128, 2048, memory_latency);
-        if let CommitConfig::Checkpointed { policy: p, .. } = &mut config.commit {
-            *p = policy;
-        }
-        let r = run_workloads(config, &workloads);
+    let policy_results = Sweep::over(
+        policies
+            .iter()
+            .map(|(_, policy)| *cooo.clone().checkpoint_policy(*policy).config()),
+    )
+    .workloads(Suite::paper())
+    .trace_len(trace_len)
+    .run();
+    for ((name, _), r) in policies.iter().zip(&policy_results) {
         println!("{:>26} {:>10.3}", name, r.mean_ipc());
     }
 }

@@ -7,27 +7,52 @@
 //! cargo run --release --example kilo_window
 //! ```
 
-use koc_sim::{run_workloads, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 
 fn main() {
-    let workloads = spec2000fp_like_suite(15_000);
     let memory_latency = 1000;
+    let sliq_sizes = [512usize, 1024, 2048];
+    let iq_sizes = [32usize, 64, 128];
 
-    let baseline_small = run_workloads(ProcessorConfig::baseline(128, memory_latency), &workloads);
-    let baseline_huge = run_workloads(ProcessorConfig::baseline(4096, memory_latency), &workloads);
+    // The whole figure is one grid: two reference baselines plus the nine
+    // proposal configurations, fanned out over all cores by the sweep.
+    let configs = [
+        ProcessorConfig::baseline(128, memory_latency),
+        ProcessorConfig::baseline(4096, memory_latency),
+    ]
+    .into_iter()
+    .chain(sliq_sizes.iter().flat_map(|&sliq| {
+        iq_sizes
+            .iter()
+            .map(move |&iq| ProcessorConfig::cooo(iq, sliq, memory_latency))
+    }));
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(15_000)
+        .run();
+    let (baseline_small, baseline_huge) = (&results[0], &results[1]);
 
     println!("reference lines (conventional in-order commit):");
-    println!("  128-entry ROB + IQ : {:.3} IPC", baseline_small.mean_ipc());
-    println!("  4096-entry ROB + IQ: {:.3} IPC  (not implementable)", baseline_huge.mean_ipc());
+    println!(
+        "  128-entry ROB + IQ : {:.3} IPC",
+        baseline_small.mean_ipc()
+    );
+    println!(
+        "  4096-entry ROB + IQ: {:.3} IPC  (not implementable)",
+        baseline_huge.mean_ipc()
+    );
     println!();
     println!("out-of-order commit processors (8 checkpoints):");
-    println!("{:>8} {:>8} {:>10} {:>14} {:>16}", "IQ", "SLIQ", "IPC", "vs 128-entry", "avg in-flight");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14} {:>16}",
+        "IQ", "SLIQ", "IPC", "vs 128-entry", "avg in-flight"
+    );
     println!("{:-<60}", "");
 
-    for sliq in [512usize, 1024, 2048] {
-        for iq in [32usize, 64, 128] {
-            let r = run_workloads(ProcessorConfig::cooo(iq, sliq, memory_latency), &workloads);
+    let mut cooo = results[2..].iter();
+    for sliq in sliq_sizes {
+        for iq in iq_sizes {
+            let r = cooo.next().expect("one result per configuration");
             println!(
                 "{:>8} {:>8} {:>10.3} {:>13.0}% {:>16.0}",
                 iq,

@@ -6,14 +6,24 @@
 //! cargo run --release --example memory_wall
 //! ```
 
-use koc_sim::{run_workloads, ProcessorConfig};
-use koc_workloads::spec2000fp_like_suite;
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 
 fn main() {
-    let trace_len = 12_000;
-    let workloads = spec2000fp_like_suite(trace_len);
     let windows = [128usize, 512, 2048];
     let latencies = [100u32, 500, 1000];
+
+    // One parallel grid: per window, perfect-L2 plus one machine per latency.
+    let configs = windows.iter().flat_map(|&window| {
+        std::iter::once(ProcessorConfig::baseline_perfect_l2(window)).chain(
+            latencies
+                .iter()
+                .map(move |&lat| ProcessorConfig::baseline(window, lat)),
+        )
+    });
+    let results = Sweep::over(configs)
+        .workloads(Suite::paper())
+        .trace_len(12_000)
+        .run();
 
     println!("suite-average IPC by window size and memory latency");
     print!("{:>10}", "window");
@@ -24,12 +34,10 @@ fn main() {
     println!();
     println!("{:-<66}", "");
 
-    for window in windows {
+    let per_window = 1 + latencies.len();
+    for (wi, window) in windows.iter().enumerate() {
         print!("{:>10}", window);
-        let perfect = run_workloads(ProcessorConfig::baseline_perfect_l2(window), &workloads);
-        print!("{:>14.3}", perfect.mean_ipc());
-        for lat in latencies {
-            let r = run_workloads(ProcessorConfig::baseline(window, lat), &workloads);
+        for r in &results[wi * per_window..(wi + 1) * per_window] {
             print!("{:>14.3}", r.mean_ipc());
         }
         println!();

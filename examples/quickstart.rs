@@ -5,37 +5,57 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{ProcessorConfig, Suite, Sweep};
 use koc_workloads::{kernels, Workload};
 
 fn main() {
     // A swim-like streaming kernel: unit-stride loads over arrays much larger
     // than the L2 cache, abundant independent FP work.
     let workload = Workload::generate("stream_add", kernels::stream_add(), 20_000);
-    println!("workload: {} ({} dynamic instructions)", workload.name, workload.trace.len());
+    println!(
+        "workload: {} ({} dynamic instructions)",
+        workload.name,
+        workload.trace.len()
+    );
     println!("instruction mix: {:?}", workload.trace.mix());
     println!();
 
-    // A realistic conventional processor: 128-entry ROB and instruction
-    // queues, 1000 cycles to main memory (Table 1).
-    let small = run_trace(ProcessorConfig::baseline(128, 1000), &workload.trace);
+    // Three machines, run in parallel as one sweep:
+    // - a realistic conventional processor: 128-entry ROB and instruction
+    //   queues, 1000 cycles to main memory (Table 1),
+    // - an unrealistic conventional processor with 4096-entry structures
+    //   (the paper's upper reference line),
+    // - the paper's proposal: 8 checkpoints, 128-entry pseudo-ROB and
+    //   instruction queues, 2048-entry SLIQ.
+    let results = Sweep::over([
+        ProcessorConfig::baseline(128, 1000),
+        ProcessorConfig::baseline(4096, 1000),
+        ProcessorConfig::cooo(128, 2048, 1000),
+    ])
+    .workloads(Suite::custom(vec![workload]))
+    .run();
+    let (small, huge, cooo) = (
+        &results[0].per_workload[0].stats,
+        &results[1].per_workload[0].stats,
+        &results[2].per_workload[0].stats,
+    );
 
-    // An unrealistic conventional processor with 4096-entry structures (the
-    // paper's upper reference line).
-    let huge = run_trace(ProcessorConfig::baseline(4096, 1000), &workload.trace);
-
-    // The paper's proposal: 8 checkpoints, 128-entry pseudo-ROB and
-    // instruction queues, 2048-entry SLIQ.
-    let cooo = run_trace(ProcessorConfig::cooo(128, 2048, 1000), &workload.trace);
-
-    println!("{:<50} {:>8} {:>14}", "configuration", "IPC", "avg in-flight");
+    println!(
+        "{:<50} {:>8} {:>14}",
+        "configuration", "IPC", "avg in-flight"
+    );
     println!("{:-<74}", "");
     for (name, stats) in [
-        ("baseline, 128-entry ROB + IQ", &small),
-        ("baseline, 4096-entry ROB + IQ (unrealistic)", &huge),
-        ("out-of-order commit, 8 ckpts + 128 IQ + 2048 SLIQ", &cooo),
+        ("baseline, 128-entry ROB + IQ", small),
+        ("baseline, 4096-entry ROB + IQ (unrealistic)", huge),
+        ("out-of-order commit, 8 ckpts + 128 IQ + 2048 SLIQ", cooo),
     ] {
-        println!("{:<50} {:>8.3} {:>14.0}", name, stats.ipc(), stats.avg_inflight());
+        println!(
+            "{:<50} {:>8.3} {:>14.0}",
+            name,
+            stats.ipc(),
+            stats.avg_inflight()
+        );
     }
     println!();
     println!(

@@ -1,0 +1,24 @@
+//! # koc — *Out-of-Order Commit Processors* (HPCA 2004) reproduction
+//!
+//! Umbrella crate re-exporting the workspace members, so downstream code
+//! (and the repository-level `examples/` and `tests/`) can reach everything
+//! through one dependency:
+//!
+//! * [`isa`] — instruction set, traces and the trace builder,
+//! * [`frontend`] — branch predictors,
+//! * [`mem`] — the Table 1 cache hierarchy,
+//! * [`core`] — the paper's mechanisms (CAM rename, checkpoints, pseudo-ROB,
+//!   SLIQ) and the conventional window structures,
+//! * [`workloads`] — the synthetic SPEC2000fp-like suite,
+//! * [`sim`] — the pipeline, the pluggable [`sim::CommitEngine`] and the
+//!   fluent [`sim::SimBuilder`] / [`sim::Session`] / [`sim::Sweep`] API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use koc_core as core;
+pub use koc_frontend as frontend;
+pub use koc_isa as isa;
+pub use koc_mem as mem;
+pub use koc_sim as sim;
+pub use koc_workloads as workloads;

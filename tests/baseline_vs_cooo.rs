@@ -2,40 +2,60 @@
 //! on the synthetic suite — out-of-order commit with small queues beats a
 //! same-sized conventional machine and approaches the unbuildable large one.
 
-use koc_sim::{run_trace, run_workloads, ProcessorConfig};
-use koc_workloads::{kernels, spec2000fp_like_suite, Workload};
+use koc_sim::{ProcessorConfig, SimBuilder, Suite, Sweep};
+use koc_workloads::{kernels, Workload};
+
+fn stream_add(len: usize) -> Suite {
+    Suite::custom(vec![Workload::generate(
+        "stream_add",
+        kernels::stream_add(),
+        len,
+    )])
+}
 
 #[test]
 fn cooo_with_small_queues_beats_the_same_size_baseline_on_memory_bound_code() {
-    let w = Workload::generate("stream_add", kernels::stream_add(), 8_000);
-    let baseline = run_trace(ProcessorConfig::baseline(128, 1000), &w.trace);
-    let cooo = run_trace(ProcessorConfig::cooo(128, 2048, 1000), &w.trace);
+    let results = Sweep::over([
+        ProcessorConfig::baseline(128, 1000),
+        ProcessorConfig::cooo(128, 2048, 1000),
+    ])
+    .workloads(stream_add(8_000))
+    .run();
+    let (baseline, cooo) = (&results[0], &results[1]);
     assert!(
-        cooo.ipc() > baseline.ipc() * 1.5,
+        cooo.mean_ipc() > baseline.mean_ipc() * 1.5,
         "out-of-order commit should clearly beat the 128-entry baseline: {} vs {}",
-        cooo.ipc(),
-        baseline.ipc()
+        cooo.mean_ipc(),
+        baseline.mean_ipc()
     );
 }
 
 #[test]
 fn cooo_supports_far_more_inflight_instructions_than_its_queue_size() {
-    let w = Workload::generate("stream_add", kernels::stream_add(), 8_000);
-    let cooo = run_trace(ProcessorConfig::cooo(64, 2048, 1000), &w.trace);
+    let cooo = SimBuilder::cooo()
+        .pseudo_rob(64)
+        .sliq(2048)
+        .workloads(stream_add(8_000))
+        .build()
+        .run();
     assert!(
-        cooo.avg_inflight() > 256.0,
+        cooo.mean_inflight() > 256.0,
         "with 64-entry queues the checkpointed machine should still hold hundreds of \
          instructions in flight, got {}",
-        cooo.avg_inflight()
+        cooo.mean_inflight()
     );
 }
 
 #[test]
 fn cooo_approaches_the_unrealistic_large_baseline() {
-    let workloads = spec2000fp_like_suite(6_000);
-    let limit = run_workloads(ProcessorConfig::baseline(4096, 1000), &workloads);
-    let cooo = run_workloads(ProcessorConfig::cooo(128, 2048, 1000), &workloads);
-    let ratio = cooo.mean_ipc() / limit.mean_ipc();
+    let results = Sweep::over([
+        ProcessorConfig::baseline(4096, 1000),
+        ProcessorConfig::cooo(128, 2048, 1000),
+    ])
+    .workloads(Suite::paper())
+    .trace_len(6_000)
+    .run();
+    let ratio = results[1].mean_ipc() / results[0].mean_ipc();
     assert!(
         ratio > 0.6,
         "the paper reports ~10% degradation; allow generous slack but require the same shape \
@@ -46,37 +66,49 @@ fn cooo_approaches_the_unrealistic_large_baseline() {
 
 #[test]
 fn bigger_sliq_never_hurts() {
-    let w = Workload::generate("stream_add", kernels::stream_add(), 6_000);
-    let small = run_trace(ProcessorConfig::cooo(64, 512, 1000), &w.trace);
-    let large = run_trace(ProcessorConfig::cooo(64, 2048, 1000), &w.trace);
+    let results = Sweep::over([
+        ProcessorConfig::cooo(64, 512, 1000),
+        ProcessorConfig::cooo(64, 2048, 1000),
+    ])
+    .workloads(stream_add(6_000))
+    .run();
+    let (small, large) = (&results[0], &results[1]);
     assert!(
-        large.ipc() >= small.ipc() * 0.95,
+        large.mean_ipc() >= small.mean_ipc() * 0.95,
         "SLIQ growth should not hurt: 512 -> {} vs 2048 -> {}",
-        small.ipc(),
-        large.ipc()
+        small.mean_ipc(),
+        large.mean_ipc()
     );
 }
 
 #[test]
 fn more_checkpoints_never_hurt() {
-    let w = Workload::generate("stencil27", kernels::stencil27(), 6_000);
-    let few = run_trace(ProcessorConfig::cooo(128, 2048, 1000).with_checkpoints(4), &w.trace);
-    let many = run_trace(ProcessorConfig::cooo(128, 2048, 1000).with_checkpoints(64), &w.trace);
+    let suite = Suite::custom(vec![Workload::generate(
+        "stencil27",
+        kernels::stencil27(),
+        6_000,
+    )]);
+    let cooo = SimBuilder::cooo().workloads(suite);
+    let few = cooo.clone().checkpoints(4).build().run();
+    let many = cooo.checkpoints(64).build().run();
     assert!(
-        many.ipc() >= few.ipc() * 0.95,
+        many.mean_ipc() >= few.mean_ipc() * 0.95,
         "checkpoint growth should not hurt: 4 -> {} vs 64 -> {}",
-        few.ipc(),
-        many.ipc()
+        few.mean_ipc(),
+        many.mean_ipc()
     );
 }
 
 #[test]
 fn reinsert_delay_has_only_a_small_effect() {
     // Figure 10's claim: even a 12-cycle re-insertion delay costs ~1%.
-    let w = Workload::generate("stream_add", kernels::stream_add(), 6_000);
-    let fast = run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(1), &w.trace);
-    let slow = run_trace(ProcessorConfig::cooo(64, 1024, 1000).with_reinsert_delay(12), &w.trace);
-    let degradation = 1.0 - slow.ipc() / fast.ipc();
+    let cooo = SimBuilder::cooo()
+        .pseudo_rob(64)
+        .sliq(1024)
+        .workloads(stream_add(6_000));
+    let fast = cooo.clone().reinsert_delay(1).build().run();
+    let slow = cooo.reinsert_delay(12).build().run();
+    let degradation = 1.0 - slow.mean_ipc() / fast.mean_ipc();
     assert!(
         degradation < 0.10,
         "re-insertion delay sensitivity should be small, got {:.1}%",
@@ -86,22 +118,40 @@ fn reinsert_delay_has_only_a_small_effect() {
 
 #[test]
 fn both_engines_commit_identical_instruction_counts() {
-    for w in spec2000fp_like_suite(3_000) {
-        let baseline = run_trace(ProcessorConfig::baseline(256, 500), &w.trace);
-        let cooo = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
+    let results = Sweep::over([
+        ProcessorConfig::baseline(256, 500),
+        ProcessorConfig::cooo(64, 1024, 500),
+    ])
+    .workloads(Suite::paper())
+    .trace_len(3_000)
+    .run();
+    let (baseline, cooo) = (&results[0], &results[1]);
+    for (b, c) in baseline.per_workload.iter().zip(cooo.per_workload.iter()) {
         assert_eq!(
-            baseline.committed_instructions, cooo.committed_instructions,
+            b.stats.committed_instructions, c.stats.committed_instructions,
             "{}: both engines execute the same program",
-            w.name
+            b.workload
         );
     }
 }
 
 #[test]
 fn ipc_is_deterministic_across_runs() {
-    let w = Workload::generate("gather", kernels::gather(), 4_000);
-    let a = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
-    let b = run_trace(ProcessorConfig::cooo(64, 1024, 500), &w.trace);
-    assert_eq!(a.cycles, b.cycles, "the simulator must be deterministic");
-    assert_eq!(a.checkpoints_taken, b.checkpoints_taken);
+    let session = SimBuilder::cooo()
+        .pseudo_rob(64)
+        .sliq(1024)
+        .memory_latency(500)
+        .workloads(Suite::kernel("gather", kernels::gather()))
+        .trace_len(4_000)
+        .build();
+    let a = session.run();
+    let b = session.run();
+    assert_eq!(
+        a.per_workload[0].stats.cycles, b.per_workload[0].stats.cycles,
+        "the simulator must be deterministic"
+    );
+    assert_eq!(
+        a.per_workload[0].stats.checkpoints_taken,
+        b.per_workload[0].stats.checkpoints_taken
+    );
 }

@@ -2,8 +2,12 @@
 //! figure-specific outputs exist and behave sensibly on small runs.
 
 use koc_core::RetireClass;
-use koc_sim::{run_trace, ProcessorConfig, RegisterModel};
+use koc_sim::{Processor, ProcessorConfig, RegisterModel, SimStats};
 use koc_workloads::{kernels, Workload};
+
+fn run_trace(config: ProcessorConfig, trace: &koc_isa::Trace) -> SimStats {
+    Processor::new(config, trace).run()
+}
 
 fn workload() -> Workload {
     Workload::generate("stream_add", kernels::stream_add(), 5_000)
@@ -15,8 +19,14 @@ fn figure7_distributions_are_recorded() {
     let stats = run_trace(ProcessorConfig::baseline(2048, 500), &w.trace);
     let p = stats.inflight.figure7_percentiles();
     assert!(p[0] <= p[1] && p[1] <= p[2] && p[2] <= p[3] && p[3] <= p[4]);
-    assert!(stats.live.mean() <= stats.inflight.mean(), "live instructions are a subset of in-flight");
-    assert!(stats.live_long.count() > 0, "the long/short breakdown is sampled");
+    assert!(
+        stats.live.mean() <= stats.inflight.mean(),
+        "live instructions are a subset of in-flight"
+    );
+    assert!(
+        stats.live_long.count() > 0,
+        "the long/short breakdown is sampled"
+    );
 }
 
 #[test]
@@ -34,7 +44,10 @@ fn figure12_breakdown_covers_all_retirements() {
     let stats = run_trace(ProcessorConfig::cooo(32, 1024, 1000), &w.trace);
     let total = stats.retire_breakdown.total();
     assert!(total > 0);
-    let sum: u64 = RetireClass::all().iter().map(|&c| stats.retire_breakdown.count(c)).sum();
+    let sum: u64 = RetireClass::all()
+        .iter()
+        .map(|&c| stats.retire_breakdown.count(c))
+        .sum();
     assert_eq!(sum, total);
     assert!(stats.retire_breakdown.count(RetireClass::Store) > 0);
 }
@@ -42,8 +55,14 @@ fn figure12_breakdown_covers_all_retirements() {
 #[test]
 fn figure13_checkpoint_sweep_is_monotonicish() {
     let w = workload();
-    let few = run_trace(ProcessorConfig::cooo(128, 2048, 500).with_checkpoints(4), &w.trace);
-    let many = run_trace(ProcessorConfig::cooo(128, 2048, 500).with_checkpoints(32), &w.trace);
+    let few = run_trace(
+        ProcessorConfig::cooo(128, 2048, 500).with_checkpoints(4),
+        &w.trace,
+    );
+    let many = run_trace(
+        ProcessorConfig::cooo(128, 2048, 500).with_checkpoints(32),
+        &w.trace,
+    );
     assert!(many.ipc() >= few.ipc() * 0.9);
 }
 
@@ -51,13 +70,17 @@ fn figure13_checkpoint_sweep_is_monotonicish() {
 fn figure14_virtual_registers_run_and_constrain() {
     let w = workload();
     let plenty = run_trace(
-        ProcessorConfig::cooo(128, 1024, 500)
-            .with_registers(RegisterModel::Virtual { virtual_tags: 2048, phys_regs: 512 }),
+        ProcessorConfig::cooo(128, 1024, 500).with_registers(RegisterModel::Virtual {
+            virtual_tags: 2048,
+            phys_regs: 512,
+        }),
         &w.trace,
     );
     let scarce = run_trace(
-        ProcessorConfig::cooo(128, 1024, 500)
-            .with_registers(RegisterModel::Virtual { virtual_tags: 512, phys_regs: 256 }),
+        ProcessorConfig::cooo(128, 1024, 500).with_registers(RegisterModel::Virtual {
+            virtual_tags: 512,
+            phys_regs: 256,
+        }),
         &w.trace,
     );
     assert_eq!(plenty.committed_instructions as usize, w.trace.len());

@@ -3,7 +3,11 @@
 //! commits completely.
 
 use koc_isa::{ArchReg, Trace, TraceBuilder};
-use koc_sim::{run_trace, BranchPredictorKind, ProcessorConfig};
+use koc_sim::{BranchPredictorKind, Processor, ProcessorConfig, SimStats};
+
+fn run_trace(config: ProcessorConfig, trace: &Trace) -> SimStats {
+    Processor::new(config, trace).run()
+}
 
 /// A loop-free trace with data-dependent (hard to predict) branches mixed
 /// into FP streaming work.
@@ -51,9 +55,15 @@ fn mispredictions_are_recovered_on_the_baseline() {
     let trace = branchy_trace(120);
     let stats = run_trace(ProcessorConfig::baseline(128, 500), &trace);
     assert_eq!(stats.committed_instructions as usize, trace.len());
-    assert!(stats.branches.mispredicted > 0, "the pattern must cause some mispredictions");
+    assert!(
+        stats.branches.mispredicted > 0,
+        "the pattern must cause some mispredictions"
+    );
     assert!(stats.recoveries.near_recoveries > 0);
-    assert_eq!(stats.recoveries.checkpoint_rollbacks, 0, "the baseline never rolls back to checkpoints");
+    assert_eq!(
+        stats.recoveries.checkpoint_rollbacks, 0,
+        "the baseline never rolls back to checkpoints"
+    );
 }
 
 #[test]
@@ -96,7 +106,10 @@ fn far_branch_recovery_rolls_back_to_a_checkpoint() {
         stats.recoveries.checkpoint_rollbacks > 0,
         "late-resolving mispredicted branches must use checkpoint rollback"
     );
-    assert!(stats.recoveries.reexecuted_instructions > 0, "rollback re-executes work");
+    assert!(
+        stats.recoveries.reexecuted_instructions > 0,
+        "rollback re-executes work"
+    );
     assert!(stats.dispatched_instructions > stats.committed_instructions);
 }
 
@@ -122,7 +135,10 @@ fn exceptions_are_delivered_precisely_on_both_engines() {
     ] {
         let stats = run_trace(config, &trace);
         assert_eq!(stats.committed_instructions as usize, trace.len(), "{name}");
-        assert_eq!(stats.recoveries.exceptions, 1, "{name}: the exception fires exactly once");
+        assert_eq!(
+            stats.recoveries.exceptions, 1,
+            "{name}: the exception fires exactly once"
+        );
     }
 }
 
@@ -134,7 +150,10 @@ fn checkpoint_rollback_costs_performance_but_not_correctness() {
         ProcessorConfig::cooo(32, 512, 1000).with_predictor(BranchPredictorKind::Perfect),
         &trace,
     );
-    assert_eq!(mispredicting.committed_instructions, perfect.committed_instructions);
+    assert_eq!(
+        mispredicting.committed_instructions,
+        perfect.committed_instructions
+    );
     assert!(
         perfect.ipc() >= mispredicting.ipc(),
         "misprediction recovery can only cost performance: perfect {} vs real {}",

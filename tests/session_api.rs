@@ -1,0 +1,79 @@
+//! Repository-level tests for the fluent `SimBuilder`/`Session`/`Sweep` API,
+//! including the property that sweeps preserve input order.
+
+use koc_sim::{CommitConfig, ProcessorConfig, SimBuilder, Suite, Sweep};
+use koc_workloads::kernels;
+use proptest::prelude::*;
+
+#[test]
+fn the_readme_quickstart_builder_chain_works() {
+    let session = SimBuilder::cooo()
+        .pseudo_rob(128)
+        .sliq(2048)
+        .workloads(Suite::kernel("stream_add", kernels::stream_add()))
+        .trace_len(2_000)
+        .build();
+    let result = session.run();
+    assert_eq!(result.per_workload.len(), 1);
+    assert!(result.mean_ipc() > 0.0);
+    assert!(result.per_workload[0].stats.committed_instructions > 0);
+}
+
+#[test]
+fn builder_overrides_land_in_the_config() {
+    let b = SimBuilder::cooo()
+        .pseudo_rob(64)
+        .sliq(512)
+        .checkpoints(16)
+        .memory_latency(500);
+    let c = *b.config();
+    assert_eq!(c.iq_size, 64);
+    assert_eq!(c.memory.memory_latency, 500);
+    match c.commit {
+        CommitConfig::Checkpointed {
+            checkpoint_entries,
+            pseudo_rob_size,
+            sliq,
+            ..
+        } => {
+            assert_eq!(checkpoint_entries, 16);
+            assert_eq!(pseudo_rob_size, 64);
+            assert_eq!(sliq.capacity, 512);
+        }
+        CommitConfig::InOrderRob { .. } => panic!("cooo() must build the checkpointed engine"),
+    }
+}
+
+#[test]
+fn deprecated_shims_still_run() {
+    #[allow(deprecated)]
+    {
+        let w = koc_workloads::Workload::generate("gather", kernels::gather(), 1_000);
+        let stats = koc_sim::run_trace(ProcessorConfig::baseline(64, 100), &w.trace);
+        assert_eq!(stats.committed_instructions as usize, w.trace.len());
+        let suite = koc_sim::run_suite(ProcessorConfig::baseline(64, 100), 600);
+        assert_eq!(suite.per_workload.len(), 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A sweep over N configurations returns exactly N results, in input
+    /// order (each result carries its configuration, so order is checkable).
+    #[test]
+    fn sweep_preserves_arity_and_input_order(windows in proptest::collection::vec(4usize..48, 1..7)) {
+        let configs: Vec<ProcessorConfig> =
+            windows.iter().map(|&w| ProcessorConfig::baseline(w * 8, 100)).collect();
+        let results = Sweep::over(configs.clone())
+            .workloads(Suite::kernel("stream_add", kernels::stream_add()))
+            .trace_len(400)
+            .run();
+        prop_assert_eq!(results.len(), configs.len(), "one result per configuration");
+        for (r, c) in results.iter().zip(configs.iter()) {
+            prop_assert_eq!(r.config.iq_size, c.iq_size, "results must follow input order");
+            prop_assert_eq!(r.per_workload.len(), 1);
+            prop_assert!(r.mean_ipc() > 0.0);
+        }
+    }
+}

@@ -3,15 +3,25 @@
 //! accounting, on both commit engines.
 
 use koc_isa::{ArchReg, Trace, TraceBuilder};
-use koc_sim::{run_trace, ProcessorConfig};
+use koc_sim::{Processor, ProcessorConfig, SimStats};
 use koc_workloads::{generate_kernel, DependencePattern, KernelConfig, MemoryPattern};
+
+fn run_trace(config: ProcessorConfig, trace: &Trace) -> SimStats {
+    Processor::new(config, trace).run()
+}
 use proptest::prelude::*;
 
 fn arb_memory_pattern() -> impl Strategy<Value = MemoryPattern> {
     prop_oneof![
-        (1u64..=64).prop_map(|s| MemoryPattern::Streaming { stride_bytes: s * 8 }),
-        (1u64..=64).prop_map(|t| MemoryPattern::Blocked { tile_bytes: t * 1024 }),
-        (1u64..=64).prop_map(|t| MemoryPattern::Gather { table_bytes: t * 1024 * 1024 }),
+        (1u64..=64).prop_map(|s| MemoryPattern::Streaming {
+            stride_bytes: s * 8
+        }),
+        (1u64..=64).prop_map(|t| MemoryPattern::Blocked {
+            tile_bytes: t * 1024
+        }),
+        (1u64..=64).prop_map(|t| MemoryPattern::Gather {
+            table_bytes: t * 1024 * 1024
+        }),
     ]
 }
 
@@ -91,7 +101,7 @@ proptest! {
         let a = generate_kernel("k", &config);
         let b = generate_kernel("k", &config);
         prop_assert_eq!(&a, &b, "generation must be deterministic");
-        prop_assert!(a.len() > 0);
+        prop_assert!(!a.is_empty());
         // Every load/store carries an address; every branch carries an outcome.
         for inst in a.iter() {
             if inst.kind.is_memory() {
@@ -110,7 +120,11 @@ proptest! {
         prop_assert_eq!(baseline.committed_instructions as usize, trace.len());
         let cooo = run_trace(ProcessorConfig::cooo(32, 256, 100), &trace);
         prop_assert_eq!(cooo.committed_instructions as usize, trace.len());
-        prop_assert_eq!(cooo.checkpoints_taken, cooo.checkpoints_committed);
+        prop_assert_eq!(
+            cooo.checkpoints_taken,
+            cooo.checkpoints_committed + cooo.checkpoints_squashed,
+            "every checkpoint taken must commit or be squashed by recovery"
+        );
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::RngExt;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements come from `elem`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.elem.new_value(rng)).collect()
+    }
+}
+
+/// Vectors of `size.start..size.end` elements drawn from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_the_size_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = vec(0u32..100, 1..10);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `proptest`: deterministic randomized property
+//! testing with the same macro surface this repository uses (`proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `any`, ranges, tuples, `Just`, `prop_map` and `collection::vec`).
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the generating seed, and the seeds are fixed per test name, so failures
+//! reproduce exactly across runs. See `third_party/README.md`.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy, Union};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything the standard `use proptest::prelude::*;` import provides.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Stable 64-bit FNV-1a hash of a test name, used to derive per-test seeds.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses uniformly between the given strategies (all producing the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($s))+
+    };
+}
+
+/// Defines a function returning a composite strategy:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point()(x in 0..10i32, y in 0..10i32) -> (i32, i32) { (x, y) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()(
+            $($arg:ident in $strat:expr),* $(,)?
+        ) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::FnStrategy::new(move |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written in the block, as with the
+/// real crate) that checks the body against `ProptestConfig::cases`
+/// deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { <$crate::ProptestConfig as ::std::default::Default>::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let seed = $crate::seed_for(stringify!($name), case);
+                    let mut __proptest_rng =
+                        <$crate::strategy::TestRng as $crate::strategy::NewRng>::from_seed(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}

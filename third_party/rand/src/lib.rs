@@ -1,0 +1,180 @@
+//! Offline stand-in for the `rand` crate: a seedable xoshiro256++ generator
+//! behind the `SeedableRng` / `RngExt` traits this repository uses. The
+//! generator is deterministic for a given seed on every platform, which is
+//! exactly what the trace generators and tests rely on. See
+//! `third_party/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a seed (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers (stand-in for the `rand::Rng` extension methods).
+pub trait RngExt {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed float in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the next output word.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// A range that can be sampled uniformly (stand-in for
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: RngExt>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngExt>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + rng.random_f64() * (self.end - self.start)
+    }
+}
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded through SplitMix64, the
+    /// same construction the real `rand` crate documents for reproducible
+    /// simulation use.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

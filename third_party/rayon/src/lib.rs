@@ -1,0 +1,119 @@
+//! Offline stand-in for `rayon`: the `par_iter().map(..).collect()` shape
+//! used by this repository, executed over `std::thread::scope` with one
+//! chunk per available core. Results always come back in input order, which
+//! matches rayon's indexed-collect guarantee. See `third_party/README.md`.
+
+/// The common imports (`use rayon::prelude::*;`).
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over shared references to the elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped parallel iterator; `collect` executes it.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map over all elements (fanning out across cores) and
+    /// collects the results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_ordered(self.items, self.f).into_iter().collect()
+    }
+}
+
+fn par_map_ordered<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n <= 1 || threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot is filled by its chunk's thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let one = [7u32];
+        let r: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(r, vec![8]);
+        let empty: [u32; 0] = [];
+        let r: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(r.is_empty());
+    }
+}

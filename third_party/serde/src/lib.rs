@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` traits exist
+//! as markers and the derives expand to nothing, so `#[derive(Serialize,
+//! Deserialize)]` compiles without pulling in the real framework. See
+//! `third_party/README.md` for how to swap the real crate back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

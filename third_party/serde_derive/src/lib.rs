@@ -1,0 +1,15 @@
+//! No-op stand-in for `serde_derive`: accepts `#[derive(Serialize,
+//! Deserialize)]` (including `#[serde(...)]` helper attributes) and emits
+//! nothing. See `third_party/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
