@@ -1,0 +1,30 @@
+//! Criterion benchmark for the MLP-sensitivity experiment (memory-backend
+//! sweep). Prints the reduced-trace report once, then times the
+//! checkpointed engine on the streaming workload at the two MSHR extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koc_bench::{experiments::mlp_sensitivity, BENCH_TRACE_LEN};
+use koc_sim::{Processor, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn bench_mlp(c: &mut Criterion) {
+    let report = mlp_sensitivity::run(BENCH_TRACE_LEN);
+    eprintln!("{report}");
+
+    let w = Workload::generate("stream_mlp", kernels::stream_mlp(), BENCH_TRACE_LEN);
+    let mut group = c.benchmark_group("mlp_sensitivity");
+    group.sample_size(10);
+    for mshrs in [1usize, 32] {
+        group.bench_function(format!("cooo_dram_{mshrs}mshr"), |b| {
+            b.iter(|| {
+                let mut config = ProcessorConfig::cooo(128, 2048, 1000);
+                config.memory = config.memory.with_dram(mlp_sensitivity::dram(mshrs));
+                Processor::new(config, &w.trace).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -13,13 +13,25 @@ pub mod fig11_inflight;
 pub mod fig12_breakdown;
 pub mod fig13_checkpoints;
 pub mod fig14_combined;
+pub mod mlp_sensitivity;
 pub mod table1_params;
 
 use crate::Report;
 
-/// Names of all experiments, in paper order, plus the extra ablation study.
+/// Names of all experiments, in paper order, plus the extra ablation study
+/// and the memory-backend MLP-sensitivity sweep.
 pub const ALL: &[&str] = &[
-    "table1", "fig1", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+    "table1",
+    "fig1",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablation",
+    "mlp_sensitivity",
 ];
 
 /// Runs one experiment by name.
@@ -38,6 +50,7 @@ pub fn run_by_name(name: &str, trace_len: usize) -> Result<Report, String> {
         "fig13" => Ok(fig13_checkpoints::run(trace_len)),
         "fig14" => Ok(fig14_combined::run(trace_len)),
         "ablation" => Ok(ablation::run(trace_len)),
+        "mlp_sensitivity" => Ok(mlp_sensitivity::run(trace_len)),
         other => Err(format!(
             "unknown experiment '{other}'; expected one of {ALL:?}"
         )),

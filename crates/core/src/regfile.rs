@@ -106,7 +106,8 @@ impl PhysRegFile {
 
 /// Occupancy model for *ephemeral / virtual registers* (Figure 14).
 ///
-/// In the virtual-register scheme ([19], [21] in the paper) an instruction
+/// In the virtual-register scheme (refs. 19 and 21 in the paper) an
+/// instruction
 /// only needs a *virtual tag* at rename time; a physical register is
 /// allocated late, when the instruction produces its result, and is released
 /// early, when the superseding definition commits. This structure tracks the

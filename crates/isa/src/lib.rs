@@ -5,8 +5,8 @@
 //!
 //! The paper evaluates SPEC2000fp programs on an Alpha-like superscalar
 //! machine. This crate provides the minimal, simulator-friendly instruction
-//! representation that the workload generators ([`koc-workloads`]), the
-//! pipeline ([`koc-sim`]) and the mechanisms under study ([`koc-core`])
+//! representation that the workload generators (`koc-workloads`), the
+//! pipeline (`koc-sim`) and the mechanisms under study (`koc-core`)
 //! agree on:
 //!
 //! * [`ArchReg`] — 32 integer + 32 floating-point logical registers,
@@ -26,10 +26,6 @@
 //! assert_eq!(trace.len(), 2);
 //! assert_eq!(trace[ld].kind, OpKind::Load);
 //! ```
-//!
-//! [`koc-workloads`]: https://example.org
-//! [`koc-sim`]: https://example.org
-//! [`koc-core`]: https://example.org
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

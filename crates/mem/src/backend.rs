@@ -1,0 +1,328 @@
+//! The pluggable timed memory backend.
+//!
+//! Everything *beyond the L2* is modelled by an implementation of
+//! [`MemoryBackend`]: the hierarchy hands it L2 misses (demand loads,
+//! committed-store write-backs and prefetches) and consumes completions as
+//! they return. The seam mirrors the `CommitEngine` trait in `koc-sim`:
+//! the hierarchy drives whichever backend it is given without knowing the
+//! variant.
+//!
+//! Three implementations ship with the crate:
+//!
+//! * [`FlatLatency`] — the paper's model and the default: every request
+//!   completes a fixed `memory_latency` cycles after it arrives, with
+//!   unlimited outstanding misses.
+//! * [`crate::DramBackend`] — N banks with open-row buffers, per-bank FIFO
+//!   queues and a finite MSHR file that back-pressures the core when full.
+//! * [`crate::StridePrefetcher`] — a composable wrapper that detects strided
+//!   miss streams and issues prefetches into spare MSHR slots of whatever
+//!   backend it wraps.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tokens with this bit set are internal to a backend (prefetches) and are
+/// never returned to the core as demand completions.
+pub const INTERNAL_TOKEN_BIT: u64 = 1 << 63;
+
+/// One request handed to a backend: an L2 miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemReq {
+    /// Caller-chosen identifier, echoed in the matching [`Completion`].
+    /// Demand tokens must not have [`INTERNAL_TOKEN_BIT`] set.
+    pub token: u64,
+    /// Byte address of the access (backends work at line granularity but
+    /// keep the full address for bank/row decoding).
+    pub addr: u64,
+    /// Whether this is a write-back of a committed store (posted: it never
+    /// occupies an MSHR and its completion carries no data).
+    pub is_write: bool,
+    /// Whether this is a prefetch issued by a wrapper backend.
+    pub is_prefetch: bool,
+}
+
+impl MemReq {
+    /// A demand read with the given token.
+    pub fn read(token: u64, addr: u64) -> Self {
+        MemReq {
+            token,
+            addr,
+            is_write: false,
+            is_prefetch: false,
+        }
+    }
+
+    /// A posted write (no token: completions for writes are dropped).
+    pub fn write(addr: u64) -> Self {
+        MemReq {
+            token: INTERNAL_TOKEN_BIT,
+            addr,
+            is_write: true,
+            is_prefetch: false,
+        }
+    }
+}
+
+/// The backend's answer to [`MemoryBackend::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Accepted, and the completion cycle is already known (no queueing
+    /// contention): the caller schedules the completion itself and the
+    /// backend retains nothing.
+    At(u64),
+    /// Accepted into the backend's queues; the completion will surface from
+    /// [`MemoryBackend::drain`] when the request is serviced.
+    Queued,
+    /// Rejected: no MSHR is free. The caller must retry on a later cycle.
+    Reject,
+}
+
+/// A serviced request surfacing from [`MemoryBackend::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The token of the originating [`MemReq`].
+    pub token: u64,
+    /// The request's byte address (prefetch completions use it to fill L2).
+    pub addr: u64,
+    /// Whether the completed request was a prefetch.
+    pub is_prefetch: bool,
+    /// Whether the completed request was a posted write.
+    pub is_write: bool,
+}
+
+/// Counters every backend maintains. Wrappers merge their own counters with
+/// their inner backend's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Demand reads accepted.
+    pub demand_reads: u64,
+    /// Posted writes accepted.
+    pub writes: u64,
+    /// Demand reads rejected for want of an MSHR (one count per attempt).
+    pub rejected: u64,
+    /// DRAM accesses that hit the open row buffer.
+    pub row_buffer_hits: u64,
+    /// DRAM accesses to a closed (precharged) bank.
+    pub row_buffer_misses: u64,
+    /// DRAM accesses that had to close a different open row first.
+    pub row_buffer_conflicts: u64,
+    /// Prefetches issued to the memory system.
+    pub prefetch_issued: u64,
+    /// Demand misses that merged with an in-flight prefetch of the same line.
+    pub prefetch_useful: u64,
+    /// Peak simultaneous MSHR occupancy.
+    pub mshr_high_water: usize,
+}
+
+/// A timed model of everything beyond the L2.
+///
+/// Call protocol, per simulated cycle `now` (monotonically non-decreasing):
+/// [`tick`](Self::tick) first, then [`drain`](Self::drain), then any number
+/// of [`request`](Self::request)s. Requests may carry an arrival cycle in
+/// the future (the hierarchy adds its own lookup latency); the backend must
+/// not service a request before it arrives.
+pub trait MemoryBackend: std::fmt::Debug + Send {
+    /// Short backend name, used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Offers a request arriving at cycle `at`.
+    fn request(&mut self, req: MemReq, at: u64) -> Admit;
+
+    /// Advances internal state (bank service, MSHR release) to cycle `now`.
+    fn tick(&mut self, now: u64);
+
+    /// Appends every request serviced at or before `now` to `out`.
+    fn drain(&mut self, now: u64, out: &mut Vec<Completion>);
+
+    /// Whether a demand read offered now would be admitted.
+    fn can_accept(&self) -> bool;
+
+    /// Whether a *prefetch* should be admitted: true only when admitting it
+    /// would still leave an MSHR free for demand traffic.
+    fn has_spare_slot(&self) -> bool {
+        self.can_accept()
+    }
+
+    /// Number of reads currently occupying MSHRs.
+    fn in_flight(&self) -> usize;
+
+    /// Accumulated counters (including any wrapped backend's).
+    fn stats(&self) -> BackendStats;
+
+    /// Clears all queues, MSHRs and counters.
+    fn reset(&mut self);
+
+    /// Clones the backend behind the trait object.
+    fn clone_box(&self) -> Box<dyn MemoryBackend>;
+}
+
+impl Clone for Box<dyn MemoryBackend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The paper's memory model: a fixed latency with unlimited outstanding
+/// misses. Requests are answered [`Admit::At`] immediately and the backend
+/// retains no state, which makes it byte-for-byte equivalent to the
+/// pre-backend hierarchy (the parity tests in `tests/memory_backend.rs`
+/// pin this down against recorded cycle counts).
+#[derive(Debug, Clone)]
+pub struct FlatLatency {
+    latency: u32,
+    stats: BackendStats,
+}
+
+impl FlatLatency {
+    /// A flat backend with the given main-memory latency.
+    pub fn new(latency: u32) -> Self {
+        FlatLatency {
+            latency,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The fixed latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+}
+
+impl MemoryBackend for FlatLatency {
+    fn name(&self) -> &'static str {
+        "flat-latency"
+    }
+
+    fn request(&mut self, req: MemReq, at: u64) -> Admit {
+        if req.is_write {
+            self.stats.writes += 1;
+        } else if req.is_prefetch {
+            self.stats.prefetch_issued += 1;
+        } else {
+            self.stats.demand_reads += 1;
+        }
+        Admit::At(at + self.latency as u64)
+    }
+
+    fn tick(&mut self, _now: u64) {}
+
+    fn drain(&mut self, _now: u64, _out: &mut Vec<Completion>) {}
+
+    fn can_accept(&self) -> bool {
+        true
+    }
+
+    fn in_flight(&self) -> usize {
+        0
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stats = BackendStats::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn MemoryBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// A caller-side completion schedule for [`Admit::At`] answers that cannot
+/// be consumed immediately (used by the hierarchy's retry queue and by the
+/// prefetcher for its own prefetches under a flat inner backend).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SelfSchedule {
+    due: BTreeMap<u64, Vec<Completion>>,
+}
+
+impl SelfSchedule {
+    pub(crate) fn push(&mut self, at: u64, c: Completion) {
+        self.due.entry(at).or_default().push(c);
+    }
+
+    pub(crate) fn drain(&mut self, now: u64, out: &mut Vec<Completion>) {
+        while let Some((&cycle, _)) = self.due.first_key_value() {
+            if cycle > now {
+                break;
+            }
+            let (_, batch) = self.due.pop_first().expect("checked non-empty");
+            out.extend(batch);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.due.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.due.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_latency_answers_immediately_and_retains_nothing() {
+        let mut b = FlatLatency::new(500);
+        assert_eq!(b.request(MemReq::read(7, 0x40), 10), Admit::At(510));
+        assert_eq!(b.in_flight(), 0);
+        assert!(b.can_accept());
+        let mut out = Vec::new();
+        b.tick(600);
+        b.drain(600, &mut out);
+        assert!(out.is_empty(), "flat completions are caller-scheduled");
+        assert_eq!(b.stats().demand_reads, 1);
+    }
+
+    #[test]
+    fn flat_latency_classifies_request_kinds() {
+        let mut b = FlatLatency::new(100);
+        b.request(MemReq::read(1, 0), 0);
+        b.request(MemReq::write(64), 0);
+        let mut pf = MemReq::read(INTERNAL_TOKEN_BIT | 2, 128);
+        pf.is_prefetch = true;
+        b.request(pf, 0);
+        let s = b.stats();
+        assert_eq!(
+            (s.demand_reads, s.writes, s.prefetch_issued, s.rejected),
+            (1, 1, 1, 0)
+        );
+        b.reset();
+        assert_eq!(b.stats(), BackendStats::default());
+    }
+
+    #[test]
+    fn self_schedule_releases_in_cycle_order() {
+        let mut s = SelfSchedule::default();
+        let c = |t| Completion {
+            token: t,
+            addr: 0,
+            is_prefetch: false,
+            is_write: false,
+        };
+        s.push(20, c(2));
+        s.push(10, c(1));
+        s.push(20, c(3));
+        let mut out = Vec::new();
+        s.drain(15, &mut out);
+        assert_eq!(out.iter().map(|c| c.token).collect::<Vec<_>>(), vec![1]);
+        s.drain(25, &mut out);
+        assert_eq!(
+            out.iter().map(|c| c.token).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boxed_backends_clone() {
+        let b: Box<dyn MemoryBackend> = Box::new(FlatLatency::new(42));
+        let c = b.clone();
+        assert_eq!(c.name(), "flat-latency");
+    }
+}

@@ -1,7 +1,32 @@
-//! Memory-hierarchy configuration (Table 1 plus the perfect-L2 variant).
+//! Memory-hierarchy configuration (Table 1 plus the perfect-L2 variant),
+//! including the timed-backend and prefetcher knobs.
 
 use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::prefetch::PrefetchConfig;
 use serde::{Deserialize, Serialize};
+
+/// Which timed backend models main memory (everything beyond the L2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// A flat `memory_latency` with unlimited outstanding misses — exactly
+    /// the paper's model and the default.
+    #[default]
+    Flat,
+    /// Banked DRAM with row buffers and a finite MSHR file.
+    Dram(DramConfig),
+}
+
+impl BackendKind {
+    /// The DRAM configuration, defaulting when the backend is flat (used by
+    /// builder knobs that upgrade a flat backend to DRAM).
+    pub fn dram_or_default(self) -> DramConfig {
+        match self {
+            BackendKind::Flat => DramConfig::default(),
+            BackendKind::Dram(d) => d,
+        }
+    }
+}
 
 /// Configuration of the whole data/instruction memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -13,11 +38,17 @@ pub struct MemoryConfig {
     /// Unified L2 cache.
     pub l2: CacheConfig,
     /// Main-memory latency in cycles (the paper sweeps 100 / 500 / 1000).
+    /// With a DRAM backend this is the row-buffer-hit access time; row
+    /// management adds on top.
     pub memory_latency: u32,
     /// Number of memory (cache) ports available to the core per cycle.
     pub memory_ports: usize,
     /// When set, every L2 access hits (Figure 1's "L2 Perfect" bars).
     pub perfect_l2: bool,
+    /// The timed backend modelling main memory.
+    pub backend: BackendKind,
+    /// Prefetching into the L2 miss stream.
+    pub prefetch: PrefetchConfig,
 }
 
 impl MemoryConfig {
@@ -30,6 +61,8 @@ impl MemoryConfig {
             memory_latency,
             memory_ports: 2,
             perfect_l2: false,
+            backend: BackendKind::Flat,
+            prefetch: PrefetchConfig::Off,
         }
     }
 
@@ -47,13 +80,72 @@ impl MemoryConfig {
         self
     }
 
-    /// The worst-case latency of a data access under this configuration.
+    /// Selects the timed memory backend (builder style).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Switches to the banked DRAM backend with the given configuration.
+    pub fn with_dram(self, dram: DramConfig) -> Self {
+        self.with_backend(BackendKind::Dram(dram))
+    }
+
+    /// Sets the MSHR count, upgrading a flat backend to the default DRAM
+    /// part first.
+    pub fn with_mshr_entries(mut self, entries: usize) -> Self {
+        self.backend = BackendKind::Dram(self.backend.dram_or_default().with_mshr_entries(entries));
+        self
+    }
+
+    /// Sets the DRAM bank count, upgrading a flat backend to the default
+    /// DRAM part first.
+    pub fn with_dram_banks(mut self, banks: usize) -> Self {
+        self.backend = BackendKind::Dram(self.backend.dram_or_default().with_banks(banks));
+        self
+    }
+
+    /// Sets the per-bank row-buffer size, upgrading a flat backend to the
+    /// default DRAM part first.
+    pub fn with_row_buffer(mut self, bytes: u64) -> Self {
+        self.backend = BackendKind::Dram(self.backend.dram_or_default().with_row_bytes(bytes));
+        self
+    }
+
+    /// Sets the prefetching configuration (builder style).
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// The worst-case latency of a single data access under this
+    /// configuration, excluding queueing behind other requests (used for
+    /// deadlock bounds, not for timing).
     pub fn worst_case_latency(&self) -> u32 {
         if self.perfect_l2 {
-            self.dl1.latency + self.l2.latency
-        } else {
-            self.dl1.latency + self.l2.latency + self.memory_latency
+            return self.dl1.latency + self.l2.latency;
         }
+        let row_penalty = match self.backend {
+            BackendKind::Flat => 0,
+            BackendKind::Dram(d) => d.worst_row_penalty() + d.bank_busy,
+        };
+        self.dl1.latency + self.l2.latency + self.memory_latency + row_penalty
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if let BackendKind::Dram(d) = self.backend {
+            d.validate()?;
+        }
+        if let crate::prefetch::PrefetchConfig::Stride { degree, streams } = self.prefetch {
+            if degree == 0 || streams == 0 {
+                return Err("prefetch degree and stream count must be non-zero".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -100,5 +192,60 @@ mod tests {
         let m = MemoryConfig::table1(1000).with_memory_latency(500);
         assert_eq!(m.memory_latency, 500);
         assert_eq!(m.worst_case_latency(), 512);
+    }
+
+    #[test]
+    fn backend_defaults_to_flat_with_no_prefetch() {
+        let m = MemoryConfig::table1(1000);
+        assert_eq!(m.backend, BackendKind::Flat);
+        assert_eq!(m.prefetch, PrefetchConfig::Off);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn mshr_knob_upgrades_a_flat_backend_to_dram() {
+        let m = MemoryConfig::table1(1000).with_mshr_entries(4);
+        match m.backend {
+            BackendKind::Dram(d) => {
+                assert_eq!(d.mshr_entries, 4);
+                assert_eq!(d.banks, DramConfig::table1_like().banks);
+            }
+            BackendKind::Flat => panic!("expected a DRAM backend"),
+        }
+        // Later knobs refine the same DRAM config instead of resetting it.
+        let m = m.with_dram_banks(2).with_row_buffer(8192);
+        match m.backend {
+            BackendKind::Dram(d) => {
+                assert_eq!((d.mshr_entries, d.banks, d.row_bytes), (4, 2, 8192));
+            }
+            BackendKind::Flat => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dram_worst_case_includes_row_penalties() {
+        let flat = MemoryConfig::table1(1000);
+        let dram = flat.with_dram(DramConfig::table1_like());
+        let d = DramConfig::table1_like();
+        assert_eq!(
+            dram.worst_case_latency(),
+            flat.worst_case_latency() + d.act_latency + d.precharge_latency + d.bank_busy
+        );
+    }
+
+    #[test]
+    fn invalid_backend_configs_are_rejected() {
+        let m = MemoryConfig::table1(100).with_mshr_entries(4);
+        assert!(m.validate().is_ok());
+        let bad = MemoryConfig::table1(100).with_dram(DramConfig {
+            banks: 0,
+            ..DramConfig::table1_like()
+        });
+        assert!(bad.validate().is_err());
+        let bad_pf = MemoryConfig::table1(100).with_prefetch(PrefetchConfig::Stride {
+            degree: 0,
+            streams: 4,
+        });
+        assert!(bad_pf.validate().is_err());
     }
 }

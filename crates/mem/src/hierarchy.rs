@@ -1,9 +1,14 @@
-//! The multi-level memory hierarchy: IL1, DL1, unified L2, main memory.
+//! The multi-level memory hierarchy: IL1, DL1, unified L2, and a pluggable
+//! timed main-memory backend.
 
+use crate::backend::{Admit, Completion, FlatLatency, MemReq, MemoryBackend, SelfSchedule};
 use crate::cache::{Cache, CacheConfig};
-use crate::config::MemoryConfig;
+use crate::config::{BackendKind, MemoryConfig};
+use crate::dram::DramBackend;
+use crate::prefetch::StridePrefetcher;
 use crate::stats::MemoryStats;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
 
 /// The level that served a data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -33,29 +38,90 @@ pub struct DataAccessResult {
     pub latency: u32,
 }
 
+/// Result of a timed data access ([`MemoryHierarchy::access_data_timed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedAccess {
+    /// The completion cycle is known now: the caller schedules it.
+    Ready {
+        /// The level that served the access.
+        level: MemLevel,
+        /// Total latency in cycles from issue to data return.
+        latency: u32,
+    },
+    /// The access went to a queueing backend (or is waiting for an MSHR);
+    /// its token will surface from [`MemoryHierarchy::tick`] when the data
+    /// returns.
+    InFlight,
+}
+
 /// The full memory hierarchy.
 ///
-/// Outstanding misses overlap freely (no MSHR limit); the paper relies on a
-/// large instruction window exposing memory-level parallelism and models the
-/// cache ports (2) at the issue stage, which [`koc-sim`] enforces.
-///
-/// [`koc-sim`]: https://example.org
+/// Main memory is modelled by a pluggable timed [`MemoryBackend`]: the
+/// default [`FlatLatency`] backend lets outstanding misses overlap freely
+/// (the paper's assumption — a large instruction window exposes
+/// memory-level parallelism), while the banked-DRAM backend bounds
+/// outstanding misses with a finite MSHR file and models row-buffer
+/// locality. Core-side bandwidth is modelled by the pipeline's memory
+/// ports at the issue stage, which `koc-sim` enforces.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     config: MemoryConfig,
     il1: Cache,
     dl1: Cache,
     l2: Cache,
+    backend: Box<dyn MemoryBackend>,
+    /// Demand misses waiting for an MSHR (FIFO), with their original
+    /// arrival cycle at the backend.
+    waiting: VecDeque<(MemReq, u64)>,
+    /// Completions the hierarchy must deliver itself (an [`Admit::At`]
+    /// answer to a retried request).
+    self_scheduled: SelfSchedule,
+    /// L2 lines filled by a completed prefetch, for usefulness accounting.
+    prefetched_lines: HashSet<u64>,
+    /// Demand L2 hits on prefetched lines.
+    prefetched_hits: u64,
+    /// Scratch buffer for backend completions.
+    drained: Vec<Completion>,
     stats: MemoryStats,
+}
+
+/// Builds the backend stack a [`MemoryConfig`] describes: the base model,
+/// optionally wrapped by a prefetcher.
+fn backend_from_config(config: &MemoryConfig) -> Box<dyn MemoryBackend> {
+    let base: Box<dyn MemoryBackend> = match config.backend {
+        BackendKind::Flat => Box::new(FlatLatency::new(config.memory_latency)),
+        BackendKind::Dram(d) => Box::new(DramBackend::new(d, config.memory_latency)),
+    };
+    if config.prefetch.is_enabled() {
+        Box::new(StridePrefetcher::new(
+            base,
+            config.prefetch,
+            config.l2.line_bytes,
+        ))
+    } else {
+        base
+    }
 }
 
 impl MemoryHierarchy {
     /// Creates an empty (cold) hierarchy.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MemoryConfig::validate`].
     pub fn new(config: MemoryConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid memory configuration: {e}");
+        }
         MemoryHierarchy {
             il1: Cache::new(config.il1),
             dl1: Cache::new(config.dl1),
             l2: Cache::new(config.l2),
+            backend: backend_from_config(&config),
+            waiting: VecDeque::new(),
+            self_scheduled: SelfSchedule::default(),
+            prefetched_lines: HashSet::new(),
+            prefetched_hits: 0,
+            drained: Vec::new(),
             config,
             stats: MemoryStats::default(),
         }
@@ -66,16 +132,176 @@ impl MemoryHierarchy {
         &self.config
     }
 
+    /// The timed backend's name (for diagnostics).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Number of reads currently holding backend MSHRs.
+    pub fn backend_in_flight(&self) -> usize {
+        self.backend.in_flight()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
     }
 
-    /// Accesses the data hierarchy at byte address `addr`.
+    /// Accesses the data hierarchy at byte address `addr`, untimed: misses
+    /// to main memory are charged the flat `memory_latency` regardless of
+    /// backend contention, and nothing is posted to the timed backend.
+    /// Used by tests and untimed callers; the pipeline's load path uses
+    /// [`access_data_timed`] and committed stores drain through
+    /// [`drain_store`].
     ///
-    /// `is_store` only affects statistics: stores allocate in cache exactly
+    /// `is_store` only affects statistics: lines allocate in cache exactly
     /// like loads (write-allocate, write-back).
+    ///
+    /// [`access_data_timed`]: MemoryHierarchy::access_data_timed
+    /// [`drain_store`]: MemoryHierarchy::drain_store
     pub fn access_data(&mut self, addr: u64, is_store: bool) -> DataAccessResult {
+        match self.lookup_caches(addr, is_store) {
+            Some(result) => result,
+            None => DataAccessResult {
+                level: MemLevel::Memory,
+                latency: self.config.dl1.latency
+                    + self.config.l2.latency
+                    + self.config.memory_latency,
+            },
+        }
+    }
+
+    /// Writes back a committed store at cycle `now`. Cache state and
+    /// statistics update exactly like [`access_data`] with `is_store`;
+    /// additionally, an L2 miss is posted to the timed backend as a write
+    /// (it occupies DRAM bank bandwidth but never an MSHR, and nothing
+    /// waits for its completion).
+    ///
+    /// [`access_data`]: MemoryHierarchy::access_data
+    pub fn drain_store(&mut self, addr: u64, now: u64) -> DataAccessResult {
+        match self.lookup_caches(addr, true) {
+            Some(result) => result,
+            None => {
+                let lookup = (self.config.dl1.latency + self.config.l2.latency) as u64;
+                self.backend.request(MemReq::write(addr), now + lookup);
+                DataAccessResult {
+                    level: MemLevel::Memory,
+                    latency: self.config.dl1.latency
+                        + self.config.l2.latency
+                        + self.config.memory_latency,
+                }
+            }
+        }
+    }
+
+    /// Accesses the data hierarchy for a load at byte address `addr` on
+    /// cycle `now`, with main-memory timing delegated to the backend.
+    ///
+    /// Cache hits (and [`Admit::At`] backends like [`FlatLatency`]) answer
+    /// [`TimedAccess::Ready`] with the full latency. Otherwise the access
+    /// returns [`TimedAccess::InFlight`] and `token` will surface from
+    /// [`tick`](MemoryHierarchy::tick) when the data comes back — possibly
+    /// after waiting for a free MSHR, which is the back-pressure the
+    /// `mshr_full_stalls` counter measures.
+    pub fn access_data_timed(&mut self, addr: u64, token: u64, now: u64) -> TimedAccess {
+        if let Some(result) = self.lookup_caches(addr, false) {
+            return TimedAccess::Ready {
+                level: result.level,
+                latency: result.latency,
+            };
+        }
+        let lookup = self.config.dl1.latency + self.config.l2.latency;
+        let arrival = now + lookup as u64;
+        let req = MemReq::read(token, addr);
+        // Keep the wait queue FIFO: nothing overtakes an already-waiting
+        // demand miss.
+        if !self.waiting.is_empty() {
+            self.waiting.push_back((req, arrival));
+            return TimedAccess::InFlight;
+        }
+        match self.backend.request(req, arrival) {
+            Admit::At(done) => TimedAccess::Ready {
+                level: MemLevel::Memory,
+                latency: (done - now) as u32,
+            },
+            Admit::Queued => TimedAccess::InFlight,
+            Admit::Reject => {
+                self.waiting.push_back((req, arrival));
+                TimedAccess::InFlight
+            }
+        }
+    }
+
+    /// Advances the backend to cycle `now`, retries waiting demand misses,
+    /// and appends the tokens of completed demand reads to `completed`.
+    /// Call once per cycle, before issuing new accesses for that cycle.
+    pub fn tick(&mut self, now: u64, completed: &mut Vec<u64>) {
+        self.backend.tick(now);
+        self.drained.clear();
+        let mut drained = std::mem::take(&mut self.drained);
+        self.backend.drain(now, &mut drained);
+        self.self_scheduled.drain(now, &mut drained);
+        for c in &drained {
+            if c.is_write {
+                continue;
+            }
+            if c.is_prefetch {
+                // Fill the prefetched line into L2 and remember it for the
+                // usefulness statistic. The tracking set is bounded by the
+                // L2's line capacity: anything beyond that has certainly
+                // been evicted, so the marker would be stale anyway.
+                self.l2.access(c.addr);
+                let cap = (self.config.l2.size_bytes / self.config.l2.line_bytes) as usize;
+                if self.prefetched_lines.len() >= cap {
+                    self.prefetched_lines.clear();
+                }
+                self.prefetched_lines
+                    .insert(c.addr / self.config.l2.line_bytes);
+            } else {
+                completed.push(c.token);
+            }
+        }
+        drained.clear();
+        self.drained = drained;
+        // Retry demand misses that were waiting for an MSHR, oldest first.
+        while let Some(&(req, arrival)) = self.waiting.front() {
+            match self.backend.request(req, arrival.max(now)) {
+                Admit::At(done) => {
+                    self.waiting.pop_front();
+                    self.self_scheduled.push(
+                        done.max(now),
+                        Completion {
+                            token: req.token,
+                            addr: req.addr,
+                            is_prefetch: false,
+                            is_write: false,
+                        },
+                    );
+                }
+                Admit::Queued => {
+                    self.waiting.pop_front();
+                }
+                Admit::Reject => break,
+            }
+        }
+        self.stats.mshr_full_stalls += self.waiting.len() as u64;
+        self.sync_backend_stats();
+    }
+
+    /// Copies the backend's counters into the public [`MemoryStats`].
+    fn sync_backend_stats(&mut self) {
+        let b = self.backend.stats();
+        self.stats.row_buffer_hits = b.row_buffer_hits;
+        self.stats.row_buffer_misses = b.row_buffer_misses;
+        self.stats.row_buffer_conflicts = b.row_buffer_conflicts;
+        self.stats.prefetch_issued = b.prefetch_issued;
+        self.stats.prefetch_useful = b.prefetch_useful + self.prefetched_hits;
+    }
+
+    /// The shared L1/L2 lookup: updates cache state and statistics and
+    /// returns the result for hits, or `None` when the access misses L2 and
+    /// must go to the backend.
+    fn lookup_caches(&mut self, addr: u64, is_store: bool) -> Option<DataAccessResult> {
         self.stats.data_accesses += 1;
         if is_store {
             self.stats.store_accesses += 1;
@@ -83,25 +309,30 @@ impl MemoryHierarchy {
         let l1 = self.dl1.access(addr);
         if l1.is_hit() {
             self.stats.dl1_hits += 1;
-            return DataAccessResult {
+            return Some(DataAccessResult {
                 level: MemLevel::L1,
                 latency: self.config.dl1.latency,
-            };
+            });
         }
         self.stats.dl1_misses += 1;
+        let line = addr / self.config.l2.line_bytes;
         let l2 = self.l2.access(addr);
         if self.config.perfect_l2 || l2.is_hit() {
             self.stats.l2_hits += 1;
-            return DataAccessResult {
+            if self.prefetched_lines.remove(&line) {
+                self.prefetched_hits += 1;
+                self.sync_backend_stats();
+            }
+            return Some(DataAccessResult {
                 level: MemLevel::L2,
                 latency: self.config.dl1.latency + self.config.l2.latency,
-            };
+            });
         }
         self.stats.l2_misses += 1;
-        DataAccessResult {
-            level: MemLevel::Memory,
-            latency: self.config.dl1.latency + self.config.l2.latency + self.config.memory_latency,
-        }
+        // The line was re-fetched from memory: a stale prefetch marker must
+        // not count a later hit as prefetch success.
+        self.prefetched_lines.remove(&line);
+        None
     }
 
     /// Probes whether a data access to `addr` would be a long-latency (L2
@@ -116,7 +347,9 @@ impl MemoryHierarchy {
     /// Accesses the instruction hierarchy at byte address `pc`.
     ///
     /// Returns the fetch latency. The FP workloads of the paper fit in IL1
-    /// after the first touch of each line, so this is almost always 2 cycles.
+    /// after the first touch of each line, so this is almost always 2
+    /// cycles; the rare L2 miss is charged the flat latency (instruction
+    /// fetch does not contend for data MSHRs).
     pub fn access_instruction(&mut self, pc: u64) -> u32 {
         self.stats.inst_accesses += 1;
         let l1 = self.il1.access(pc);
@@ -145,11 +378,16 @@ impl MemoryHierarchy {
         &self.config.dl1
     }
 
-    /// Invalidates all caches and clears statistics.
+    /// Invalidates all caches, drains the backend and clears statistics.
     pub fn reset(&mut self) {
         self.il1.reset();
         self.dl1.reset();
         self.l2.reset();
+        self.backend.reset();
+        self.waiting.clear();
+        self.self_scheduled.clear();
+        self.prefetched_lines.clear();
+        self.prefetched_hits = 0;
         self.stats = MemoryStats::default();
     }
 }
@@ -157,6 +395,8 @@ impl MemoryHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dram::DramConfig;
+    use crate::prefetch::PrefetchConfig;
 
     #[test]
     fn cold_access_goes_to_memory_then_warms_up() {
@@ -237,5 +477,95 @@ mod tests {
         m.reset();
         assert_eq!(m.stats().data_accesses, 0);
         assert_eq!(m.access_data(0x1000, false).level, MemLevel::Memory);
+    }
+
+    #[test]
+    fn flat_timed_access_matches_the_untimed_latency() {
+        let mut timed = MemoryHierarchy::new(MemoryConfig::table1(750));
+        let mut untimed = MemoryHierarchy::new(MemoryConfig::table1(750));
+        for (i, addr) in [0x10_0000u64, 0x10_0000, 0x90_0000, 0x10_0020]
+            .into_iter()
+            .enumerate()
+        {
+            let u = untimed.access_data(addr, false);
+            match timed.access_data_timed(addr, i as u64, 100 + i as u64) {
+                TimedAccess::Ready { level, latency } => {
+                    assert_eq!(level, u.level);
+                    assert_eq!(latency, u.latency);
+                }
+                TimedAccess::InFlight => panic!("flat backends answer immediately"),
+            }
+        }
+    }
+
+    #[test]
+    fn dram_misses_complete_through_tick() {
+        let config = MemoryConfig::table1(100).with_dram(DramConfig {
+            mshr_entries: 8,
+            banks: 2,
+            row_bytes: 4096,
+            act_latency: 0,
+            precharge_latency: 0,
+            bank_busy: 0,
+        });
+        let mut m = MemoryHierarchy::new(config);
+        assert_eq!(m.access_data_timed(0x10_0000, 7, 5), TimedAccess::InFlight);
+        let mut done = Vec::new();
+        // Arrival 5+12, service 100 cycles: completes at 117.
+        for now in 6..117 {
+            m.tick(now, &mut done);
+            assert!(done.is_empty(), "nothing before cycle 117 (at {now})");
+        }
+        m.tick(117, &mut done);
+        assert_eq!(done, vec![7]);
+        assert_eq!(m.backend_in_flight(), 0);
+    }
+
+    #[test]
+    fn mshr_exhaustion_queues_and_counts_stalls() {
+        let config = MemoryConfig::table1(100).with_dram(DramConfig {
+            mshr_entries: 1,
+            banks: 1,
+            row_bytes: 4096,
+            act_latency: 0,
+            precharge_latency: 0,
+            bank_busy: 0,
+        });
+        let mut m = MemoryHierarchy::new(config);
+        assert_eq!(m.access_data_timed(0x10_0000, 1, 0), TimedAccess::InFlight);
+        assert_eq!(m.access_data_timed(0x90_0000, 2, 0), TimedAccess::InFlight);
+        let mut done = Vec::new();
+        let mut finished = Vec::new();
+        for now in 1..=300 {
+            m.tick(now, &mut done);
+            for t in done.drain(..) {
+                finished.push((t, now));
+            }
+        }
+        assert_eq!(finished.len(), 2);
+        assert_eq!(finished[0].0, 1);
+        assert_eq!(finished[1].0, 2);
+        assert!(
+            finished[1].1 > finished[0].1 + 90,
+            "the second miss serialized behind the only MSHR: {finished:?}"
+        );
+        assert!(m.stats().mshr_full_stalls > 0);
+    }
+
+    #[test]
+    fn prefetched_l2_hits_count_as_useful() {
+        let config = MemoryConfig::table1(100).with_prefetch(PrefetchConfig::stride());
+        let mut m = MemoryHierarchy::new(config);
+        let base = 0x400_0000u64;
+        let mut done = Vec::new();
+        // A unit-stride (one L2 line per step) miss stream.
+        for i in 0..20u64 {
+            m.tick(i * 200, &mut done);
+            m.access_data_timed(base + i * 64, i, i * 200);
+        }
+        m.tick(10_000, &mut done);
+        let s = *m.stats();
+        assert!(s.prefetch_issued > 0, "{s:?}");
+        assert!(s.prefetch_useful > 0, "{s:?}");
     }
 }

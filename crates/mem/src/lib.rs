@@ -9,30 +9,54 @@
 //! latency (100 / 500 / 1000 cycles in the evaluation). A *perfect L2* mode
 //! is provided for Figure 1's first bar.
 //!
-//! The model is a latency model: an access returns which level served it and
-//! how many cycles it took; bandwidth at the core side is modelled by the
-//! pipeline's two memory ports, and miss-level parallelism is unconstrained
-//! (outstanding misses overlap freely), matching the paper's assumption that
-//! enough in-flight instructions expose memory-level parallelism.
+//! Main memory beyond the L2 is a pluggable *timed backend* behind the
+//! [`MemoryBackend`] trait (mirroring the commit-engine seam in `koc-sim`):
+//!
+//! * [`FlatLatency`] — the default and the paper's model: a fixed
+//!   `memory_latency` with unlimited outstanding misses, so memory-level
+//!   parallelism is bounded only by the instruction window.
+//! * [`DramBackend`] — N banks with open-row buffers (hit / miss /
+//!   conflict timing), per-bank FIFO queues, and a finite MSHR file that
+//!   back-pressures the core when it fills. This bounds the MLP a
+//!   kilo-instruction window can actually expose.
+//! * [`StridePrefetcher`] — a composable wrapper over either backend that
+//!   detects strided miss streams and prefetches into spare MSHR slots.
+//!
+//! The backend is selected by [`MemoryConfig`] knobs (`backend`,
+//! `prefetch`); the default configuration is `FlatLatency` with prefetching
+//! off, which reproduces the paper's figures cycle for cycle.
 //!
 //! ```
-//! use koc_mem::{MemoryConfig, MemoryHierarchy};
+//! use koc_mem::{DramConfig, MemoryConfig, MemoryHierarchy, PrefetchConfig};
 //!
+//! // The paper's model:
 //! let mut mem = MemoryHierarchy::new(MemoryConfig::table1(1000));
 //! let first = mem.access_data(0x4_0000, false);
 //! let second = mem.access_data(0x4_0000, false);
 //! assert!(first.latency > second.latency); // second hits in L1
+//!
+//! // A bandwidth-limited machine: 8 MSHRs, 4 banks, stride prefetching.
+//! let limited = MemoryConfig::table1(1000)
+//!     .with_dram(DramConfig::table1_like().with_mshr_entries(8).with_banks(4))
+//!     .with_prefetch(PrefetchConfig::stride());
+//! assert!(limited.validate().is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod config;
+pub mod dram;
 pub mod hierarchy;
+pub mod prefetch;
 pub mod stats;
 
+pub use backend::{Admit, BackendStats, Completion, FlatLatency, MemReq, MemoryBackend};
 pub use cache::{AccessOutcome, Cache, CacheConfig};
-pub use config::MemoryConfig;
-pub use hierarchy::{DataAccessResult, MemLevel, MemoryHierarchy};
+pub use config::{BackendKind, MemoryConfig};
+pub use dram::{DramBackend, DramConfig};
+pub use hierarchy::{DataAccessResult, MemLevel, MemoryHierarchy, TimedAccess};
+pub use prefetch::{PrefetchConfig, StridePrefetcher};
 pub use stats::MemoryStats;

@@ -1,0 +1,521 @@
+//! A stride prefetcher, composable over any [`MemoryBackend`].
+//!
+//! The prefetcher observes the *demand miss stream* (it sits below the L2,
+//! like a classic L2 stream prefetcher), detects constant-stride sequences
+//! with a small table of stream trackers, and issues prefetches for the
+//! next lines of a confirmed stream — but only into *spare* MSHR slots
+//! ([`MemoryBackend::has_spare_slot`]), so prefetching can never starve
+//! demand traffic. A demand miss that finds its line already being
+//! prefetched *merges* with the in-flight prefetch and completes when the
+//! prefetch returns, which is where the latency hiding comes from;
+//! completed prefetches additionally fill the L2 through the hierarchy.
+
+use crate::backend::{
+    Admit, BackendStats, Completion, MemReq, MemoryBackend, SelfSchedule, INTERNAL_TOKEN_BIT,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Prefetching configuration (a [`crate::MemoryConfig`] knob).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchConfig {
+    /// No prefetching (the default; preserves the paper's figures).
+    #[default]
+    Off,
+    /// Stride prefetching over the L2 miss stream.
+    Stride {
+        /// Prefetch depth: lines fetched ahead of a confirmed stream.
+        degree: usize,
+        /// Number of independent streams tracked.
+        streams: usize,
+    },
+}
+
+impl PrefetchConfig {
+    /// A conservative default stride prefetcher: 4 lines ahead, 8 streams.
+    pub fn stride() -> Self {
+        PrefetchConfig::Stride {
+            degree: 4,
+            streams: 8,
+        }
+    }
+
+    /// Whether prefetching is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, PrefetchConfig::Off)
+    }
+
+    /// The prefetch depth (0 when off).
+    pub fn degree(&self) -> usize {
+        match *self {
+            PrefetchConfig::Off => 0,
+            PrefetchConfig::Stride { degree, .. } => degree,
+        }
+    }
+}
+
+/// One tracked miss stream.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// Line address of the most recent miss in the stream.
+    last_line: u64,
+    /// Detected stride in lines (may be negative).
+    stride: i64,
+    /// Consecutive confirmations of the stride.
+    confidence: u8,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+/// State of one in-flight prefetch.
+#[derive(Debug, Clone)]
+struct InFlightPrefetch {
+    /// Internal token used with the inner backend (Queued inners).
+    token: u64,
+    /// Completion cycle, when the inner answered [`Admit::At`].
+    done_at: Option<u64>,
+    /// Demand tokens that merged with this prefetch.
+    merged: Vec<u64>,
+    /// Whether any demand merged with this prefetch. A merged prefetch is
+    /// already counted useful (and its line is already cache-allocated by
+    /// the merging demand's lookup), so its completion is not surfaced as
+    /// a fill — that would double-count its usefulness.
+    was_merged: bool,
+}
+
+/// The stride-prefetching wrapper backend. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    inner: Box<dyn MemoryBackend>,
+    degree: usize,
+    max_streams: usize,
+    line_bytes: u64,
+    streams: Vec<Stream>,
+    /// In-flight prefetches by line address.
+    in_flight: HashMap<u64, InFlightPrefetch>,
+    /// Inner internal token → line address, to translate inner completions.
+    token_to_line: HashMap<u64, u64>,
+    /// Self-scheduled completions for `Admit::At` inners.
+    scheduled: SelfSchedule,
+    next_token: u64,
+    clock: u64,
+    stats: BackendStats,
+}
+
+impl StridePrefetcher {
+    /// Wraps `inner` with a stride prefetcher working at `line_bytes`
+    /// granularity (the L2 line size).
+    ///
+    /// # Panics
+    /// Panics if `config` is [`PrefetchConfig::Off`], has a zero degree or
+    /// stream count, or if `line_bytes` is not a non-zero power of two.
+    pub fn new(inner: Box<dyn MemoryBackend>, config: PrefetchConfig, line_bytes: u64) -> Self {
+        let PrefetchConfig::Stride { degree, streams } = config else {
+            panic!("StridePrefetcher requires PrefetchConfig::Stride");
+        };
+        assert!(
+            degree > 0 && streams > 0,
+            "degree and streams must be non-zero"
+        );
+        assert!(
+            line_bytes > 0 && line_bytes.is_power_of_two(),
+            "line size must be a non-zero power of two"
+        );
+        StridePrefetcher {
+            inner,
+            degree,
+            max_streams: streams,
+            line_bytes,
+            streams: Vec::new(),
+            in_flight: HashMap::new(),
+            token_to_line: HashMap::new(),
+            scheduled: SelfSchedule::default(),
+            next_token: 0,
+            clock: 0,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn MemoryBackend {
+        self.inner.as_ref()
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Trains the stream table on a demand miss and returns the stream's
+    /// stride if it is confirmed (two consecutive matching strides).
+    fn train(&mut self, line: u64) -> Option<i64> {
+        self.clock += 1;
+        let clock = self.clock;
+        // Find the closest tracked stream within a small window.
+        let window = 64i64;
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .min_by_key(|s| (line as i64 - s.last_line as i64).unsigned_abs())
+        {
+            let delta = line as i64 - s.last_line as i64;
+            if delta != 0 && delta.abs() <= window {
+                if delta == s.stride {
+                    s.confidence = s.confidence.saturating_add(1);
+                } else {
+                    s.stride = delta;
+                    s.confidence = 1;
+                }
+                s.last_line = line;
+                s.last_used = clock;
+                return (s.confidence >= 2).then_some(s.stride);
+            }
+            if delta == 0 {
+                s.last_used = clock;
+                return (s.confidence >= 2).then_some(s.stride);
+            }
+        }
+        // No stream close enough: allocate (evicting the LRU entry).
+        let fresh = Stream {
+            last_line: line,
+            stride: 0,
+            confidence: 0,
+            last_used: clock,
+        };
+        if self.streams.len() < self.max_streams {
+            self.streams.push(fresh);
+        } else if let Some(lru) = self.streams.iter_mut().min_by_key(|s| s.last_used) {
+            *lru = fresh;
+        }
+        None
+    }
+
+    /// Issues up to `degree` prefetches along a confirmed stream, as long
+    /// as the inner backend has spare MSHR slots.
+    fn issue_prefetches(&mut self, line: u64, stride: i64, at: u64) {
+        for i in 1..=self.degree {
+            let Some(target) = line.checked_add_signed(stride * i as i64) else {
+                break;
+            };
+            if self.in_flight.contains_key(&target) {
+                continue;
+            }
+            if !self.inner.has_spare_slot() {
+                // Nothing can free an MSHR mid-loop; stop prefetching.
+                break;
+            }
+            let token = INTERNAL_TOKEN_BIT | self.next_token;
+            self.next_token += 1;
+            let req = MemReq {
+                token,
+                addr: target * self.line_bytes,
+                is_write: false,
+                is_prefetch: true,
+            };
+            match self.inner.request(req, at) {
+                Admit::At(done) => {
+                    self.stats.prefetch_issued += 1;
+                    self.scheduled.push(
+                        done,
+                        Completion {
+                            token,
+                            addr: req.addr,
+                            is_prefetch: true,
+                            is_write: false,
+                        },
+                    );
+                    self.in_flight.insert(
+                        target,
+                        InFlightPrefetch {
+                            token,
+                            done_at: Some(done),
+                            merged: Vec::new(),
+                            was_merged: false,
+                        },
+                    );
+                }
+                Admit::Queued => {
+                    self.stats.prefetch_issued += 1;
+                    self.token_to_line.insert(token, target);
+                    self.in_flight.insert(
+                        target,
+                        InFlightPrefetch {
+                            token,
+                            done_at: None,
+                            merged: Vec::new(),
+                            was_merged: false,
+                        },
+                    );
+                }
+                Admit::Reject => break,
+            }
+        }
+    }
+}
+
+impl MemoryBackend for StridePrefetcher {
+    fn name(&self) -> &'static str {
+        "stride-prefetcher"
+    }
+
+    fn request(&mut self, req: MemReq, at: u64) -> Admit {
+        if req.is_write {
+            return self.inner.request(req, at);
+        }
+        debug_assert!(!req.is_prefetch, "prefetchers do not nest prefetches");
+        let line = self.line_of(req.addr);
+        let confirmed = self.train(line);
+        // Merge with an in-flight prefetch of the same line, if any: the
+        // demand completes when the prefetch returns.
+        let admit = if let Some(pf) = self.in_flight.get_mut(&line) {
+            if !pf.was_merged {
+                // Count each prefetch useful at most once.
+                self.stats.prefetch_useful += 1;
+            }
+            pf.was_merged = true;
+            self.stats.demand_reads += 1;
+            match pf.done_at {
+                // Data already on its way with a known arrival: never
+                // earlier than the demand itself could need it.
+                Some(done) => Admit::At(done.max(at)),
+                None => {
+                    pf.merged.push(req.token);
+                    Admit::Queued
+                }
+            }
+        } else {
+            self.inner.request(req, at)
+        };
+        if !matches!(admit, Admit::Reject) {
+            if let Some(stride) = confirmed {
+                self.issue_prefetches(line, stride, at);
+            }
+        }
+        admit
+    }
+
+    fn tick(&mut self, now: u64) {
+        self.inner.tick(now);
+    }
+
+    fn drain(&mut self, now: u64, out: &mut Vec<Completion>) {
+        let mut raw = Vec::new();
+        self.inner.drain(now, &mut raw);
+        self.scheduled.drain(now, &mut raw);
+        for c in raw {
+            if c.token & INTERNAL_TOKEN_BIT == 0 {
+                // A demand (or write) completion of the inner backend.
+                out.push(c);
+                continue;
+            }
+            let line = self
+                .token_to_line
+                .remove(&c.token)
+                .unwrap_or_else(|| self.line_of(c.addr));
+            let mut surface_fill = true;
+            if let Some(pf) = self.in_flight.remove(&line) {
+                debug_assert_eq!(pf.token, c.token);
+                for demand in pf.merged {
+                    out.push(Completion {
+                        token: demand,
+                        addr: c.addr,
+                        is_prefetch: false,
+                        is_write: false,
+                    });
+                }
+                // A merged prefetch's line was already cache-allocated by
+                // the merging demand's lookup, and the prefetch is already
+                // counted useful: surfacing the fill would double-count.
+                surface_fill = !pf.was_merged;
+            }
+            if surface_fill {
+                // Surface the prefetch so the hierarchy can fill L2.
+                out.push(c);
+            }
+        }
+    }
+
+    fn can_accept(&self) -> bool {
+        self.inner.can_accept()
+    }
+
+    fn has_spare_slot(&self) -> bool {
+        self.inner.has_spare_slot()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+
+    fn stats(&self) -> BackendStats {
+        let inner = self.inner.stats();
+        BackendStats {
+            // The wrapper counts merged demands; un-merged ones reached the
+            // inner backend and are counted there.
+            demand_reads: inner.demand_reads + self.stats.demand_reads,
+            prefetch_issued: self.stats.prefetch_issued,
+            prefetch_useful: self.stats.prefetch_useful,
+            ..inner
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.streams.clear();
+        self.in_flight.clear();
+        self.token_to_line.clear();
+        self.scheduled.clear();
+        self.next_token = 0;
+        self.clock = 0;
+        self.stats = BackendStats::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn MemoryBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FlatLatency;
+    use crate::dram::{DramBackend, DramConfig};
+
+    const LINE: u64 = 64;
+
+    fn flat_pf(degree: usize) -> StridePrefetcher {
+        StridePrefetcher::new(
+            Box::new(FlatLatency::new(200)),
+            PrefetchConfig::Stride { degree, streams: 4 },
+            LINE,
+        )
+    }
+
+    #[test]
+    fn a_strided_stream_triggers_prefetches() {
+        let mut p = flat_pf(2);
+        // Three unit-stride misses confirm the stream on the third access.
+        assert_eq!(p.request(MemReq::read(1, 0), 0), Admit::At(200));
+        assert_eq!(p.request(MemReq::read(2, LINE), 10), Admit::At(210));
+        assert_eq!(p.request(MemReq::read(3, 2 * LINE), 20), Admit::At(220));
+        assert_eq!(p.stats().prefetch_issued, 2, "degree-2 ahead of line 2");
+        // The next demand merges with the line-3 prefetch issued at 10.
+        let a = p.request(MemReq::read(4, 3 * LINE), 30);
+        assert_eq!(a, Admit::At(220), "merged with the in-flight prefetch");
+        assert_eq!(p.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn merged_demand_never_completes_in_the_past() {
+        let mut p = flat_pf(2);
+        p.request(MemReq::read(1, 0), 0);
+        p.request(MemReq::read(2, LINE), 1);
+        p.request(MemReq::read(3, 2 * LINE), 2); // prefetches lines 3, 4 at 2
+        let a = p.request(MemReq::read(4, 3 * LINE), 500);
+        assert_eq!(
+            a,
+            Admit::At(500),
+            "prefetch data already home: serve at arrival"
+        );
+    }
+
+    #[test]
+    fn prefetch_completions_surface_for_cache_fill() {
+        let mut p = flat_pf(1);
+        p.request(MemReq::read(1, 0), 0);
+        p.request(MemReq::read(2, LINE), 0);
+        p.request(MemReq::read(3, 2 * LINE), 0); // prefetch line 3 at 0
+        let mut out = Vec::new();
+        p.tick(200);
+        p.drain(200, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_prefetch);
+        assert_eq!(out[0].addr, 3 * LINE);
+        assert!(
+            p.in_flight.is_empty(),
+            "the in-flight table empties on drain"
+        );
+    }
+
+    #[test]
+    fn queued_inner_merges_translate_to_demand_completions() {
+        let inner = DramBackend::new(
+            DramConfig {
+                mshr_entries: 8,
+                banks: 1,
+                row_bytes: 4096,
+                act_latency: 0,
+                precharge_latency: 0,
+                bank_busy: 0,
+            },
+            100,
+        );
+        let mut p = StridePrefetcher::new(Box::new(inner), PrefetchConfig::stride(), LINE);
+        p.request(MemReq::read(1, 0), 0);
+        p.request(MemReq::read(2, LINE), 1);
+        p.request(MemReq::read(3, 2 * LINE), 2); // prefetches queued at 2
+        assert_eq!(p.request(MemReq::read(4, 3 * LINE), 3), Admit::Queued);
+        assert_eq!(p.stats().prefetch_useful, 1);
+        let mut out = Vec::new();
+        for now in 0..=110 {
+            p.tick(now);
+            p.drain(now, &mut out);
+        }
+        // Demands 1-3 complete; the merged demand 4 rides its prefetch
+        // (serviced at 2, done at 102); prefetch fills surface as well.
+        let demand_tokens: Vec<u64> = out
+            .iter()
+            .filter(|c| !c.is_prefetch)
+            .map(|c| c.token)
+            .collect();
+        assert!(
+            demand_tokens.contains(&4),
+            "merged demand completed: {out:?}"
+        );
+        assert!(out.iter().any(|c| c.is_prefetch));
+    }
+
+    #[test]
+    fn prefetches_only_use_spare_mshr_slots() {
+        let inner = DramBackend::new(
+            DramConfig {
+                mshr_entries: 2,
+                banks: 1,
+                row_bytes: 4096,
+                act_latency: 0,
+                precharge_latency: 0,
+                bank_busy: 0,
+            },
+            1000,
+        );
+        let mut p = StridePrefetcher::new(
+            Box::new(inner),
+            PrefetchConfig::Stride {
+                degree: 4,
+                streams: 4,
+            },
+            LINE,
+        );
+        p.request(MemReq::read(1, 0), 0);
+        p.request(MemReq::read(2, LINE), 1);
+        p.request(MemReq::read(3, 2 * LINE), 2);
+        // 2 MSHRs: after the second in-flight demand there is no *spare*
+        // slot, so the confirmed stream cannot prefetch at all.
+        assert_eq!(p.stats().prefetch_issued, 0);
+        assert_eq!(p.stats().rejected, 1, "the third demand itself bounced");
+    }
+
+    #[test]
+    fn irregular_misses_never_prefetch() {
+        let mut p = flat_pf(4);
+        for (i, line) in [0u64, 1000, 52, 9000, 321].into_iter().enumerate() {
+            p.request(MemReq::read(i as u64, line * LINE), i as u64);
+        }
+        assert_eq!(p.stats().prefetch_issued, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefetchConfig::Stride")]
+    fn off_config_panics() {
+        let _ = StridePrefetcher::new(Box::new(FlatLatency::new(1)), PrefetchConfig::Off, 64);
+    }
+}

@@ -19,6 +19,20 @@ pub struct MemoryStats {
     pub l2_misses: u64,
     /// Instruction-side accesses.
     pub inst_accesses: u64,
+    /// Cycles demand misses spent waiting for a free MSHR (each waiting
+    /// request counts one per cycle; always 0 for the flat backend).
+    pub mshr_full_stalls: u64,
+    /// Main-memory accesses that hit an open DRAM row buffer.
+    pub row_buffer_hits: u64,
+    /// Main-memory accesses that opened a row in a precharged bank.
+    pub row_buffer_misses: u64,
+    /// Main-memory accesses that had to close a conflicting open row.
+    pub row_buffer_conflicts: u64,
+    /// Prefetches issued into the memory system.
+    pub prefetch_issued: u64,
+    /// Prefetches that were useful: a demand miss merged with the prefetch
+    /// in flight, or a demand access hit a prefetched line in L2.
+    pub prefetch_useful: u64,
 }
 
 impl MemoryStats {
@@ -35,6 +49,20 @@ impl MemoryStats {
     /// Fraction of all data accesses that go all the way to memory.
     pub fn memory_access_ratio(&self) -> f64 {
         ratio(self.l2_misses, self.data_accesses)
+    }
+
+    /// Fraction of DRAM accesses that hit the open row buffer (0 when the
+    /// flat backend is in use).
+    pub fn row_buffer_hit_ratio(&self) -> f64 {
+        ratio(
+            self.row_buffer_hits,
+            self.row_buffer_hits + self.row_buffer_misses + self.row_buffer_conflicts,
+        )
+    }
+
+    /// Fraction of issued prefetches that proved useful.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        ratio(self.prefetch_useful, self.prefetch_issued)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for the cache and memory-hierarchy model.
 
-use koc_mem::{Cache, CacheConfig, MemLevel, MemoryConfig, MemoryHierarchy};
+use koc_mem::{Cache, CacheConfig, MemLevel, MemoryConfig, MemoryHierarchy, TimedAccess};
 use proptest::prelude::*;
 
 proptest! {
@@ -69,5 +69,77 @@ proptest! {
             let r = mem.access_data(a, false);
             prop_assert_eq!(predicted_miss, r.level == MemLevel::Memory);
         }
+    }
+
+    /// Filling a set up to its associativity keeps every filled line
+    /// resident: the next access to any of them is a hit.
+    #[test]
+    fn filling_a_set_within_associativity_then_all_hit(
+        ways in 1usize..8,
+        set_count_log2 in 1u32..6,
+        line_log2 in 5u32..8,
+    ) {
+        let line = 1u64 << line_log2; // 32 / 64 / 128-byte lines
+        let sets = 1u64 << set_count_log2;
+        let mut cache = Cache::new(CacheConfig::new(sets * ways as u64 * line, ways, line, 1));
+        // Fill one set exactly to capacity (stride = sets * line keeps the
+        // same set index while changing the tag).
+        let set_stride = sets * line;
+        for i in 0..ways as u64 {
+            prop_assert!(!cache.access(i * set_stride).is_hit(), "first touch misses");
+        }
+        for i in 0..ways as u64 {
+            prop_assert!(cache.contains(i * set_stride), "line {i} must stay resident");
+            prop_assert!(cache.access(i * set_stride).is_hit(), "fill -> hit");
+        }
+    }
+
+    /// True-LRU eviction order: after any access sequence into one set, the
+    /// cache holds exactly the `ways` most-recently-used distinct lines, in
+    /// agreement with a reference recency list.
+    #[test]
+    fn lru_matches_a_reference_recency_list(
+        ways in 1usize..5,
+        refs in proptest::collection::vec(0u64..12, 1..80),
+    ) {
+        let sets = 4u64;
+        let line = 64u64;
+        let mut cache = Cache::new(CacheConfig::new(sets * ways as u64 * line, ways, line, 1));
+        // All accesses target set 0; `refs` picks among 12 distinct tags.
+        let mut recency: Vec<u64> = Vec::new(); // most recent first
+        for &tag in &refs {
+            cache.access(tag * sets * line);
+            recency.retain(|&t| t != tag);
+            recency.insert(0, tag);
+        }
+        for (i, &tag) in recency.iter().enumerate() {
+            prop_assert_eq!(
+                cache.contains(tag * sets * line),
+                i < ways,
+                "tag {} at recency position {} with {} ways", tag, i, ways
+            );
+        }
+    }
+
+    /// Under `perfect_l2`, no data access ever reaches main memory, no
+    /// matter the access pattern, and the timed path agrees.
+    #[test]
+    fn perfect_l2_never_misses(addrs in proptest::collection::vec(0u64..1u64 << 40, 1..300)) {
+        let mut mem = MemoryHierarchy::new(MemoryConfig::table1_perfect_l2());
+        let mut timed = MemoryHierarchy::new(MemoryConfig::table1_perfect_l2());
+        for (i, a) in addrs.iter().enumerate() {
+            prop_assert!(!mem.would_miss_l2(*a));
+            let r = mem.access_data(*a, false);
+            prop_assert_ne!(r.level, MemLevel::Memory);
+            prop_assert!(r.latency <= 12);
+            match timed.access_data_timed(*a, i as u64, i as u64) {
+                TimedAccess::Ready { level, latency } => {
+                    prop_assert_eq!(level, r.level);
+                    prop_assert_eq!(latency, r.latency);
+                }
+                TimedAccess::InFlight => prop_assert!(false, "perfect L2 never goes to memory"),
+            }
+        }
+        prop_assert_eq!(mem.stats().l2_misses, 0);
     }
 }

@@ -112,11 +112,11 @@ pub struct EngineCtx<'c, 'a> {
 
 impl EngineCtx<'_, '_> {
     /// Releases committed stores older than `frontier` to the memory
-    /// hierarchy.
+    /// hierarchy (L2 misses post to the timed backend as bank writes).
     pub fn drain_stores(&mut self, frontier: InstId) {
         let drained = self.lsq.release_older_than(frontier);
         for s in drained {
-            self.mem.access_data(s.addr, true);
+            self.mem.drain_store(s.addr, self.cycle);
         }
     }
 

@@ -14,7 +14,9 @@ pub enum InstState {
     InSliq,
     /// Issued to a functional unit; completes at the recorded cycle.
     Executing {
-        /// Cycle at which the result is produced.
+        /// Cycle at which the result is produced. `u64::MAX` for loads
+        /// waiting on the timed memory backend, whose completion cycle is
+        /// announced by the backend when the data returns.
         done_cycle: u64,
     },
     /// Execution finished; waiting for commit.

@@ -62,6 +62,10 @@ pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallSta
 // `koc_workloads` directly.
 pub use koc_workloads::Suite;
 
+// Re-exported so the memory-backend knobs (`SimBuilder::dram`,
+// `mshr_entries`, `prefetch`, …) can be used without importing `koc_mem`.
+pub use koc_mem::{BackendKind, DramConfig, MemoryConfig, PrefetchConfig};
+
 /// Compatibility alias for the pre-engine-split module path.
 #[deprecated(since = "0.1.0", note = "the pipeline lives in `koc_sim::pipeline`")]
 pub mod processor {

@@ -22,8 +22,8 @@ use koc_core::{
 };
 use koc_frontend::{BranchPredictor, GsharePredictor, PerfectPredictor};
 use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
-use koc_mem::MemoryHierarchy;
-use std::collections::{BTreeMap, HashSet};
+use koc_mem::{MemLevel, MemoryHierarchy, TimedAccess};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Interval (in cycles) at which the expensive live-instruction breakdown
 /// (Figure 7) is sampled.
@@ -102,6 +102,11 @@ pub struct Processor<'a> {
     next_seq: u64,
     /// Completion events: cycle -> [(inst, seq)].
     events: BTreeMap<u64, Vec<(InstId, u64)>>,
+    /// Loads waiting on the timed memory backend, by request token (the
+    /// instance's `seq`). Completions surface from the hierarchy's tick.
+    mem_waiters: HashMap<u64, InstId>,
+    /// Scratch buffer for completed memory tokens.
+    mem_completed: Vec<u64>,
     /// Fetch is stalled (misprediction redirect) until this cycle.
     fetch_stall_until: u64,
     /// Number of dispatched-but-not-issued instructions (incremental).
@@ -167,6 +172,8 @@ impl<'a> Processor<'a> {
             inflight: BTreeMap::new(),
             next_seq: 0,
             events: BTreeMap::new(),
+            mem_waiters: HashMap::new(),
+            mem_completed: Vec::new(),
             fetch_stall_until: 0,
             live_count: 0,
             handled_exceptions: HashSet::new(),
@@ -232,7 +239,14 @@ impl<'a> Processor<'a> {
 
     fn cycle_bound(&self) -> u64 {
         let worst_inst = self.config.memory.worst_case_latency() as u64 + 64;
-        1_000_000 + self.trace.len() as u64 * worst_inst
+        // A finite MSHR file can serialise misses behind one another, and
+        // prefetch traffic competes for bank bandwidth: scale the deadlock
+        // bound (it remains a bound, not an estimate).
+        let backpressure = match self.config.memory.backend {
+            koc_mem::BackendKind::Flat => 1,
+            koc_mem::BackendKind::Dram(_) => 2 + self.config.memory.prefetch.degree() as u64,
+        };
+        1_000_000 + self.trace.len() as u64 * worst_inst * backpressure
     }
 
     fn finalize(&mut self) {
@@ -249,12 +263,35 @@ impl<'a> Processor<'a> {
     pub fn step(&mut self) {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        self.memory_stage();
         self.writeback_stage();
         self.engine.commit(&mut engine_ctx!(self));
         self.engine.wake(&mut engine_ctx!(self));
         self.issue_stage();
         self.frontend_stage();
         self.sample_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Memory: advance the timed backend, turn completions into events
+    // ------------------------------------------------------------------
+
+    fn memory_stage(&mut self) {
+        let mut completed = std::mem::take(&mut self.mem_completed);
+        completed.clear();
+        self.mem.tick(self.cycle, &mut completed);
+        for token in completed.drain(..) {
+            // The token is the load instance's `seq`; stale tokens (the
+            // instance was squashed) simply no longer map to a waiter, and
+            // the write-back stage re-checks `seq` anyway.
+            if let Some(inst) = self.mem_waiters.remove(&token) {
+                self.events
+                    .entry(self.cycle)
+                    .or_default()
+                    .push((inst, token));
+            }
+        }
+        self.mem_completed = completed;
     }
 
     // ------------------------------------------------------------------
@@ -368,26 +405,43 @@ impl<'a> Processor<'a> {
 
     fn begin_execution(&mut self, inst: InstId) {
         let trace_inst = &self.trace[inst];
-        let (latency, level) = match trace_inst.kind {
+        let seq = self
+            .inflight
+            .get(&inst)
+            .expect("issued instruction is in flight")
+            .seq;
+        // `completion` is the known finish latency, or None when the load
+        // went to the timed backend and will complete via `memory_stage`.
+        let (completion, level) = match trace_inst.kind {
             OpKind::Load => {
-                let access = self
-                    .mem
-                    .access_data(trace_inst.mem.expect("load has address").addr, false);
-                (access.latency, Some(access.level))
+                let addr = trace_inst.mem.expect("load has address").addr;
+                match self.mem.access_data_timed(addr, seq, self.cycle) {
+                    TimedAccess::Ready { level, latency } => (Some(latency), Some(level)),
+                    TimedAccess::InFlight => {
+                        self.mem_waiters.insert(seq, inst);
+                        (None, Some(MemLevel::Memory))
+                    }
+                }
             }
-            OpKind::Store => (1, None),
-            kind => (kind.latency().latency, None),
+            OpKind::Store => (Some(1), None),
+            kind => (Some(kind.latency().latency), None),
         };
         let fl = self
             .inflight
             .get_mut(&inst)
             .expect("issued instruction is in flight");
         debug_assert!(fl.is_live(), "issuing an instruction that is not waiting");
-        let done = self.cycle + latency as u64;
+        let done = match completion {
+            Some(latency) => self.cycle + latency as u64,
+            // The backend announces the completion cycle when it arrives.
+            None => u64::MAX,
+        };
         fl.state = InstState::Executing { done_cycle: done };
         fl.mem_level = level;
         self.live_count = self.live_count.saturating_sub(1);
-        self.events.entry(done).or_default().push((inst, fl.seq));
+        if completion.is_some() {
+            self.events.entry(done).or_default().push((inst, seq));
+        }
     }
 
     // ------------------------------------------------------------------

@@ -21,6 +21,7 @@ use crate::pipeline::Processor;
 use crate::stats::SimStats;
 use koc_core::CheckpointPolicy;
 use koc_isa::Trace;
+use koc_mem::{BackendKind, DramConfig, PrefetchConfig};
 use koc_workloads::{suite::suite_average, Suite, Workload};
 use rayon::prelude::*;
 
@@ -211,6 +212,47 @@ impl SimBuilder {
     /// Sets the main-memory latency, keeping the rest of the hierarchy.
     pub fn memory_latency(mut self, cycles: u32) -> Self {
         self.config = self.config.with_memory_latency(cycles);
+        self
+    }
+
+    /// Selects the timed memory backend wholesale
+    /// ([`BackendKind::Flat`] is the default and reproduces the paper).
+    pub fn memory_backend(mut self, backend: BackendKind) -> Self {
+        self.config.memory = self.config.memory.with_backend(backend);
+        self
+    }
+
+    /// Switches main memory to the banked DRAM backend with the given
+    /// geometry and timing.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.config.memory = self.config.memory.with_dram(dram);
+        self
+    }
+
+    /// Sets the MSHR count — the maximum outstanding misses. Upgrades a
+    /// flat backend to the default DRAM part first.
+    pub fn mshr_entries(mut self, entries: usize) -> Self {
+        self.config.memory = self.config.memory.with_mshr_entries(entries);
+        self
+    }
+
+    /// Sets the DRAM bank count. Upgrades a flat backend to the default
+    /// DRAM part first.
+    pub fn dram_banks(mut self, banks: usize) -> Self {
+        self.config.memory = self.config.memory.with_dram_banks(banks);
+        self
+    }
+
+    /// Sets the per-bank row-buffer size in bytes. Upgrades a flat backend
+    /// to the default DRAM part first.
+    pub fn row_buffer(mut self, bytes: u64) -> Self {
+        self.config.memory = self.config.memory.with_row_buffer(bytes);
+        self
+    }
+
+    /// Configures prefetching into the L2 miss stream.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.config.memory = self.config.memory.with_prefetch(prefetch);
         self
     }
 

@@ -38,6 +38,10 @@ pub enum DependencePattern {
     /// A loop-carried reduction: every iteration depends on the previous one
     /// through an accumulator register.
     LoopCarried,
+    /// A pointer chase: every load's *address* depends on the previous
+    /// load's value, so at most one memory access is outstanding at a time
+    /// (MLP = 1) no matter how large the instruction window is.
+    AddressChain,
 }
 
 /// Full description of a synthetic kernel.

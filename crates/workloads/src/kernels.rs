@@ -106,6 +106,48 @@ pub fn gather() -> KernelConfig {
     }
 }
 
+/// `pointer_chase` — linked-list traversal with MLP = 1.
+///
+/// Every load's address comes from the previous load's value, over a 64 MB
+/// table: exactly one miss can be outstanding at a time, so neither a
+/// kilo-instruction window nor extra MSHRs help. The control case for
+/// memory-level-parallelism experiments (`mlp_sensitivity`).
+pub fn pointer_chase() -> KernelConfig {
+    KernelConfig {
+        iterations: 400,
+        unroll: 16,
+        loads_per_unit: 1,
+        fp_per_load: 0,
+        stores_per_unit: 0,
+        memory: MemoryPattern::Gather {
+            table_bytes: 64 * 1024 * 1024,
+        },
+        dependence: DependencePattern::AddressChain,
+        irregular_branch_prob: 0.0,
+        seed: 0xC8A5E,
+    }
+}
+
+/// `stream_mlp` — line-stride streaming with maximal MLP.
+///
+/// Independent loads striding one L2 line (64 bytes) per element: every
+/// load is a fresh long-latency miss with no dependences between them, so
+/// achievable MLP is bounded only by the window and the memory system
+/// (MSHRs, banks). The contrast case to [`pointer_chase`].
+pub fn stream_mlp() -> KernelConfig {
+    KernelConfig {
+        iterations: 400,
+        unroll: 16,
+        loads_per_unit: 2,
+        fp_per_load: 1,
+        stores_per_unit: 0,
+        memory: MemoryPattern::Streaming { stride_bytes: 64 },
+        dependence: DependencePattern::Independent,
+        irregular_branch_prob: 0.0,
+        seed: 0x51EA3,
+    }
+}
+
 /// All kernel constructors with their suite names.
 pub fn all() -> Vec<(&'static str, KernelConfig)> {
     vec![
@@ -117,6 +159,15 @@ pub fn all() -> Vec<(&'static str, KernelConfig)> {
     ]
 }
 
+/// The MLP-contrast pair: a dependent pointer chase (MLP = 1) against an
+/// independent streaming kernel (MLP bounded only by the machine).
+pub fn mlp_contrast() -> Vec<(&'static str, KernelConfig)> {
+    vec![
+        ("pointer_chase", pointer_chase()),
+        ("stream_mlp", stream_mlp()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,17 +176,59 @@ mod tests {
 
     #[test]
     fn every_kernel_config_is_valid() {
-        for (name, c) in all() {
+        for (name, c) in all().into_iter().chain(mlp_contrast()) {
             assert!(c.validate().is_ok(), "{name} invalid");
         }
     }
 
     #[test]
     fn kernels_have_distinct_seeds_and_patterns() {
-        let kernels = all();
+        let kernels: Vec<_> = all().into_iter().chain(mlp_contrast()).collect();
         for (i, (_, a)) in kernels.iter().enumerate() {
             for (_, b) in &kernels[i + 1..] {
                 assert_ne!(a.seed, b.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_loads_form_an_address_chain() {
+        let t = generate_kernel("pointer_chase", &pointer_chase().with_target_len(2_000));
+        let loads: Vec<_> = t.iter().filter(|i| i.kind == OpKind::Load).collect();
+        assert!(loads.len() > 10);
+        for pair in loads.windows(2) {
+            let prev_dest = pair[0].dest.expect("loads write a register");
+            assert!(
+                pair[1].sources().any(|s| s == prev_dest),
+                "each load's address must come from the previous load"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_mlp_loads_are_independent_line_misses() {
+        let t = generate_kernel("stream_mlp", &stream_mlp().with_target_len(2_000));
+        let loads: Vec<_> = t.iter().filter(|i| i.kind == OpKind::Load).collect();
+        // No load reads another load's destination: fully independent.
+        let load_dests: Vec<_> = loads.iter().filter_map(|l| l.dest).collect();
+        for l in &loads {
+            for s in l.sources() {
+                assert!(
+                    !load_dests.contains(&s),
+                    "streaming loads must not depend on loaded values"
+                );
+            }
+        }
+        // Each array's stream touches a fresh 64-byte line every element.
+        let mut per_stream: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for l in &loads {
+            let addr = l.mem.unwrap().addr;
+            per_stream.entry(addr >> 30).or_default().push(addr);
+        }
+        for addrs in per_stream.values() {
+            for w in addrs.windows(2) {
+                assert_eq!(w[1] - w[0], 64, "one L2 line per element");
             }
         }
     }

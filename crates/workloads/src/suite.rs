@@ -55,6 +55,10 @@ pub enum Suite {
     /// The five-kernel SPEC2000fp-like suite the paper's figures average
     /// over.
     Paper,
+    /// The MLP-contrast pair: `pointer_chase` (a dependent chain, MLP = 1)
+    /// and `stream_mlp` (independent line-stride misses, maximal MLP).
+    /// Designed for the memory-backend experiments.
+    MlpContrast,
     /// A single named kernel.
     Kernel {
         /// Workload name (used in reports).
@@ -70,6 +74,12 @@ impl Suite {
     /// The paper's suite: all five SPEC2000fp-like kernels.
     pub fn paper() -> Self {
         Suite::Paper
+    }
+
+    /// The MLP-contrast pair ([`kernels::pointer_chase`] and
+    /// [`kernels::stream_mlp`]).
+    pub fn mlp_contrast() -> Self {
+        Suite::MlpContrast
     }
 
     /// A single kernel by configuration (e.g. `Suite::kernel("stream_add",
@@ -91,6 +101,10 @@ impl Suite {
     pub fn generate(&self, target_len: usize) -> Vec<Workload> {
         match self {
             Suite::Paper => spec2000fp_like_suite(target_len),
+            Suite::MlpContrast => kernels::mlp_contrast()
+                .into_iter()
+                .map(|(name, config)| Workload::generate(name, config, target_len))
+                .collect(),
             Suite::Kernel { name, config } => vec![Workload::generate(name, *config, target_len)],
             Suite::Custom(workloads) => workloads.clone(),
         }
@@ -142,5 +156,15 @@ mod tests {
     fn suite_average_is_the_arithmetic_mean() {
         assert_eq!(suite_average(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(suite_average(&[]), 0.0);
+    }
+
+    #[test]
+    fn mlp_contrast_suite_generates_the_pair() {
+        let workloads = Suite::mlp_contrast().generate(2_000);
+        let names: Vec<_> = workloads.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["pointer_chase", "stream_mlp"]);
+        for w in &workloads {
+            assert!(w.trace.len() >= 2_000, "{} too short", w.name);
+        }
     }
 }

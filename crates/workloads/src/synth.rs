@@ -63,6 +63,9 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
     let mut pool = RegPool::new();
     // Element cursor per array stream, advanced across the whole run.
     let mut element: u64 = 0;
+    // For AddressChain kernels: the register holding the pointer loaded by
+    // the previous link (the next load's address base).
+    let mut chain_ptr: Option<ArchReg> = None;
 
     for iter in 0..config.iterations {
         let last_iteration = iter + 1 == config.iterations;
@@ -75,7 +78,13 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
             for l in 0..config.loads_per_unit {
                 let addr = unit_address(config, &mut rng, l as u64, element);
                 let dest = pool.next();
-                b.load(dest, addr_base, addr);
+                let base = match config.dependence {
+                    // Each link's address comes from the previous load.
+                    DependencePattern::AddressChain => chain_ptr.unwrap_or(addr_base),
+                    _ => addr_base,
+                };
+                b.load(dest, base, addr);
+                chain_ptr = Some(dest);
                 loaded.push(dest);
             }
 
@@ -86,7 +95,9 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
                 let dest = pool.next();
                 let src_a = loaded[f % loaded.len()];
                 let src_b = match config.dependence {
-                    DependencePattern::Independent => loaded[(f + 1) % loaded.len()],
+                    DependencePattern::Independent | DependencePattern::AddressChain => {
+                        loaded[(f + 1) % loaded.len()]
+                    }
                     DependencePattern::IntraIterationChain => chain_prev.unwrap_or(src_a),
                     DependencePattern::LoopCarried => accumulators[f % accumulators.len()],
                 };

@@ -1,0 +1,88 @@
+//! The memory-backend axis: what happens to the kilo-instruction window's
+//! advantage when main memory is *not* ideal.
+//!
+//! The paper models main memory as a flat latency with unlimited
+//! outstanding misses, so a large window always finds memory-level
+//! parallelism. This example swaps in the banked DRAM backend and sweeps
+//! the MSHR file on the two MLP-contrast workloads, then shows the stride
+//! prefetcher clawing some of the loss back.
+//!
+//! ```text
+//! cargo run --release --example memory_backend
+//! ```
+
+use koc_sim::{DramConfig, PrefetchConfig, SimBuilder, Suite};
+
+fn main() {
+    let mshr_counts = [1usize, 2, 4, 8, 16, 32];
+
+    println!("checkpointed engine, banked DRAM, 1000-cycle memory");
+    println!(
+        "{:>8}{:>16}{:>16}{:>14}{:>12}",
+        "MSHRs", "stream_mlp IPC", "ptr_chase IPC", "mshr stalls", "row hit%"
+    );
+    println!("{:-<66}", "");
+    let machine = || SimBuilder::cooo().pseudo_rob(128).sliq(2048);
+    for &mshrs in &mshr_counts {
+        let result = machine()
+            .dram(
+                DramConfig::table1_like()
+                    .with_mshr_entries(mshrs)
+                    .with_banks(16),
+            )
+            .workloads(Suite::mlp_contrast())
+            .trace_len(8_000)
+            .build()
+            .run();
+        let stream = &result.per_workload[1].stats;
+        let chase = &result.per_workload[0].stats;
+        println!(
+            "{:>8}{:>16.3}{:>16.3}{:>14}{:>11.0}%",
+            mshrs,
+            stream.ipc(),
+            chase.ipc(),
+            stream.memory.mshr_full_stalls,
+            100.0 * stream.memory.row_buffer_hit_ratio(),
+        );
+    }
+    // The paper's model: unlimited outstanding misses.
+    let flat = machine()
+        .workloads(Suite::mlp_contrast())
+        .trace_len(8_000)
+        .build()
+        .run();
+    println!(
+        "{:>8}{:>16.3}{:>16.3}{:>14}{:>12}",
+        "flat",
+        flat.per_workload[1].stats.ipc(),
+        flat.per_workload[0].stats.ipc(),
+        "-",
+        "-"
+    );
+
+    println!();
+    println!("stride prefetching on the paper's stream_add kernel (flat backend)");
+    for (label, prefetch) in [
+        ("off", PrefetchConfig::Off),
+        ("stride x4", PrefetchConfig::stride()),
+    ] {
+        let result = SimBuilder::cooo()
+            .prefetch(prefetch)
+            .workloads(Suite::paper())
+            .trace_len(8_000)
+            .build()
+            .run();
+        let s = &result.per_workload[0].stats;
+        println!(
+            "  {label:>10}: {:.3} IPC  (prefetches issued {}, useful {})",
+            s.ipc(),
+            s.memory.prefetch_issued,
+            s.memory.prefetch_useful,
+        );
+    }
+
+    println!();
+    println!("Reading: stream_mlp scales with the MSHR count — the window exposes the");
+    println!("parallelism, the MSHR file bounds it — while pointer_chase (MLP = 1) is");
+    println!("completely insensitive. The flat default reproduces the paper exactly.");
+}

@@ -1,0 +1,216 @@
+//! Integration tests for the pluggable timed memory backend: parity with
+//! the paper's flat model, the DRAM/MSHR back-pressure axis, prefetching,
+//! and the configuration plumbing through the session API.
+
+use koc_sim::{
+    BackendKind, CommitConfig, DramConfig, PrefetchConfig, ProcessorConfig, SimBuilder, Suite,
+    Sweep,
+};
+use koc_workloads::kernels;
+
+/// Cycle counts recorded from the pre-backend hierarchy (the seed code) on
+/// the full paper suite at `trace_len = 4000`: `FlatLatency` must reproduce
+/// them exactly, for both commit engines.
+const SEED_GOLDEN: &[(&str, u64, u64, u64)] = &[
+    // (workload, baseline-128 cycles, COoO-32/512 cycles, committed)
+    ("stream_add", 24_674, 2_675, 4_060),
+    ("stencil27", 31_695, 6_088, 4_104),
+    ("dense_blocked", 29_632, 2_456, 4_180),
+    ("reduction", 29_608, 5_829, 4_004),
+    ("gather", 32_506, 5_064, 4_072),
+];
+
+#[test]
+fn flat_backend_reproduces_seed_cycle_counts_exactly() {
+    let workloads = Suite::paper().generate(4_000);
+    let results = Sweep::over([
+        ProcessorConfig::baseline(128, 1000),
+        ProcessorConfig::cooo(32, 512, 1000),
+    ])
+    .run_on(&workloads);
+    for (i, &(name, base_cycles, cooo_cycles, committed)) in SEED_GOLDEN.iter().enumerate() {
+        let base = &results[0].per_workload[i];
+        let cooo = &results[1].per_workload[i];
+        assert_eq!(base.workload, name);
+        assert_eq!(
+            (base.stats.cycles, base.stats.committed_instructions),
+            (base_cycles, committed),
+            "baseline diverged from the seed on {name}"
+        );
+        assert_eq!(
+            (cooo.stats.cycles, cooo.stats.committed_instructions),
+            (cooo_cycles, committed),
+            "checkpointed engine diverged from the seed on {name}"
+        );
+    }
+}
+
+#[test]
+fn ideal_dram_matches_flat_latency_cycle_for_cycle() {
+    let workloads = Suite::paper().generate(2_000);
+    for commit in [
+        CommitConfig::InOrderRob { rob_size: 128 },
+        CommitConfig::cooo(32, 512),
+    ] {
+        let mut flat = ProcessorConfig::baseline(128, 1000);
+        flat.commit = commit;
+        let mut dram = flat;
+        dram.memory = dram.memory.with_dram(DramConfig::ideal());
+        let results = Sweep::over([flat, dram]).run_on(&workloads);
+        for (f, d) in results[0]
+            .per_workload
+            .iter()
+            .zip(results[1].per_workload.iter())
+        {
+            assert_eq!(
+                f.stats.committed_instructions, d.stats.committed_instructions,
+                "retired counts must match on {}",
+                f.workload
+            );
+            assert_eq!(
+                f.stats.cycles, d.stats.cycles,
+                "unlimited MSHRs + free rows must equal the flat model on {}",
+                f.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn mshr_starvation_throttles_the_streaming_workload() {
+    let session = |mshrs: usize| {
+        SimBuilder::cooo()
+            .pseudo_rob(128)
+            .sliq(2048)
+            .memory_latency(500)
+            .mshr_entries(mshrs)
+            .dram_banks(16)
+            .workloads(Suite::kernel("stream_mlp", kernels::stream_mlp()))
+            .trace_len(3_000)
+            .build()
+            .run()
+    };
+    let starved = session(1);
+    let fed = session(16);
+    assert!(
+        fed.mean_ipc() > starved.mean_ipc() * 2.0,
+        "16 MSHRs must beat 1 on independent misses: {:.3} vs {:.3}",
+        fed.mean_ipc(),
+        starved.mean_ipc()
+    );
+    let stats = &starved.per_workload[0].stats;
+    assert!(
+        stats.memory.mshr_full_stalls > 0,
+        "a single MSHR must back-pressure: {:?}",
+        stats.memory
+    );
+    assert!(
+        stats.memory.row_buffer_hits
+            + stats.memory.row_buffer_misses
+            + stats.memory.row_buffer_conflicts
+            > 0,
+        "DRAM row activity must be recorded"
+    );
+}
+
+#[test]
+fn pointer_chase_gains_nothing_from_mshrs() {
+    let run = |mshrs: usize| {
+        SimBuilder::cooo()
+            .memory_latency(500)
+            .mshr_entries(mshrs)
+            .workloads(Suite::kernel("pointer_chase", kernels::pointer_chase()))
+            .trace_len(600)
+            .build()
+            .run()
+            .mean_ipc()
+    };
+    let one = run(1);
+    let many = run(32);
+    let ratio = many / one;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "a dependent chain has MLP 1: {one:.4} vs {many:.4}"
+    );
+}
+
+#[test]
+fn stride_prefetching_helps_the_streaming_workload() {
+    let run = |prefetch: PrefetchConfig| {
+        SimBuilder::cooo()
+            .memory_latency(1000)
+            .prefetch(prefetch)
+            .workloads(Suite::kernel("stream_add", kernels::stream_add()))
+            .trace_len(3_000)
+            .build()
+            .run()
+    };
+    let off = run(PrefetchConfig::Off);
+    let on = run(PrefetchConfig::stride());
+    let stats = &on.per_workload[0].stats;
+    assert!(
+        stats.memory.prefetch_issued > 0,
+        "the unit-stride stream must trigger prefetches: {:?}",
+        stats.memory
+    );
+    assert!(
+        stats.memory.prefetch_useful > 0,
+        "prefetched lines must get used: {:?}",
+        stats.memory
+    );
+    assert!(
+        on.mean_ipc() >= off.mean_ipc(),
+        "prefetching a perfect stream must not hurt: {:.3} vs {:.3}",
+        on.mean_ipc(),
+        off.mean_ipc()
+    );
+}
+
+#[test]
+fn backend_knobs_flow_through_the_builder() {
+    let builder = SimBuilder::cooo()
+        .mshr_entries(8)
+        .dram_banks(4)
+        .row_buffer(8 * 1024)
+        .prefetch(PrefetchConfig::Stride {
+            degree: 2,
+            streams: 4,
+        });
+    let mem = builder.config().memory;
+    match mem.backend {
+        BackendKind::Dram(d) => {
+            assert_eq!((d.mshr_entries, d.banks, d.row_bytes), (8, 4, 8 * 1024));
+        }
+        BackendKind::Flat => panic!("knobs must upgrade the backend to DRAM"),
+    }
+    assert_eq!(
+        mem.prefetch,
+        PrefetchConfig::Stride {
+            degree: 2,
+            streams: 4
+        }
+    );
+    // The whole-backend override wins over per-knob upgrades.
+    let flat_again = builder.memory_backend(BackendKind::Flat);
+    assert_eq!(flat_again.config().memory.backend, BackendKind::Flat);
+}
+
+#[test]
+fn prefetching_composes_with_dram_and_still_commits_everything() {
+    let result = SimBuilder::baseline(128)
+        .memory_latency(500)
+        .dram(DramConfig::table1_like())
+        .prefetch(PrefetchConfig::stride())
+        .workloads(Suite::mlp_contrast())
+        .trace_len(1_500)
+        .build()
+        .run();
+    assert_eq!(result.per_workload.len(), 2);
+    for w in &result.per_workload {
+        assert!(
+            w.stats.committed_instructions >= 1_500,
+            "{} must commit its whole trace under back-pressure",
+            w.workload
+        );
+    }
+}
