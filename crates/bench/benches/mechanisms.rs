@@ -65,7 +65,7 @@ fn bench_sliq(c: &mut Criterion) {
                 let entry = IqEntry {
                     inst: i,
                     dest: Some(PhysReg(64 + i as u32)),
-                    srcs: vec![PhysReg(7)],
+                    srcs: [PhysReg(7)].into_iter().collect(),
                     fu: FuClass::Fp,
                     ckpt: 0,
                 };
@@ -93,7 +93,7 @@ fn bench_iq(c: &mut Criterion) {
                 let entry = IqEntry {
                     inst: i,
                     dest: Some(PhysReg(200 + i as u32)),
-                    srcs: vec![PhysReg((i % 8) as u32)],
+                    srcs: [PhysReg((i % 8) as u32)].into_iter().collect(),
                     fu: FuClass::Fp,
                     ckpt: 0,
                 };

@@ -1,0 +1,173 @@
+//! Command-line driver for the performance harness.
+//!
+//! ```text
+//! koc-bench harness --quick                   # run, write BENCH_<n>.json
+//! koc-bench harness --quick --out fresh.json  # explicit output path
+//! koc-bench harness --full
+//! koc-bench compare --baseline bench/baseline.json --current fresh.json
+//! koc-bench compare ... --max-slowdown 0.5    # also gate wall-clock speed
+//! koc-bench compare ... --cycle-tolerance 0.001
+//! ```
+//!
+//! `harness` prints the human-readable table and writes the JSON report;
+//! `compare` exits non-zero on any threshold violation (CI's regression
+//! gate: cycle drift is an accuracy bug, wall-clock drift a perf one).
+
+use koc_bench::harness::{self, CompareThresholds};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn print_usage() {
+    eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH]");
+    eprintln!("       koc-bench compare --baseline PATH --current PATH");
+    eprintln!("                         [--cycle-tolerance F] [--max-slowdown F]");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("harness") => run_harness(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help") | Some("-h") => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_harness(args: &[String]) -> ExitCode {
+    let mut quick = true;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--full" => {
+                quick = false;
+                i += 1;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(path));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown harness option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = harness::run(quick);
+    println!("{}", report.to_table());
+    let path = out.unwrap_or_else(|| harness::next_bench_path(std::path::Path::new(".")));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut thresholds = CompareThresholds::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--baseline" => {
+                let Some(v) = take_value(i) else {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::FAILURE;
+                };
+                baseline = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--current" => {
+                let Some(v) = take_value(i) else {
+                    eprintln!("--current requires a path");
+                    return ExitCode::FAILURE;
+                };
+                current = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--cycle-tolerance" => {
+                let Some(v) = take_value(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--cycle-tolerance requires a number");
+                    return ExitCode::FAILURE;
+                };
+                thresholds.cycle_tolerance = v;
+                i += 2;
+            }
+            "--max-slowdown" => {
+                let Some(v) = take_value(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-slowdown requires a number");
+                    return ExitCode::FAILURE;
+                };
+                thresholds.max_slowdown = Some(v);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown compare option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("compare requires --baseline and --current");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &PathBuf| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("failed to read {}: {e}", path.display());
+            ExitCode::FAILURE
+        })
+    };
+    let baseline_text = match read(&baseline) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let current_text = match read(&current) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match harness::compare(&baseline_text, &current_text, &thresholds) {
+        Ok(outcome) => {
+            for note in &outcome.notes {
+                println!("note: {note}");
+            }
+            if outcome.passed() {
+                println!("compare: OK ({} entries checked)", outcome.notes.len());
+                ExitCode::SUCCESS
+            } else {
+                for failure in &outcome.failures {
+                    eprintln!("FAIL: {failure}");
+                }
+                eprintln!(
+                    "compare: {} regression(s) vs {}",
+                    outcome.failures.len(),
+                    baseline.display()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

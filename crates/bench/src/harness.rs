@@ -1,0 +1,776 @@
+//! The machine-readable performance harness: a canonical quick-suite over
+//! both commit engines, timed end to end, emitted as `BENCH_<n>.json`, and
+//! diffable against a committed baseline with separate thresholds for
+//! cycle-accuracy and wall-clock speed.
+//!
+//! Two consumers drive this module:
+//!
+//! * **`koc-bench harness`** runs the suite and writes the JSON report.
+//!   Cycle counts and retired-instruction counts are fully deterministic
+//!   (seeded workload generation, deterministic simulation), so they double
+//!   as an accuracy fingerprint of the simulator. Wall-clock figures
+//!   (Mcycles/s, MIPS) record the perf trajectory of the simulator itself.
+//! * **`koc-bench compare`** diffs a fresh report against
+//!   `bench/baseline.json`. Cycle drift fails at zero tolerance by default
+//!   — any change to simulated timing must be intentional and re-baselined
+//!   — while wall-clock regression has its own, optional threshold
+//!   (machine-dependent, so CI gates on cycles and merely records speed).
+//!
+//! The JSON schema (`koc-bench-harness/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "koc-bench-harness/1",
+//!   "suite": "quick",
+//!   "trace_len": 8000,
+//!   "results": [
+//!     {"workload": "stream_add", "engine": "baseline", "cycles": 123,
+//!      "retired": 8000, "ipc": 0.5, "wall_seconds": 0.01,
+//!      "mcycles_per_sec": 12.3, "mips": 0.8, "peak_inflight": 128}
+//!   ]
+//! }
+//! ```
+
+use crate::report::Report;
+use koc_sim::{Processor, ProcessorConfig, SimStats};
+use koc_workloads::{Suite, Workload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Dynamic trace length of the quick suite (CI's accuracy gate).
+pub const QUICK_TRACE_LEN: usize = 8_000;
+/// Dynamic trace length of the full suite.
+pub const FULL_TRACE_LEN: usize = 30_000;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "koc-bench-harness/1";
+
+/// One timed simulation: a workload under one commit engine.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// Workload name (suite name of the kernel).
+    pub workload: String,
+    /// Commit engine: `"baseline"` (in-order ROB) or `"cooo"`
+    /// (checkpointed out-of-order).
+    pub engine: String,
+    /// Simulated cycles (deterministic; the accuracy fingerprint).
+    pub cycles: u64,
+    /// Retired (committed) instructions (deterministic).
+    pub retired: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Host wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// Simulation throughput in millions of simulated cycles per
+    /// wall-clock second.
+    pub mcycles_per_sec: f64,
+    /// Simulation throughput in millions of retired instructions per
+    /// wall-clock second.
+    pub mips: f64,
+    /// Peak window occupancy (maximum simultaneously in-flight
+    /// instructions; deterministic).
+    pub peak_inflight: usize,
+}
+
+/// A full harness run: every workload of the canonical suite under both
+/// commit engines.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// `"quick"` or `"full"`.
+    pub suite: String,
+    /// Dynamic trace length every workload was generated at.
+    pub trace_len: usize,
+    /// One entry per (workload, engine), in suite-then-engine order.
+    pub results: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// The entry for `(workload, engine)`, if present.
+    pub fn entry(&self, workload: &str, engine: &str) -> Option<&BenchEntry> {
+        self.results
+            .iter()
+            .find(|e| e.workload == workload && e.engine == engine)
+    }
+
+    /// Renders the report as the aligned plain-text table the experiment
+    /// driver prints (one formatting path for humans, JSON for machines).
+    pub fn to_table(&self) -> Report {
+        let mut r = Report::new(
+            format!(
+                "harness — {} suite (trace_len {})",
+                self.suite, self.trace_len
+            ),
+            &[
+                "workload",
+                "engine",
+                "cycles",
+                "retired",
+                "IPC",
+                "Mcyc/s",
+                "MIPS",
+                "peak-window",
+            ],
+        );
+        for e in &self.results {
+            r.push_row(vec![
+                e.workload.clone(),
+                e.engine.clone(),
+                e.cycles.to_string(),
+                e.retired.to_string(),
+                format!("{:.3}", e.ipc),
+                format!("{:.1}", e.mcycles_per_sec),
+                format!("{:.2}", e.mips),
+                e.peak_inflight.to_string(),
+            ]);
+        }
+        r.push_note("cycles/retired/peak-window are deterministic (accuracy gate);");
+        r.push_note("Mcyc/s and MIPS are host wall-clock (perf trajectory).");
+        r
+    }
+}
+
+/// The two canonical machines the harness times: the Table 1 in-order
+/// baseline and the paper's headline checkpointed configuration, both at
+/// 1000-cycle memory.
+pub fn engines() -> [(&'static str, ProcessorConfig); 2] {
+    [
+        ("baseline", ProcessorConfig::baseline(128, 1000)),
+        ("cooo", ProcessorConfig::cooo(128, 2048, 1000)),
+    ]
+}
+
+/// The canonical workload list: the paper's five-kernel suite plus the
+/// MLP-contrast pair (`pointer_chase` is the memory-bound case the
+/// event-driven fast-forward exists for).
+pub fn workloads(trace_len: usize) -> Vec<Workload> {
+    let mut all = Suite::paper().generate(trace_len);
+    all.extend(Suite::mlp_contrast().generate(trace_len));
+    all
+}
+
+/// Runs the canonical suite under both engines, timing each run, and
+/// returns the report. Runs are sequential so the wall-clock figures
+/// measure the simulator, not the host's core count.
+pub fn run(quick: bool) -> BenchReport {
+    let trace_len = if quick {
+        QUICK_TRACE_LEN
+    } else {
+        FULL_TRACE_LEN
+    };
+    let workloads = workloads(trace_len);
+    let mut results = Vec::new();
+    for w in &workloads {
+        for (engine, config) in engines() {
+            let start = Instant::now();
+            let stats: SimStats = Processor::new(config, &w.trace).run();
+            let wall = start.elapsed().as_secs_f64();
+            results.push(BenchEntry {
+                workload: w.name.clone(),
+                engine: engine.to_string(),
+                cycles: stats.cycles,
+                retired: stats.committed_instructions,
+                ipc: stats.ipc(),
+                wall_seconds: wall,
+                mcycles_per_sec: stats.cycles as f64 / 1e6 / wall.max(1e-9),
+                mips: stats.committed_instructions as f64 / 1e6 / wall.max(1e-9),
+                peak_inflight: stats.inflight.max(),
+            });
+        }
+    }
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        suite: if quick { "quick" } else { "full" }.to_string(),
+        trace_len,
+        results,
+    }
+}
+
+/// Picks the default output name `BENCH_<n>.json`: one past the highest
+/// index already present in `dir`, starting at 3 (the index of the PR that
+/// introduced the harness) when none exist.
+pub fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut next = 3u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                next = next.max(idx + 1);
+            }
+        }
+    }
+    dir.join(format!("BENCH_{next}.json"))
+}
+
+// ---------------------------------------------------------------------
+// Comparison against a committed baseline
+// ---------------------------------------------------------------------
+
+/// Thresholds for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareThresholds {
+    /// Allowed relative drift in `cycles` and `retired` (0.0 = exact,
+    /// the default: the simulator is deterministic, so any drift is a
+    /// behaviour change).
+    pub cycle_tolerance: f64,
+    /// Allowed wall-clock slowdown as a fraction of the baseline's
+    /// `mcycles_per_sec` (e.g. `Some(0.5)` fails when the current run is
+    /// less than half the baseline's speed). `None` disables the perf
+    /// gate — the right setting for heterogeneous CI machines.
+    pub max_slowdown: Option<f64>,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        CompareThresholds {
+            cycle_tolerance: 0.0,
+            max_slowdown: None,
+        }
+    }
+}
+
+/// The outcome of a comparison: hard failures (gate the build) and notes
+/// (informational, e.g. speed deltas when the perf gate is off).
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Threshold violations; non-empty means the comparison failed.
+    pub failures: Vec<String>,
+    /// Informational observations.
+    pub notes: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Whether every gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a freshly generated report (JSON text) against a baseline
+/// (JSON text).
+///
+/// # Errors
+/// Returns a description of the first structural problem (unparseable
+/// JSON, wrong schema) — distinct from threshold failures, which are
+/// collected in the returned [`CompareOutcome`].
+pub fn compare(
+    baseline: &str,
+    current: &str,
+    thresholds: &CompareThresholds,
+) -> Result<CompareOutcome, String> {
+    let baseline = parse_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_report(current).map_err(|e| format!("current: {e}"))?;
+    let mut outcome = CompareOutcome::default();
+    if baseline.suite != current.suite || baseline.trace_len != current.trace_len {
+        outcome.failures.push(format!(
+            "suite mismatch: baseline {}@{} vs current {}@{} (regenerate the baseline)",
+            baseline.suite, baseline.trace_len, current.suite, current.trace_len
+        ));
+        return Ok(outcome);
+    }
+    for b in &baseline.results {
+        let Some(c) = current.entry(&b.workload, &b.engine) else {
+            outcome.failures.push(format!(
+                "{}/{}: missing from current run",
+                b.workload, b.engine
+            ));
+            continue;
+        };
+        check_count(
+            &mut outcome,
+            &b.workload,
+            &b.engine,
+            "cycles",
+            b.cycles,
+            c.cycles,
+            thresholds.cycle_tolerance,
+        );
+        check_count(
+            &mut outcome,
+            &b.workload,
+            &b.engine,
+            "retired",
+            b.retired,
+            c.retired,
+            thresholds.cycle_tolerance,
+        );
+        let speed_delta = if b.mcycles_per_sec > 0.0 {
+            c.mcycles_per_sec / b.mcycles_per_sec - 1.0
+        } else {
+            0.0
+        };
+        match thresholds.max_slowdown {
+            Some(max) if speed_delta < -max => outcome.failures.push(format!(
+                "{}/{}: {:.1}% slower than baseline ({:.1} vs {:.1} Mcyc/s, limit {:.0}%)",
+                b.workload,
+                b.engine,
+                -speed_delta * 100.0,
+                c.mcycles_per_sec,
+                b.mcycles_per_sec,
+                max * 100.0
+            )),
+            _ => outcome.notes.push(format!(
+                "{}/{}: {:+.1}% speed vs baseline ({:.1} Mcyc/s)",
+                b.workload,
+                b.engine,
+                speed_delta * 100.0,
+                c.mcycles_per_sec
+            )),
+        }
+    }
+    for c in &current.results {
+        if baseline.entry(&c.workload, &c.engine).is_none() {
+            outcome.notes.push(format!(
+                "{}/{}: new entry (not in baseline)",
+                c.workload, c.engine
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+fn check_count(
+    outcome: &mut CompareOutcome,
+    workload: &str,
+    engine: &str,
+    what: &str,
+    baseline: u64,
+    current: u64,
+    tolerance: f64,
+) {
+    let drift = if baseline == 0 {
+        if current == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current as f64 - baseline as f64).abs() / baseline as f64
+    };
+    if drift > tolerance {
+        outcome.failures.push(format!(
+            "{workload}/{engine}: {what} drifted {current} vs baseline {baseline} \
+             ({:+.4}%, tolerance {:.4}%)",
+            (current as f64 / baseline as f64 - 1.0) * 100.0,
+            tolerance * 100.0
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (the workspace serde stub only writes JSON)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — just enough to read harness reports back.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let json = parse_json(text)?;
+    let schema = json
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema '{schema}' (expected {SCHEMA})"));
+    }
+    let field_str = |key: &str| -> Result<String, String> {
+        Ok(json
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or(format!("missing {key}"))?
+            .to_string())
+    };
+    let results = match json.get("results") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(parse_entry)
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("missing results array".into()),
+    };
+    Ok(BenchReport {
+        schema: schema.to_string(),
+        suite: field_str("suite")?,
+        trace_len: json
+            .get("trace_len")
+            .and_then(Json::as_f64)
+            .ok_or("missing trace_len")? as usize,
+        results,
+    })
+}
+
+fn parse_entry(json: &Json) -> Result<BenchEntry, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("entry missing {key}"))
+    };
+    Ok(BenchEntry {
+        workload: json
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("entry missing workload")?
+            .to_string(),
+        engine: json
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or("entry missing engine")?
+            .to_string(),
+        cycles: num("cycles")? as u64,
+        retired: num("retired")? as u64,
+        ipc: num("ipc")?,
+        wall_seconds: num("wall_seconds")?,
+        mcycles_per_sec: num("mcycles_per_sec")?,
+        mips: num("mips")?,
+        peak_inflight: num("peak_inflight")? as usize,
+    })
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::Str(key) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&bytes[*pos..])
+                            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                        let c = rest.chars().next().expect("non-empty");
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            suite: "quick".to_string(),
+            trace_len: 100,
+            results: vec![BenchEntry {
+                workload: "stream_add".to_string(),
+                engine: "baseline".to_string(),
+                cycles: 1000,
+                retired: 100,
+                ipc: 0.1,
+                wall_seconds: 0.5,
+                mcycles_per_sec: 2.0,
+                mips: 0.2,
+                peak_inflight: 64,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let report = tiny_report();
+        let json = report.to_json();
+        let back = parse_report(&json).unwrap();
+        assert_eq!(back.suite, "quick");
+        assert_eq!(back.trace_len, 100);
+        let e = back.entry("stream_add", "baseline").unwrap();
+        assert_eq!(e.cycles, 1000);
+        assert_eq!(e.retired, 100);
+        assert_eq!(e.peak_inflight, 64);
+        assert!((e.mcycles_per_sec - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        let json = tiny_report().to_json();
+        let outcome = compare(&json, &json, &CompareThresholds::default()).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(!outcome.notes.is_empty(), "speed note expected");
+    }
+
+    #[test]
+    fn cycle_drift_fails_at_zero_tolerance_and_passes_within_tolerance() {
+        let base = tiny_report();
+        let mut drifted = base.clone();
+        drifted.results[0].cycles = 1001;
+        let (bj, dj) = (base.to_json(), drifted.to_json());
+        let strict = compare(&bj, &dj, &CompareThresholds::default()).unwrap();
+        assert!(!strict.passed());
+        assert!(
+            strict.failures[0].contains("cycles drifted"),
+            "{:?}",
+            strict.failures
+        );
+        let loose = compare(
+            &bj,
+            &dj,
+            &CompareThresholds {
+                cycle_tolerance: 0.01,
+                max_slowdown: None,
+            },
+        )
+        .unwrap();
+        assert!(loose.passed(), "{:?}", loose.failures);
+    }
+
+    #[test]
+    fn slowdown_gate_is_optional_and_directional() {
+        let base = tiny_report();
+        let mut slower = base.clone();
+        slower.results[0].mcycles_per_sec = 0.5; // 4x slower
+        let (bj, sj) = (base.to_json(), slower.to_json());
+        let off = compare(&bj, &sj, &CompareThresholds::default()).unwrap();
+        assert!(off.passed(), "perf gate off by default");
+        let on = compare(
+            &bj,
+            &sj,
+            &CompareThresholds {
+                cycle_tolerance: 0.0,
+                max_slowdown: Some(0.5),
+            },
+        )
+        .unwrap();
+        assert!(!on.passed());
+        assert!(on.failures[0].contains("slower"), "{:?}", on.failures);
+        // A faster run never fails the perf gate.
+        let faster_outcome = compare(
+            &sj,
+            &bj,
+            &CompareThresholds {
+                cycle_tolerance: 0.0,
+                max_slowdown: Some(0.5),
+            },
+        )
+        .unwrap();
+        assert!(faster_outcome.passed());
+    }
+
+    #[test]
+    fn missing_entries_fail_and_new_entries_note() {
+        let base = tiny_report();
+        let mut extended = base.clone();
+        extended.results.push(BenchEntry {
+            workload: "gather".to_string(),
+            engine: "cooo".to_string(),
+            ..base.results[0].clone()
+        });
+        let outcome = compare(
+            &extended.to_json(),
+            &base.to_json(),
+            &CompareThresholds::default(),
+        )
+        .unwrap();
+        assert!(!outcome.passed(), "baseline entry missing from current");
+        let outcome = compare(
+            &base.to_json(),
+            &extended.to_json(),
+            &CompareThresholds::default(),
+        )
+        .unwrap();
+        assert!(outcome.passed());
+        assert!(outcome.notes.iter().any(|n| n.contains("new entry")));
+    }
+
+    #[test]
+    fn quick_harness_runs_are_deterministic_in_their_counts() {
+        // A scaled-down harness invocation (single short workload) so the
+        // test stays fast: same counts on every run.
+        let w = &workloads(400)[0];
+        let (name, config) = &engines()[0];
+        let a = Processor::new(*config, &w.trace).run();
+        let b = Processor::new(*config, &w.trace).run();
+        assert_eq!(a.cycles, b.cycles, "{name} must be deterministic");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_bench_path_starts_at_three_and_increments() {
+        let dir = std::env::temp_dir().join(format!("koc-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_3.json"));
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_8.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, 2.5, "x\n\"y\""], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Str("x\n\"y\"".to_string()),
+            ])
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+}

@@ -7,18 +7,26 @@
 //! * `koc-experiments <experiment> [--len N]` — the command-line driver
 //!   (`all`, `table1`, `fig1`, `fig7`, `fig9`, `fig10`, `fig11`, `fig12`,
 //!   `fig13`, `fig14`).
+//! * `koc-bench harness [--quick|--full]` — the machine-readable
+//!   performance harness (the [`harness`] module): runs the canonical
+//!   suite under both commit engines and writes `BENCH_<n>.json`;
+//!   `koc-bench compare` diffs two reports with separate cycle-accuracy
+//!   and wall-clock thresholds (CI's `bench-regression` gate).
 //! * `cargo bench` — Criterion benchmarks, one per figure, that time a
 //!   reduced version of each sweep (and print its rows once).
 //!
 //! `EXPERIMENTS.md` at the repository root records paper-vs-measured numbers
-//! produced by this harness.
+//! produced by this harness; `bench/baseline.json` is the committed
+//! regression baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 
+pub use harness::{BenchEntry, BenchReport, CompareOutcome, CompareThresholds};
 pub use report::Report;
 
 /// Default dynamic trace length per workload used by the command-line driver.

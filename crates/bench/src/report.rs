@@ -49,31 +49,14 @@ impl Report {
         }
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
-        let header_line: Vec<String> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
-            .collect();
-        out.push_str(&header_line.join("  "));
+        out.push_str(&format_row(&self.headers, &widths));
         out.push('\n');
         out.push_str(
             &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
         );
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    format!(
-                        "{:>width$}",
-                        c,
-                        width = widths.get(i).copied().unwrap_or(c.len())
-                    )
-                })
-                .collect();
-            out.push_str(&line.join("  "));
+            out.push_str(&format_row(row, &widths));
             out.push('\n');
         }
         for note in &self.notes {
@@ -81,6 +64,23 @@ impl Report {
         }
         out
     }
+}
+
+/// Right-aligns one row (header or data) to the column widths — the single
+/// formatting path for every line of a report.
+fn format_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            format!(
+                "{:>width$}",
+                cell,
+                width = widths.get(i).copied().unwrap_or(cell.len())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
 }
 
 impl std::fmt::Display for Report {

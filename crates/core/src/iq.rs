@@ -8,7 +8,7 @@
 //! so the scarce entries go to work that will issue soon.
 
 use crate::checkpoint::CheckpointId;
-use koc_isa::{FuClass, InstId, PhysReg};
+use koc_isa::{FuClass, InstId, PhysReg, RegList};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -20,7 +20,7 @@ pub struct IqEntry {
     /// Renamed destination register, if any.
     pub dest: Option<PhysReg>,
     /// Renamed source registers.
-    pub srcs: Vec<PhysReg>,
+    pub srcs: RegList,
     /// Functional-unit class the instruction issues to.
     pub fu: FuClass,
     /// Checkpoint the instruction is associated with.
@@ -60,6 +60,9 @@ pub struct InstructionQueue {
     ready: BTreeSet<InstId>,
     waiters: HashMap<PhysReg, Vec<(InstId, u64)>>,
     next_token: u64,
+    /// Reused by [`select_ready_into`](Self::select_ready_into) so steady-
+    /// state selection allocates nothing.
+    select_scratch: Vec<InstId>,
 }
 
 impl InstructionQueue {
@@ -179,9 +182,28 @@ impl InstructionQueue {
         max_total: usize,
     ) -> Vec<IqEntry> {
         let mut picked = Vec::new();
-        let candidates: Vec<InstId> = self.ready.iter().copied().collect();
-        for inst in candidates {
-            if picked.len() >= max_total {
+        self.select_ready_into(fu_available, max_total, &mut picked);
+        picked
+    }
+
+    /// [`select_ready`](Self::select_ready) into a caller-owned buffer
+    /// (appended, not cleared) — the per-cycle issue path reuses one buffer
+    /// across the whole run.
+    pub fn select_ready_into(
+        &mut self,
+        fu_available: &mut [usize; FuClass::COUNT],
+        max_total: usize,
+        picked: &mut Vec<IqEntry>,
+    ) {
+        if max_total == 0 || self.ready.is_empty() {
+            return;
+        }
+        let mut candidates = std::mem::take(&mut self.select_scratch);
+        candidates.clear();
+        candidates.extend(self.ready.iter().copied());
+        let mut taken = 0;
+        for &inst in &candidates {
+            if taken >= max_total {
                 break;
             }
             let fu = self.slots[&inst].entry.fu;
@@ -192,8 +214,9 @@ impl InstructionQueue {
             self.ready.remove(&inst);
             let slot = self.slots.remove(&inst).expect("ready entry exists");
             picked.push(slot.entry);
+            taken += 1;
         }
-        picked
+        self.select_scratch = candidates;
     }
 
     /// Removes a specific instruction (used when the SLIQ steals a
@@ -242,7 +265,7 @@ mod tests {
         IqEntry {
             inst,
             dest: Some(PhysReg(100 + inst as u32)),
-            srcs: srcs.iter().map(|&r| PhysReg(r)).collect(),
+            srcs: srcs.iter().map(|&r| PhysReg(r)).collect::<RegList>(),
             fu,
             ckpt: 0,
         }

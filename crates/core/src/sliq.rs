@@ -205,6 +205,14 @@ impl SliqBuffer {
         self.pending_triggers.iter()
     }
 
+    /// The earliest cycle at which a pending wake-up walker may start
+    /// re-inserting, if any. Triggers are notified with a monotonic clock,
+    /// so the FIFO front is the minimum. This is the SLIQ's contribution to
+    /// the pipeline's event-driven fast-forward.
+    pub fn next_pending_ready_at(&self) -> Option<u64> {
+        self.pending_triggers.front().map(|w| w.ready_at)
+    }
+
     /// Removes every entry at or after trace position `from` (squash) and
     /// returns how many were removed.
     pub fn squash_from(&mut self, from: InstId) -> usize {
@@ -316,7 +324,7 @@ mod tests {
         IqEntry {
             inst,
             dest: Some(PhysReg(200 + inst as u32)),
-            srcs: vec![],
+            srcs: koc_isa::RegList::new(),
             fu: FuClass::Fp,
             ckpt: 0,
         }

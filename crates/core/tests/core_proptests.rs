@@ -134,7 +134,7 @@ proptest! {
             let entry = IqEntry {
                 inst: i,
                 dest: Some(PhysReg(100 + i as u32)),
-                srcs: vec![],
+                srcs: koc_isa::RegList::new(),
                 fu: if i % 2 == 0 { FuClass::Fp } else { FuClass::IntAlu },
                 ckpt: 0,
             };
@@ -165,7 +165,7 @@ proptest! {
             let entry = IqEntry {
                 inst: i,
                 dest: Some(PhysReg(1000 + i as u32)),
-                srcs: vec![PhysReg(*s)],
+                srcs: [PhysReg(*s)].into_iter().collect(),
                 fu: FuClass::IntAlu,
                 ckpt: 0,
             };

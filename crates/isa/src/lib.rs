@@ -37,7 +37,8 @@ pub mod reg;
 pub mod trace;
 
 pub use builder::TraceBuilder;
+pub use inst::MAX_SRCS;
 pub use inst::{BranchInfo, Instruction, MemAccess};
 pub use op::{FuClass, OpKind, OpLatency};
-pub use reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
+pub use reg::{ArchReg, PhysReg, RegClass, RegList, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
 pub use trace::{InstId, Trace, TraceCursor};

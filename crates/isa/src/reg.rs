@@ -146,6 +146,103 @@ impl fmt::Display for PhysReg {
     }
 }
 
+/// An inline list of up to [`MAX_SRCS`](crate::inst::MAX_SRCS) physical
+/// registers.
+///
+/// Renamed source operands are bounded by the ISA's source-operand count, so
+/// queue and in-flight bookkeeping never needs a heap-allocated `Vec` for
+/// them — with hundreds of thousands of dispatches per simulated run, that
+/// per-instruction allocation is pure hot-loop churn. `RegList` is `Copy`
+/// and dereferences to a slice, so it drops into existing `Vec<PhysReg>`
+/// call sites unchanged.
+///
+/// ```
+/// use koc_isa::{PhysReg, RegList};
+/// let l: RegList = [PhysReg(3), PhysReg(9)].into_iter().collect();
+/// assert_eq!(l.len(), 2);
+/// assert_eq!(l[1], PhysReg(9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegList {
+    regs: [PhysReg; crate::inst::MAX_SRCS],
+    len: u8,
+}
+
+impl Default for RegList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        RegList {
+            regs: [PhysReg(0); crate::inst::MAX_SRCS],
+            len: 0,
+        }
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    /// Panics if the list already holds [`MAX_SRCS`](crate::inst::MAX_SRCS)
+    /// registers.
+    pub fn push(&mut self, reg: PhysReg) {
+        let i = self.len as usize;
+        assert!(i < crate::inst::MAX_SRCS, "RegList overflow");
+        self.regs[i] = reg;
+        self.len += 1;
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for RegList {
+    type Target = [PhysReg];
+
+    fn deref(&self) -> &[PhysReg] {
+        self.as_slice()
+    }
+}
+
+impl FromIterator<PhysReg> for RegList {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> Self {
+        let mut list = RegList::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+impl From<&[PhysReg]> for RegList {
+    fn from(slice: &[PhysReg]) -> Self {
+        slice.iter().copied().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegList {
+    type Item = &'a PhysReg;
+    type IntoIter = std::slice::Iter<'a, PhysReg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Serialized as a plain JSON array (the unused capacity is not data).
+impl Serialize for RegList {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<'de> Deserialize<'de> for RegList {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

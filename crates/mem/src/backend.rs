@@ -134,6 +134,22 @@ pub trait MemoryBackend: std::fmt::Debug + Send {
     /// Appends every request serviced at or before `now` to `out`.
     fn drain(&mut self, now: u64, out: &mut Vec<Completion>);
 
+    /// The earliest future cycle at which this backend's externally visible
+    /// state can change *on its own* — a queued request starting service, a
+    /// completion becoming drainable, an MSHR freeing. `None` means the
+    /// backend holds no self-scheduled work (always true for backends that
+    /// only ever answer [`Admit::At`], like [`FlatLatency`], whose
+    /// completions are caller-scheduled).
+    ///
+    /// This is the event-driven fast-forward hook: when the core is fully
+    /// stalled on memory, the simulator jumps straight to this cycle instead
+    /// of ticking through the dead time. Backends that queue work internally
+    /// **must** implement it — returning `None` with work pending would let
+    /// the simulator skip past the completion.
+    fn next_event(&self) -> Option<u64> {
+        None
+    }
+
     /// Whether a demand read offered now would be admitted.
     fn can_accept(&self) -> bool;
 
@@ -250,6 +266,11 @@ impl SelfSchedule {
             let (_, batch) = self.due.pop_first().expect("checked non-empty");
             out.extend(batch);
         }
+    }
+
+    /// The earliest scheduled completion cycle, if any.
+    pub(crate) fn next_due(&self) -> Option<u64> {
+        self.due.first_key_value().map(|(&cycle, _)| cycle)
     }
 
     #[cfg(test)]

@@ -275,6 +275,21 @@ impl MemoryBackend for DramBackend {
         }
     }
 
+    fn next_event(&self) -> Option<u64> {
+        // Either a serviced request becomes drainable...
+        let mut next = self.done.first_key_value().map(|(&cycle, _)| cycle);
+        // ...or a bank can start servicing the head of its queue (which is
+        // exactly the condition `tick` checks, so jumping to this cycle and
+        // ticking once is equivalent to ticking every intermediate cycle).
+        for bank in &self.banks {
+            if let Some(head) = bank.queue.front() {
+                let start = head.arrival.max(bank.busy_until);
+                next = Some(next.map_or(start, |n| n.min(start)));
+            }
+        }
+        next
+    }
+
     fn drain(&mut self, now: u64, out: &mut Vec<Completion>) {
         while let Some((&cycle, _)) = self.done.first_key_value() {
             if cycle > now {
@@ -485,6 +500,53 @@ mod tests {
         b.request(MemReq::read(3, 128), 0);
         assert!(!b.has_spare_slot(), "3 of 4: prefetching would leave none");
         assert!(b.can_accept(), "a demand still fits");
+    }
+
+    #[test]
+    fn next_event_tracks_service_and_completion() {
+        let mut b = one_bank(); // base 100, act 30
+        assert_eq!(b.next_event(), None, "idle backend has no events");
+        b.request(MemReq::read(1, 0), 7);
+        assert_eq!(b.next_event(), Some(7), "head can start at its arrival");
+        b.tick(7);
+        // Serviced at 7, row miss: completes at 7 + 130.
+        assert_eq!(b.next_event(), Some(137));
+        let mut out = Vec::new();
+        b.drain(136, &mut out);
+        assert!(out.is_empty());
+        b.drain(137, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(b.next_event(), None);
+    }
+
+    #[test]
+    fn ticking_only_at_next_event_matches_per_cycle_ticking() {
+        let requests = [(1u64, 0u64, 0u64), (2, 64, 3), (3, 8192, 5), (4, 128, 9)];
+        let mut dense = one_bank();
+        let mut sparse = one_bank();
+        for &(t, addr, at) in &requests {
+            dense.request(MemReq::read(t, addr), at);
+            sparse.request(MemReq::read(t, addr), at);
+        }
+        let mut dense_out = Vec::new();
+        let mut dense_times = Vec::new();
+        for now in 0..=600 {
+            dense.tick(now);
+            dense.drain(now, &mut dense_out);
+            for c in dense_out.drain(..) {
+                dense_times.push((c.token, now));
+            }
+        }
+        let mut sparse_out = Vec::new();
+        let mut sparse_times = Vec::new();
+        while let Some(now) = sparse.next_event() {
+            sparse.tick(now);
+            sparse.drain(now, &mut sparse_out);
+            for c in sparse_out.drain(..) {
+                sparse_times.push((c.token, now));
+            }
+        }
+        assert_eq!(dense_times, sparse_times);
     }
 
     #[test]

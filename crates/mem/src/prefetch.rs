@@ -297,6 +297,15 @@ impl MemoryBackend for StridePrefetcher {
         self.inner.tick(now);
     }
 
+    fn next_event(&self) -> Option<u64> {
+        // The wrapper adds only its self-scheduled prefetch completions
+        // (`Admit::At` inners); everything else is the inner backend's.
+        match (self.inner.next_event(), self.scheduled.next_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     fn drain(&mut self, now: u64, out: &mut Vec<Completion>) {
         let mut raw = Vec::new();
         self.inner.drain(now, &mut raw);

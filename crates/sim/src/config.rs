@@ -118,6 +118,12 @@ pub struct ProcessorConfig {
     pub memory: MemoryConfig,
     /// Commit engine.
     pub commit: CommitConfig,
+    /// Event-driven fast-forward: when every stage is provably stalled on
+    /// the memory backend (or an engine wake-up), jump straight to the next
+    /// scheduled event instead of ticking through the dead cycles. Cycle
+    /// counts and statistics are bit-identical with the flag off — only
+    /// wall-clock changes — which `tests/determinism.rs` pins down.
+    pub fast_forward: bool,
 }
 
 impl ProcessorConfig {
@@ -143,6 +149,7 @@ impl ProcessorConfig {
             predictor: BranchPredictorKind::Gshare16k,
             memory: MemoryConfig::table1(memory_latency),
             commit: CommitConfig::InOrderRob { rob_size: window },
+            fast_forward: true,
         }
     }
 
@@ -210,6 +217,13 @@ impl ProcessorConfig {
     /// Overrides the branch predictor.
     pub fn with_predictor(mut self, predictor: BranchPredictorKind) -> Self {
         self.predictor = predictor;
+        self
+    }
+
+    /// Enables or disables the event-driven fast-forward (on by default; see
+    /// [`ProcessorConfig::fast_forward`]).
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 

@@ -55,7 +55,7 @@ impl CheckpointedEngine {
         // Update the dependence mask with this instruction regardless of its
         // class: independent redefinitions kill dependences.
         let trigger = self.dep.classify(trace_inst);
-        let fl = ctx.inflight.get(&entry.inst);
+        let fl = ctx.inflight.get(entry.inst);
         let class = if entry.is_store {
             RetireClass::Store
         } else if trace_inst.kind == OpKind::Load {
@@ -88,7 +88,7 @@ impl CheckpointedEngine {
         // it stranded: its wake-up event has already fired).
         let mut final_class = class;
         if class != RetireClass::LongLatLoad {
-            if let (Some(trigger), Some(fl)) = (trigger, ctx.inflight.get_mut(&entry.inst)) {
+            if let (Some(trigger), Some(fl)) = (trigger, ctx.inflight.get_mut(entry.inst)) {
                 if fl.state == InstState::Waiting
                     && !ctx.regs.is_ready(trigger)
                     && self.sliq.has_space()
@@ -158,7 +158,7 @@ impl CheckpointedEngine {
         ctx.squash_queues_from(trace_index);
         // Remove squashed in-flight instances. Their registers come back via
         // the restored free list, not via explicit frees.
-        let doomed: Vec<InstId> = ctx.inflight.range(trace_index..).map(|(&k, _)| k).collect();
+        let doomed = ctx.inflight.ids_at_or_after(trace_index);
         let mut squashed = 0u64;
         for inst in doomed {
             if ctx.forget_inflight(inst).is_some() {
@@ -241,16 +241,17 @@ impl CommitEngine for CheckpointedEngine {
         }
     }
 
-    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) {
-        for _ in 0..budget {
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) -> usize {
+        for drained in 0..budget {
             let Some(entry) = self.pseudo_rob.pop_oldest() else {
-                return;
+                return drained;
             };
             self.classify_retired(entry, ctx);
         }
+        budget
     }
 
-    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) -> usize {
         // Wake-ups are never blocked by queue occupancy: a re-inserted
         // instruction may transiently push a queue above its capacity
         // (bounded by the wake width). Blocking here can create a circular
@@ -258,6 +259,7 @@ impl CommitEngine for CheckpointedEngine {
         // the SLIQ execute — so the overshoot is the documented modelling
         // choice (DESIGN.md).
         let woken = self.sliq.step(ctx.cycle, usize::MAX, usize::MAX);
+        let n = woken.len();
         for entry in woken {
             let inst = entry.inst;
             let queue = if entry.fu == FuClass::Fp {
@@ -267,10 +269,15 @@ impl CommitEngine for CheckpointedEngine {
             };
             let regs = &*ctx.regs;
             queue.insert_unbounded(entry, |p| regs.is_ready(p));
-            if let Some(fl) = ctx.inflight.get_mut(&inst) {
+            if let Some(fl) = ctx.inflight.get_mut(inst) {
                 fl.state = InstState::Waiting;
             }
         }
+        n
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        self.sliq.next_pending_ready_at()
     }
 
     fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>) {
@@ -304,7 +311,7 @@ impl CommitEngine for CheckpointedEngine {
             ctx.regs.free(*p);
         }
         let id = committed.id;
-        ctx.inflight.retain(|_, fl| fl.ckpt != id);
+        ctx.inflight.retain(|fl| fl.ckpt != id);
         ctx.drain_stores(frontier);
     }
 
@@ -314,7 +321,7 @@ impl CommitEngine for CheckpointedEngine {
             self.squash_younger(branch, ctx);
         } else {
             ctx.stats.recoveries.checkpoint_rollbacks += 1;
-            let ckpt = ctx.inflight[&branch].ckpt;
+            let ckpt = ctx.inflight[branch].ckpt;
             self.rollback(ckpt, ctx);
         }
     }
@@ -323,7 +330,7 @@ impl CommitEngine for CheckpointedEngine {
         // Roll back to the owning checkpoint and re-execute in "strict"
         // mode: a checkpoint is forced right at the excepting instruction so
         // the architectural state there is precise.
-        let ckpt = ctx.inflight[&inst].ckpt;
+        let ckpt = ctx.inflight[inst].ckpt;
         self.force_checkpoint_at = Some(inst);
         self.rollback(ckpt, ctx);
         true

@@ -74,9 +74,13 @@ impl CommitEngine for InOrderEngine {
 
     fn dispatched(&mut self, _d: &Dispatched, _ckpt: CheckpointId, _ctx: &mut EngineCtx<'_, '_>) {}
 
-    fn frontend_drain(&mut self, _budget: usize, _ctx: &mut EngineCtx<'_, '_>) {}
+    fn frontend_drain(&mut self, _budget: usize, _ctx: &mut EngineCtx<'_, '_>) -> usize {
+        0
+    }
 
-    fn wake(&mut self, _ctx: &mut EngineCtx<'_, '_>) {}
+    fn wake(&mut self, _ctx: &mut EngineCtx<'_, '_>) -> usize {
+        0
+    }
 
     fn completed(&mut self, wb: &Writeback, _ctx: &mut EngineCtx<'_, '_>) {
         self.rob.mark_finished(wb.inst);
@@ -92,7 +96,7 @@ impl CommitEngine for InOrderEngine {
             if let Some((_, _, Some(prev))) = e.rename {
                 ctx.regs.free(prev);
             }
-            ctx.inflight.remove(&e.inst);
+            ctx.inflight.remove(e.inst);
             frontier = e.inst + 1;
         }
         ctx.stats.committed_instructions += committed.len() as u64;

@@ -27,12 +27,11 @@ pub use checkpointed::CheckpointedEngine;
 pub use inorder::InOrderEngine;
 
 use crate::config::{CommitConfig, ProcessorConfig};
-use crate::inflight::InFlight;
+use crate::inflight::{InFlight, InFlightTable};
 use crate::stats::SimStats;
 use koc_core::{CamRenameMap, CheckpointId, InstructionQueue, LoadStoreQueue, PhysRegFile};
 use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
 use koc_mem::MemoryHierarchy;
-use std::collections::BTreeMap;
 
 /// Why the engine refused to accept the next instruction this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +102,7 @@ pub struct EngineCtx<'c, 'a> {
     /// Memory hierarchy (committed stores drain into it).
     pub mem: &'c mut MemoryHierarchy,
     /// In-flight instruction table.
-    pub inflight: &'c mut BTreeMap<InstId, InFlight>,
+    pub inflight: &'c mut InFlightTable,
     /// Count of dispatched-but-not-issued instructions.
     pub live_count: &'c mut usize,
     /// Run statistics.
@@ -123,7 +122,7 @@ impl EngineCtx<'_, '_> {
     /// Removes a squashed instruction's in-flight record, maintaining the
     /// live count, and returns it for engine-side accounting.
     pub fn forget_inflight(&mut self, inst: InstId) -> Option<InFlight> {
-        let fl = self.inflight.remove(&inst)?;
+        let fl = self.inflight.remove(inst)?;
         if fl.is_live() {
             *self.live_count = self.live_count.saturating_sub(1);
         }
@@ -195,12 +194,22 @@ pub trait CommitEngine {
     /// Frontend-side retirement work when dispatch cannot make progress
     /// (fetch drained or the issue queues are full): lets the checkpointed
     /// engine keep classifying pseudo-ROB entries. `budget` bounds the work
-    /// to the fetch width.
-    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>);
+    /// to the fetch width. Returns the number of entries retired, so the
+    /// shell can tell a dead cycle from a draining one (fast-forward).
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) -> usize;
 
     /// Per-cycle wake-up of any secondary buffer (the SLIQ), before issue
-    /// selection.
-    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>);
+    /// selection. Returns the number of instructions re-inserted, so the
+    /// shell can tell a dead cycle from a waking one (fast-forward).
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) -> usize;
+
+    /// The earliest future cycle at which the engine has self-scheduled
+    /// work (a pending SLIQ wake-up walker), or `None` if it only reacts to
+    /// pipeline events. Part of the event-driven fast-forward: a stalled
+    /// shell must not skip past an engine wake-up.
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
 
     /// Execution of `wb.inst` completed this cycle (its result, if any, is
     /// already broadcast to the issue queues).

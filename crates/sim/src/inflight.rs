@@ -1,9 +1,19 @@
 //! Bookkeeping for instructions between dispatch and commit.
+//!
+//! The in-flight window is the hottest data structure in the simulator: it
+//! is touched at dispatch, issue, write-back, commit and recovery, and
+//! sampled every cycle. [`InFlightTable`] therefore stores records in a
+//! dense slab indexed by trace position instead of a tree map — the window
+//! is a contiguous band of trace positions (dispatch is in program order and
+//! commit/squash trim it from both ends), so slot `id - base` gives O(1)
+//! access with cache-friendly linear iteration and no per-operation
+//! rebalancing or allocation.
 
 use koc_core::CheckpointId;
-use koc_isa::{ArchReg, InstId, OpKind, PhysReg};
+use koc_isa::{ArchReg, InstId, OpKind, PhysReg, RegList};
 use koc_mem::MemLevel;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The execution state of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,8 +52,8 @@ pub struct InFlight {
     pub dest_phys: Option<PhysReg>,
     /// Previously mapped physical register for the destination, if any.
     pub prev_phys: Option<PhysReg>,
-    /// Renamed sources.
-    pub src_phys: Vec<PhysReg>,
+    /// Renamed sources (inline; never heap-allocated).
+    pub src_phys: RegList,
     /// Owning checkpoint (checkpointed engine) — 0 for the baseline.
     pub ckpt: CheckpointId,
     /// Current state.
@@ -82,6 +92,153 @@ impl InFlight {
     }
 }
 
+/// The in-flight window: a dense slab of [`InFlight`] records keyed by trace
+/// position.
+///
+/// Slot `i` holds the record for instruction `base + i`; the deque trims
+/// empty slots off both ends as the window advances, so occupancy stays
+/// proportional to the configured window, not to the trace. All point
+/// operations are O(1); ordered iteration is a linear scan of the band.
+#[derive(Debug, Clone, Default)]
+pub struct InFlightTable {
+    /// Trace position of slot 0.
+    base: InstId,
+    slots: VecDeque<Option<InFlight>>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl InFlightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot_index(&self, inst: InstId) -> Option<usize> {
+        if self.slots.is_empty() || inst < self.base {
+            return None;
+        }
+        let i = inst - self.base;
+        (i < self.slots.len()).then_some(i)
+    }
+
+    /// Inserts the record for `inst`.
+    ///
+    /// # Panics
+    /// Panics if `inst` is already in flight (a trace position has at most
+    /// one live instance).
+    pub fn insert(&mut self, inst: InstId, fl: InFlight) {
+        if self.slots.is_empty() {
+            self.base = inst;
+            self.slots.push_back(Some(fl));
+            self.len = 1;
+            return;
+        }
+        if inst < self.base {
+            // Re-dispatch below the current band (rollback past the oldest
+            // live instruction): grow the front.
+            for _ in 0..(self.base - inst - 1) {
+                self.slots.push_front(None);
+            }
+            self.slots.push_front(Some(fl));
+            self.base = inst;
+            self.len += 1;
+            return;
+        }
+        let i = inst - self.base;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        assert!(slot.is_none(), "instruction {inst} is already in flight");
+        *slot = Some(fl);
+        self.len += 1;
+    }
+
+    /// The record for `inst`, if in flight.
+    pub fn get(&self, inst: InstId) -> Option<&InFlight> {
+        let i = self.slot_index(inst)?;
+        self.slots[i].as_ref()
+    }
+
+    /// Mutable access to the record for `inst`, if in flight.
+    pub fn get_mut(&mut self, inst: InstId) -> Option<&mut InFlight> {
+        let i = self.slot_index(inst)?;
+        self.slots[i].as_mut()
+    }
+
+    /// Removes and returns the record for `inst`.
+    pub fn remove(&mut self, inst: InstId) -> Option<InFlight> {
+        let i = self.slot_index(inst)?;
+        let fl = self.slots[i].take()?;
+        self.len -= 1;
+        self.trim();
+        Some(fl)
+    }
+
+    /// Drops empty slots from both ends of the band so occupancy tracks the
+    /// live window.
+    fn trim(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+    }
+
+    /// Iterates over in-flight records in trace order.
+    pub fn values(&self) -> impl Iterator<Item = &InFlight> {
+        self.slots.iter().flatten()
+    }
+
+    /// The trace positions of every in-flight instruction at or after
+    /// `from`, in trace order (collected so the caller can mutate while
+    /// walking — the squash paths remove as they go).
+    pub fn ids_at_or_after(&self, from: InstId) -> Vec<InstId> {
+        let start = from.saturating_sub(self.base).min(self.slots.len());
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(start)
+            .filter_map(|(i, s)| s.as_ref().map(|_| self.base + i))
+            .collect()
+    }
+
+    /// Keeps only the records for which `keep` returns true (the
+    /// checkpointed engine drops a whole committed checkpoint this way).
+    pub fn retain(&mut self, mut keep: impl FnMut(&InFlight) -> bool) {
+        for slot in self.slots.iter_mut() {
+            if let Some(fl) = slot {
+                if !keep(fl) {
+                    *slot = None;
+                    self.len -= 1;
+                }
+            }
+        }
+        self.trim();
+    }
+}
+
+impl std::ops::Index<InstId> for InFlightTable {
+    type Output = InFlight;
+
+    fn index(&self, inst: InstId) -> &InFlight {
+        self.get(inst).expect("instruction is in flight")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,7 +251,7 @@ mod tests {
             dest_arch: Some(ArchReg::fp(0)),
             dest_phys: Some(PhysReg(5)),
             prev_phys: None,
-            src_phys: vec![],
+            src_phys: RegList::new(),
             ckpt: 0,
             state,
             dispatch_cycle: 0,
@@ -102,6 +259,13 @@ mod tests {
             predicted_taken: None,
             mispredicted: false,
             raises_exception: false,
+        }
+    }
+
+    fn record(inst: InstId) -> InFlight {
+        InFlight {
+            inst,
+            ..inflight(InstState::Waiting)
         }
     }
 
@@ -123,5 +287,71 @@ mod tests {
         assert!(i.is_long_latency_load());
         i.mem_level = Some(MemLevel::L2);
         assert!(!i.is_long_latency_load());
+    }
+
+    #[test]
+    fn table_point_operations_round_trip() {
+        let mut t = InFlightTable::new();
+        assert!(t.is_empty());
+        for id in [10, 11, 13, 14] {
+            t.insert(id, record(id));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(13).map(|f| f.inst), Some(13));
+        assert!(t.get(12).is_none(), "gaps are not occupied");
+        assert!(t.get(9).is_none());
+        assert!(t.get(15).is_none());
+        t.get_mut(11).unwrap().state = InstState::Done;
+        assert!(t[11].is_done());
+        assert_eq!(t.remove(10).map(|f| f.inst), Some(10));
+        assert!(t.remove(10).is_none(), "double remove is None");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn table_iterates_in_trace_order() {
+        let mut t = InFlightTable::new();
+        for id in [7, 5, 6, 9] {
+            t.insert(id, record(id));
+        }
+        let order: Vec<InstId> = t.values().map(|f| f.inst).collect();
+        assert_eq!(order, vec![5, 6, 7, 9]);
+        assert_eq!(t.ids_at_or_after(6), vec![6, 7, 9]);
+        assert_eq!(t.ids_at_or_after(0), vec![5, 6, 7, 9]);
+        assert_eq!(t.ids_at_or_after(10), Vec::<InstId>::new());
+    }
+
+    #[test]
+    fn table_trims_and_reuses_the_band() {
+        let mut t = InFlightTable::new();
+        for id in 0..100 {
+            t.insert(id, record(id));
+        }
+        // Commit a prefix, then dispatch past the old end: the band slides.
+        for id in 0..90 {
+            t.remove(id);
+        }
+        for id in 100..110 {
+            t.insert(id, record(id));
+        }
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.values().count(), 20);
+        // A squash re-dispatch below the current base works too.
+        t.retain(|f| f.inst >= 95);
+        t.insert(93, record(93));
+        assert_eq!(t.values().map(|f| f.inst).min(), Some(93));
+    }
+
+    #[test]
+    fn retain_drops_matching_records() {
+        let mut t = InFlightTable::new();
+        for id in 0..10 {
+            let mut r = record(id);
+            r.ckpt = id as u64 % 2;
+            t.insert(id, r);
+        }
+        t.retain(|f| f.ckpt != 0);
+        assert_eq!(t.len(), 5);
+        assert!(t.values().all(|f| f.ckpt == 1));
     }
 }

@@ -46,15 +46,13 @@ pub mod config;
 pub mod engine;
 pub mod inflight;
 pub mod pipeline;
-pub mod runner;
 pub mod session;
 pub mod stats;
 
 pub use config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterModel};
 pub use engine::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
+pub use inflight::{InFlight, InFlightTable, InstState};
 pub use pipeline::Processor;
-#[allow(deprecated)]
-pub use runner::{run_suite, run_trace, run_workloads};
 pub use session::{Session, SimBuilder, SuiteResult, Sweep, WorkloadResult};
 pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallStats};
 
@@ -65,9 +63,3 @@ pub use koc_workloads::Suite;
 // Re-exported so the memory-backend knobs (`SimBuilder::dram`,
 // `mshr_entries`, `prefetch`, …) can be used without importing `koc_mem`.
 pub use koc_mem::{BackendKind, DramConfig, MemoryConfig, PrefetchConfig};
-
-/// Compatibility alias for the pre-engine-split module path.
-#[deprecated(since = "0.1.0", note = "the pipeline lives in `koc_sim::pipeline`")]
-pub mod processor {
-    pub use crate::pipeline::Processor;
-}

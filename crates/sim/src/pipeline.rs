@@ -11,19 +11,32 @@
 //! selectively for nearby branches, by rolling back to a checkpoint for
 //! branches that already left the pseudo-ROB, which is exactly the recovery
 //! cost the paper attributes to coarse-grain checkpointing.
+//!
+//! # Throughput
+//!
+//! The hot loop is engineered for the paper's kilo-instruction windows:
+//! in-flight state lives in a dense slab ([`InFlightTable`]), completion
+//! events in a pooled calendar queue (no per-cycle allocation), and when
+//! every stage is provably stalled on the memory backend the shell
+//! *fast-forwards* — it jumps straight to the next scheduled event
+//! ([`koc_mem::MemoryBackend::next_event`], the engine's
+//! [`CommitEngine::next_wake`], or a fetch redirect expiring) while
+//! accounting per-cycle statistics exactly as if it had ticked through the
+//! dead time. Results are bit-identical with
+//! [`ProcessorConfig::fast_forward`] off; only wall-clock changes.
 
 use crate::config::{BranchPredictorKind, ProcessorConfig, RegisterModel};
 use crate::engine::{self, CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
-use crate::inflight::{InFlight, InstState};
+use crate::inflight::{InFlight, InFlightTable, InstState};
 use crate::stats::SimStats;
 use koc_core::{
     CamRenameMap, CheckpointId, InstructionQueue, IqEntry, LoadStoreQueue, LsqEntry, PhysRegFile,
     VirtualRegisterFile,
 };
 use koc_frontend::{BranchPredictor, GsharePredictor, PerfectPredictor};
-use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
+use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, RegList, Trace, TraceCursor};
 use koc_mem::{MemLevel, MemoryHierarchy, TimedAccess};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Interval (in cycles) at which the expensive live-instruction breakdown
 /// (Figure 7) is sampled.
@@ -36,6 +49,61 @@ enum StallReason {
     LsqFull,
     RegsFull,
     Engine(DispatchStall),
+}
+
+/// What a fully stalled cycle recorded in the stall counters — replayed
+/// per skipped cycle by the fast-forward path so statistics stay
+/// bit-identical with per-cycle stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SkipStall {
+    /// Waiting out a branch-misprediction redirect.
+    Redirect,
+    /// Dispatch blocked on a structural resource.
+    Dispatch(StallReason),
+}
+
+/// What one [`Processor::step`] did, as far as the fast-forward logic is
+/// concerned.
+struct CycleActivity {
+    /// Whether any externally visible state changed this cycle (an event
+    /// completed, an instruction moved, a stage made progress). A `false`
+    /// cycle will repeat identically until the next scheduled event.
+    progressed: bool,
+    /// The stall counter this (quiescent) cycle bumped, if any.
+    stall: Option<SkipStall>,
+}
+
+/// Completion events keyed by cycle, with the per-cycle `Vec`s recycled
+/// through a pool: the steady state allocates nothing.
+#[derive(Default)]
+struct EventQueue {
+    due: BTreeMap<u64, Vec<(InstId, u64)>>,
+    pool: Vec<Vec<(InstId, u64)>>,
+}
+
+impl EventQueue {
+    fn push(&mut self, cycle: u64, event: (InstId, u64)) {
+        self.due
+            .entry(cycle)
+            .or_insert_with(|| self.pool.pop().unwrap_or_default())
+            .push(event);
+    }
+
+    /// Removes and returns the batch due at `cycle`; return it with
+    /// [`recycle`](Self::recycle) after draining.
+    fn take(&mut self, cycle: u64) -> Option<Vec<(InstId, u64)>> {
+        self.due.remove(&cycle)
+    }
+
+    fn recycle(&mut self, mut batch: Vec<(InstId, u64)>) {
+        batch.clear();
+        self.pool.push(batch);
+    }
+
+    /// The earliest cycle with a scheduled event.
+    fn next_cycle(&self) -> Option<u64> {
+        self.due.first_key_value().map(|(&cycle, _)| cycle)
+    }
 }
 
 enum PredictorImpl {
@@ -98,21 +166,28 @@ pub struct Processor<'a> {
     predictor: PredictorImpl,
     engine: Box<dyn CommitEngine>,
 
-    inflight: BTreeMap<InstId, InFlight>,
+    inflight: InFlightTable,
     next_seq: u64,
     /// Completion events: cycle -> [(inst, seq)].
-    events: BTreeMap<u64, Vec<(InstId, u64)>>,
+    events: EventQueue,
     /// Loads waiting on the timed memory backend, by request token (the
     /// instance's `seq`). Completions surface from the hierarchy's tick.
-    mem_waiters: HashMap<u64, InstId>,
+    mem_waiters: BTreeMap<u64, InstId>,
     /// Scratch buffer for completed memory tokens.
     mem_completed: Vec<u64>,
+    /// Scratch buffer for issue selection.
+    issue_picked: Vec<IqEntry>,
     /// Fetch is stalled (misprediction redirect) until this cycle.
     fetch_stall_until: u64,
     /// Number of dispatched-but-not-issued instructions (incremental).
     live_count: usize,
     /// Exceptions already delivered (so re-execution does not re-raise).
     handled_exceptions: HashSet<InstId>,
+    /// Scratch for the Figure-7 breakdown: `long_marks[p] == long_epoch`
+    /// means physical register `p` carries a long-latency dependence in the
+    /// current sample (epoch stamping avoids clearing between samples).
+    long_marks: Vec<u64>,
+    long_epoch: u64,
 
     stats: SimStats,
 }
@@ -169,14 +244,17 @@ impl<'a> Processor<'a> {
             mem: MemoryHierarchy::new(config.memory),
             predictor,
             engine,
-            inflight: BTreeMap::new(),
+            inflight: InFlightTable::new(),
             next_seq: 0,
-            events: BTreeMap::new(),
-            mem_waiters: HashMap::new(),
+            events: EventQueue::default(),
+            mem_waiters: BTreeMap::new(),
             mem_completed: Vec::new(),
+            issue_picked: Vec::new(),
             fetch_stall_until: 0,
             live_count: 0,
             handled_exceptions: HashSet::new(),
+            long_marks: vec![0; rename_pool],
+            long_epoch: 0,
             stats: SimStats::default(),
             config,
         }
@@ -222,16 +300,37 @@ impl<'a> Processor<'a> {
     /// # Panics
     /// Panics if the simulation exceeds a generous cycle bound (indicating a
     /// pipeline deadlock, which is a bug).
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_capped(None)
+    }
+
+    /// Runs until completion or until the simulated cycle count reaches
+    /// `max_cycles`, whichever comes first. A capped run that stops early
+    /// returns partial statistics with
+    /// [`SimStats::budget_exhausted`](crate::SimStats) set — the cheap
+    /// cycle budget [`crate::Session`] and [`crate::Sweep`] thread through.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn run_capped(mut self, max_cycles: Option<u64>) -> SimStats {
         let bound = self.cycle_bound();
+        let cap = max_cycles.unwrap_or(u64::MAX);
         while !self.is_done() {
-            self.step();
+            if self.cycle >= cap {
+                self.stats.budget_exhausted = true;
+                break;
+            }
+            let activity = self.step_cycle();
             assert!(
                 self.cycle < bound,
                 "simulation exceeded {bound} cycles: likely pipeline deadlock ({} of {} committed)",
                 self.stats.committed_instructions,
                 self.trace.len()
             );
+            if self.config.fast_forward && !activity.progressed {
+                self.fast_forward(activity.stall, cap);
+            }
         }
         self.finalize();
         self.stats
@@ -252,24 +351,93 @@ impl<'a> Processor<'a> {
     fn finalize(&mut self) {
         self.stats.memory = *self.mem.stats();
         self.engine.finalize(&mut self.stats);
-        debug_assert_eq!(
-            self.stats.committed_instructions as usize,
-            self.trace.len(),
-            "every trace instruction must commit exactly once"
-        );
+        if !self.stats.budget_exhausted {
+            debug_assert_eq!(
+                self.stats.committed_instructions as usize,
+                self.trace.len(),
+                "every trace instruction must commit exactly once"
+            );
+        }
     }
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
+        self.step_cycle();
+    }
+
+    fn step_cycle(&mut self) -> CycleActivity {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        let mut progressed = false;
         self.memory_stage();
-        self.writeback_stage();
+        progressed |= self.writeback_stage();
+        let committed_before = self.stats.committed_instructions;
         self.engine.commit(&mut engine_ctx!(self));
-        self.engine.wake(&mut engine_ctx!(self));
-        self.issue_stage();
-        self.frontend_stage();
+        progressed |= self.stats.committed_instructions != committed_before;
+        progressed |= self.engine.wake(&mut engine_ctx!(self)) > 0;
+        progressed |= self.issue_stage();
+        let (front_progress, stall) = self.frontend_stage();
+        progressed |= front_progress;
         self.sample_stats();
+        CycleActivity { progressed, stall }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven fast-forward
+    // ------------------------------------------------------------------
+
+    /// Called after a cycle in which nothing progressed: every stage will
+    /// repeat identically until the next scheduled event, so jump to the
+    /// cycle *before* it (the next [`step_cycle`](Self::step_cycle) then
+    /// lands exactly on the event) and replay the per-cycle bookkeeping for
+    /// the skipped quiescent cycles.
+    fn fast_forward(&mut self, stall: Option<SkipStall>, cap: u64) {
+        let mut next = u64::MAX;
+        if let Some(c) = self.events.next_cycle() {
+            next = next.min(c);
+        }
+        if let Some(c) = self.mem.next_event() {
+            next = next.min(c);
+        }
+        if let Some(c) = self.engine.next_wake() {
+            next = next.min(c);
+        }
+        if self.cycle < self.fetch_stall_until {
+            // Fetch resumes at `fetch_stall_until`; never skip past it.
+            next = next.min(self.fetch_stall_until);
+        }
+        if next == u64::MAX {
+            // No pending events at all: a genuine deadlock. Keep stepping so
+            // the cycle bound trips with its diagnostic.
+            return;
+        }
+        // Stop one short of the event and honour the cycle budget.
+        let target = (next.saturating_sub(1)).min(cap);
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        // Replay what `skipped` identical quiescent cycles would have
+        // recorded: the idle memory ticks, the stall counter, and the
+        // per-cycle occupancy samples.
+        self.mem.account_idle_ticks(skipped);
+        match stall {
+            Some(SkipStall::Redirect) => self.stats.stalls.redirect += skipped,
+            Some(SkipStall::Dispatch(reason)) => self.record_stall_n(reason, skipped),
+            None => {}
+        }
+        self.stats.inflight.record_n(self.inflight.len(), skipped);
+        self.stats.live.record_n(self.live_count, skipped);
+        let samples = target / LIVE_SAMPLE_INTERVAL - self.cycle / LIVE_SAMPLE_INTERVAL;
+        if samples > 0 {
+            // The window is frozen, so every skipped sample point sees the
+            // same breakdown.
+            let (long, short) = self.live_breakdown();
+            self.stats.live_long.record_n(long, samples);
+            self.stats.live_short.record_n(short, samples);
+        }
+        self.cycle = target;
+        self.stats.cycles = target;
     }
 
     // ------------------------------------------------------------------
@@ -285,10 +453,7 @@ impl<'a> Processor<'a> {
             // instance was squashed) simply no longer map to a waiter, and
             // the write-back stage re-checks `seq` anyway.
             if let Some(inst) = self.mem_waiters.remove(&token) {
-                self.events
-                    .entry(self.cycle)
-                    .or_default()
-                    .push((inst, token));
+                self.events.push(self.cycle, (inst, token));
             }
         }
         self.mem_completed = completed;
@@ -298,12 +463,15 @@ impl<'a> Processor<'a> {
     // Write-back
     // ------------------------------------------------------------------
 
-    fn writeback_stage(&mut self) {
-        let Some(finished) = self.events.remove(&self.cycle) else {
-            return;
+    /// Returns whether any instruction actually completed (stale events for
+    /// squashed instances do not count as progress).
+    fn writeback_stage(&mut self) -> bool {
+        let Some(finished) = self.events.take(self.cycle) else {
+            return false;
         };
-        for (inst, seq) in finished {
-            let Some(fl) = self.inflight.get(&inst) else {
+        let mut progressed = false;
+        for &(inst, seq) in &finished {
+            let Some(fl) = self.inflight.get(inst) else {
                 continue;
             };
             if fl.seq != seq || fl.is_done() {
@@ -311,6 +479,7 @@ impl<'a> Processor<'a> {
             }
             // Exceptions are delivered at completion.
             if fl.raises_exception && !self.handled_exceptions.contains(&inst) {
+                progressed = true;
                 let squashed = self.handle_exception(inst);
                 if squashed {
                     continue;
@@ -321,7 +490,7 @@ impl<'a> Processor<'a> {
             // value of the same logical register is recycled early, at the
             // same moment (the ephemeral-registers scheme of [19]/[9]). If no
             // physical register is free the write-back retries next cycle.
-            if let Some(f) = self.inflight.get(&inst) {
+            if let Some(f) = self.inflight.get(inst) {
                 if f.dest_phys.is_some() {
                     let has_prev = f.prev_phys.is_some();
                     if let Some(v) = &mut self.vregs {
@@ -329,18 +498,16 @@ impl<'a> Processor<'a> {
                             v.try_release_physical();
                         }
                         if !v.acquire_physical() {
-                            self.events
-                                .entry(self.cycle + 1)
-                                .or_default()
-                                .push((inst, seq));
+                            self.events.push(self.cycle + 1, (inst, seq));
                             continue;
                         }
                     }
                 }
             }
-            let Some(fl) = self.inflight.get_mut(&inst) else {
+            let Some(fl) = self.inflight.get_mut(inst) else {
                 continue;
             };
+            progressed = true;
             fl.state = InstState::Done;
             let wb = Writeback {
                 inst,
@@ -361,6 +528,8 @@ impl<'a> Processor<'a> {
                 self.fetch_stall_until = self.cycle + self.config.mispredict_penalty as u64;
             }
         }
+        self.events.recycle(finished);
+        progressed
     }
 
     /// Delivers an exception raised by `inst`. Returns `true` if the
@@ -378,7 +547,11 @@ impl<'a> Processor<'a> {
     // Issue / execute
     // ------------------------------------------------------------------
 
-    fn issue_stage(&mut self) {
+    /// Returns whether anything issued.
+    fn issue_stage(&mut self) -> bool {
+        if self.int_iq.ready_count() == 0 && self.fp_iq.ready_count() == 0 {
+            return false;
+        }
         let mut fu = [
             self.config.int_alu_units,
             self.config.int_mul_units,
@@ -388,26 +561,30 @@ impl<'a> Processor<'a> {
         let budget = self.config.issue_width;
         // Alternate which queue gets first pick to avoid starving either.
         let int_first = self.cycle.is_multiple_of(2);
-        let mut picked = Vec::with_capacity(budget);
+        let mut picked = std::mem::take(&mut self.issue_picked);
+        picked.clear();
         if int_first {
-            picked.extend(self.int_iq.select_ready(&mut fu, budget));
+            self.int_iq.select_ready_into(&mut fu, budget, &mut picked);
             let left = budget - picked.len();
-            picked.extend(self.fp_iq.select_ready(&mut fu, left));
+            self.fp_iq.select_ready_into(&mut fu, left, &mut picked);
         } else {
-            picked.extend(self.fp_iq.select_ready(&mut fu, budget));
+            self.fp_iq.select_ready_into(&mut fu, budget, &mut picked);
             let left = budget - picked.len();
-            picked.extend(self.int_iq.select_ready(&mut fu, left));
+            self.int_iq.select_ready_into(&mut fu, left, &mut picked);
         }
-        for entry in picked {
+        let progressed = !picked.is_empty();
+        for entry in &picked {
             self.begin_execution(entry.inst);
         }
+        self.issue_picked = picked;
+        progressed
     }
 
     fn begin_execution(&mut self, inst: InstId) {
         let trace_inst = &self.trace[inst];
         let seq = self
             .inflight
-            .get(&inst)
+            .get(inst)
             .expect("issued instruction is in flight")
             .seq;
         // `completion` is the known finish latency, or None when the load
@@ -428,7 +605,7 @@ impl<'a> Processor<'a> {
         };
         let fl = self
             .inflight
-            .get_mut(&inst)
+            .get_mut(inst)
             .expect("issued instruction is in flight");
         debug_assert!(fl.is_live(), "issuing an instruction that is not waiting");
         let done = match completion {
@@ -440,7 +617,7 @@ impl<'a> Processor<'a> {
         fl.mem_level = level;
         self.live_count = self.live_count.saturating_sub(1);
         if completion.is_some() {
-            self.events.entry(done).or_default().push((inst, seq));
+            self.events.push(done, (inst, seq));
         }
     }
 
@@ -448,19 +625,23 @@ impl<'a> Processor<'a> {
     // Frontend: rename/dispatch, fetch (engine drains its pseudo-ROB)
     // ------------------------------------------------------------------
 
-    fn frontend_stage(&mut self) {
+    /// Returns whether the frontend made progress (dispatched or drained
+    /// anything) and, if it only stalled, which counter it bumped.
+    fn frontend_stage(&mut self) -> (bool, Option<SkipStall>) {
+        let mut progressed = false;
         // Drain the engine's frontend-side structures when fetch has
         // finished, so classification and SLIQ moves keep happening for the
         // tail of the trace.
         if self.cursor.at_end() {
             let budget = self.config.fetch_width;
-            self.engine.frontend_drain(budget, &mut engine_ctx!(self));
+            progressed |= self.engine.frontend_drain(budget, &mut engine_ctx!(self)) > 0;
         }
         if self.cycle < self.fetch_stall_until {
             self.stats.stalls.redirect += 1;
-            return;
+            return (progressed, Some(SkipStall::Redirect));
         }
         let mut dispatched = 0;
+        let mut stall = None;
         while dispatched < self.config.fetch_width {
             let Some((id, inst)) = self.cursor.peek() else {
                 break;
@@ -475,28 +656,31 @@ impl<'a> Processor<'a> {
                     }
                 }
                 Err(reason) => {
-                    self.record_stall(reason);
+                    self.record_stall_n(reason, 1);
+                    stall = Some(SkipStall::Dispatch(reason));
                     if reason == StallReason::IqFull {
                         // Make forward progress by letting the engine
                         // classify (and possibly move to the SLIQ) its
                         // oldest pseudo-ROB entries.
                         let budget = self.config.fetch_width;
-                        self.engine.frontend_drain(budget, &mut engine_ctx!(self));
+                        progressed |=
+                            self.engine.frontend_drain(budget, &mut engine_ctx!(self)) > 0;
                     }
                     break;
                 }
             }
         }
+        (progressed || dispatched > 0, stall)
     }
 
-    fn record_stall(&mut self, reason: StallReason) {
+    fn record_stall_n(&mut self, reason: StallReason, n: u64) {
         match reason {
-            StallReason::IqFull => self.stats.stalls.iq_full += 1,
-            StallReason::LsqFull => self.stats.stalls.lsq_full += 1,
-            StallReason::RegsFull => self.stats.stalls.regs_full += 1,
-            StallReason::Engine(DispatchStall::RobFull) => self.stats.stalls.rob_full += 1,
+            StallReason::IqFull => self.stats.stalls.iq_full += n,
+            StallReason::LsqFull => self.stats.stalls.lsq_full += n,
+            StallReason::RegsFull => self.stats.stalls.regs_full += n,
+            StallReason::Engine(DispatchStall::RobFull) => self.stats.stalls.rob_full += n,
             StallReason::Engine(DispatchStall::CheckpointFull) => {
-                self.stats.stalls.checkpoint_full += 1
+                self.stats.stalls.checkpoint_full += n
             }
         }
     }
@@ -531,7 +715,7 @@ impl<'a> Processor<'a> {
             .map_err(StallReason::Engine)?;
 
         // --- Rename -------------------------------------------------------
-        let src_phys: Vec<PhysReg> = inst
+        let src_phys: RegList = inst
             .sources()
             .filter_map(|s| self.rename.lookup(s))
             .collect();
@@ -585,7 +769,7 @@ impl<'a> Processor<'a> {
         let iq_entry = IqEntry {
             inst: id,
             dest: dest_phys,
-            srcs: src_phys.clone(),
+            srcs: src_phys,
             fu: inst.kind.fu_class(),
             ckpt,
         };
@@ -633,20 +817,31 @@ impl<'a> Processor<'a> {
         self.stats.inflight.record(self.inflight.len());
         self.stats.live.record(self.live_count);
         if self.cycle.is_multiple_of(LIVE_SAMPLE_INTERVAL) {
-            self.sample_live_breakdown();
+            let (long, short) = self.live_breakdown();
+            self.stats.live_long.record(long);
+            self.stats.live_short.record(short);
         }
     }
 
     /// Splits the live (not yet issued) instructions into blocked-long and
     /// blocked-short, following Figure 7's definition: blocked-long means the
     /// instruction is a load that missed in L2 or (transitively) depends on
-    /// one.
-    fn sample_live_breakdown(&mut self) {
-        let mut long_regs: HashSet<PhysReg> = HashSet::new();
+    /// one. Uses the epoch-stamped scratch marks, so sampling allocates
+    /// nothing.
+    fn live_breakdown(&mut self) -> (usize, usize) {
+        self.long_epoch += 1;
+        let epoch = self.long_epoch;
+        let mark = |marks: &mut Vec<u64>, p: PhysReg| {
+            let i = p.index();
+            if i >= marks.len() {
+                marks.resize(i + 1, 0);
+            }
+            marks[i] = epoch;
+        };
         for fl in self.inflight.values() {
             if fl.is_long_latency_load() && !fl.is_done() {
                 if let Some(p) = fl.dest_phys {
-                    long_regs.insert(p);
+                    mark(&mut self.long_marks, p);
                 }
             }
         }
@@ -656,18 +851,24 @@ impl<'a> Processor<'a> {
             if !fl.is_live() {
                 continue;
             }
-            let blocked_long = fl.src_phys.iter().any(|p| long_regs.contains(p));
+            let blocked_long = fl
+                .src_phys
+                .iter()
+                .any(|p| self.long_marks.get(p.index()) == Some(&epoch));
             if blocked_long {
                 long += 1;
                 if let Some(p) = fl.dest_phys {
-                    long_regs.insert(p);
+                    let i = p.index();
+                    if i >= self.long_marks.len() {
+                        self.long_marks.resize(i + 1, 0);
+                    }
+                    self.long_marks[i] = epoch;
                 }
             } else {
                 short += 1;
             }
         }
-        self.stats.live_long.record(long);
-        self.stats.live_short.record(short);
+        (long, short)
     }
 }
 
@@ -766,5 +967,37 @@ mod tests {
         assert_eq!(stats.committed_instructions, 300);
         assert!(stats.dispatched_instructions >= stats.committed_instructions);
         assert!(stats.inflight.count() as u64 == stats.cycles);
+    }
+
+    #[test]
+    fn fast_forward_does_not_change_cycle_counts() {
+        let mut b = TraceBuilder::named("memory-bound");
+        let base = ArchReg::int(1);
+        for i in 0..150u64 {
+            b.load(ArchReg::fp((i % 8) as u8), base, 0x200_0000 + i * 8192);
+            b.fp_alu(ArchReg::fp(8), &[ArchReg::fp((i % 8) as u8)]);
+        }
+        let trace = b.finish();
+        for config in [
+            ProcessorConfig::baseline(64, 800),
+            ProcessorConfig::cooo(32, 512, 800),
+        ] {
+            let fast = Processor::new(config, &trace).run();
+            let slow = Processor::new(config.with_fast_forward(false), &trace).run();
+            assert_eq!(fast, slow, "fast-forward must be invisible in the stats");
+        }
+    }
+
+    #[test]
+    fn capped_run_stops_at_the_budget() {
+        let trace = tiny_independent_trace(5_000);
+        let stats =
+            Processor::new(ProcessorConfig::baseline(64, 100), &trace).run_capped(Some(100));
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.cycles, 100);
+        assert!(stats.committed_instructions < 5_000);
+        let full = Processor::new(ProcessorConfig::baseline(64, 100), &trace).run_capped(None);
+        assert!(!full.budget_exhausted);
+        assert_eq!(full.committed_instructions, 5_000);
     }
 }

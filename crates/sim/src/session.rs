@@ -87,6 +87,7 @@ pub struct SimBuilder {
     config: ProcessorConfig,
     suite: Suite,
     trace_len: usize,
+    cycle_budget: Option<u64>,
 }
 
 impl SimBuilder {
@@ -96,6 +97,7 @@ impl SimBuilder {
             config,
             suite: Suite::paper(),
             trace_len: DEFAULT_TRACE_LEN,
+            cycle_budget: None,
         }
     }
 
@@ -274,6 +276,24 @@ impl SimBuilder {
         self
     }
 
+    /// Enables or disables the event-driven fast-forward (on by default):
+    /// when every pipeline stage is stalled on the memory backend, the
+    /// simulator jumps to the next scheduled event instead of ticking
+    /// through the dead cycles. Bit-identical results either way.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.config = self.config.with_fast_forward(enabled);
+        self
+    }
+
+    /// Caps every run of this session at `cycles` simulated cycles. A run
+    /// that hits the cap stops early and reports partial statistics with
+    /// [`SimStats::budget_exhausted`](crate::SimStats) set — the cheap way
+    /// to bound exploratory sweeps over huge grids.
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+
     /// The configuration as currently built.
     pub fn config(&self) -> &ProcessorConfig {
         &self.config
@@ -292,6 +312,7 @@ impl SimBuilder {
             config: self.config,
             suite: self.suite,
             trace_len: self.trace_len,
+            cycle_budget: self.cycle_budget,
         }
     }
 }
@@ -302,6 +323,7 @@ pub struct Session {
     config: ProcessorConfig,
     suite: Suite,
     trace_len: usize,
+    cycle_budget: Option<u64>,
 }
 
 impl Session {
@@ -325,7 +347,11 @@ impl Session {
     /// Runs the session's configuration over pre-generated workloads (in
     /// parallel), ignoring the session's own suite.
     pub fn run_on(&self, workloads: &[Workload]) -> SuiteResult {
-        Sweep::over([self.config])
+        let mut sweep = Sweep::over([self.config]);
+        if let Some(budget) = self.cycle_budget {
+            sweep = sweep.cycle_budget(budget);
+        }
+        sweep
             .run_on(workloads)
             .pop()
             .expect("a sweep returns one result per configuration")
@@ -333,7 +359,7 @@ impl Session {
 
     /// Runs the session's configuration over one externally supplied trace.
     pub fn run_trace(&self, trace: &Trace) -> SimStats {
-        Processor::new(self.config, trace).run()
+        Processor::new(self.config, trace).run_capped(self.cycle_budget)
     }
 
     /// A fresh processor over `trace`, for callers that want to drive the
@@ -364,6 +390,7 @@ pub struct Sweep {
     configs: Vec<ProcessorConfig>,
     suite: Suite,
     trace_len: usize,
+    cycle_budget: Option<u64>,
 }
 
 impl Sweep {
@@ -373,6 +400,7 @@ impl Sweep {
             configs: configs.into_iter().collect(),
             suite: Suite::paper(),
             trace_len: DEFAULT_TRACE_LEN,
+            cycle_budget: None,
         }
     }
 
@@ -385,6 +413,13 @@ impl Sweep {
     /// Sets the minimum dynamic trace length per generated workload.
     pub fn trace_len(mut self, len: usize) -> Self {
         self.trace_len = len;
+        self
+    }
+
+    /// Caps every (configuration x workload) run at `cycles` simulated
+    /// cycles (see [`SimBuilder::cycle_budget`]).
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
         self
     }
 
@@ -422,11 +457,12 @@ impl Sweep {
             .iter()
             .flat_map(|c| workloads.iter().map(move |w| (c, w)))
             .collect();
+        let budget = self.cycle_budget;
         let runs: Vec<WorkloadResult> = pairs
             .par_iter()
             .map(|(config, w)| WorkloadResult {
                 workload: w.name.clone(),
-                stats: Processor::new(**config, &w.trace).run(),
+                stats: Processor::new(**config, &w.trace).run_capped(budget),
             })
             .collect();
         self.configs

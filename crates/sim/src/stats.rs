@@ -8,9 +8,17 @@ use serde::{Deserialize, Serialize};
 /// A streaming distribution of per-cycle samples with percentile queries
 /// (used for Figure 7's live-instruction distribution and Figure 11's
 /// in-flight counts).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Stored as a histogram indexed by sample value — occupancy samples are
+/// small integers bounded by the window size — so memory is O(max value)
+/// instead of O(simulated cycles), recording is branch-light, and the
+/// fast-forward path can record a run of identical cycles in O(1) via
+/// [`record_n`](Distribution::record_n).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Distribution {
-    samples: Vec<u32>,
+    /// `counts[v]` = number of samples with value `v`.
+    counts: Vec<u64>,
+    total: u64,
     sum: u64,
 }
 
@@ -22,38 +30,59 @@ impl Distribution {
 
     /// Records one per-cycle sample.
     pub fn record(&mut self, value: usize) {
-        self.samples.push(value as u32);
-        self.sum += value as u64;
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` consecutive samples of the same value (the fast-forward
+    /// path records one per skipped cycle).
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += n;
+        self.total += n;
+        self.sum += value as u64 * n;
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.total as usize
     }
 
     /// Arithmetic mean of the samples (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.total == 0 {
             0.0
         } else {
-            self.sum as f64 / self.samples.len() as f64
+            self.sum as f64 / self.total as f64
         }
     }
 
     /// The maximum sample (0 if empty).
     pub fn max(&self) -> usize {
-        self.samples.iter().copied().max().unwrap_or(0) as usize
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// The `p`-th percentile (0.0–1.0) of the samples, 0 if empty.
+    ///
+    /// Defined as element `round((count - 1) * p)` of the sorted sample
+    /// list, read off the histogram's cumulative counts.
     pub fn percentile(&self, p: f64) -> usize {
-        if self.samples.is_empty() {
+        if self.total == 0 {
             return 0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank] as usize
+        let rank = ((self.total - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (value, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return value;
+            }
+        }
+        self.max()
     }
 
     /// The percentiles reported by Figure 7: 10 / 25 / 50 / 75 / 90.
@@ -118,7 +147,11 @@ pub struct RecoveryStats {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `SimStats` is `PartialEq` so determinism tests can assert bit-identical
+/// results, and `Serialize` (the workspace serde stub emits real JSON) so
+/// harnesses dump it without hand-formatting fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -157,6 +190,9 @@ pub struct SimStats {
     pub memory: MemoryStats,
     /// Dispatch stall cycles broken down by cause.
     pub stalls: StallStats,
+    /// Whether the run stopped early because it hit a cycle budget
+    /// ([`crate::Session`]'s `cycle_budget`) before the trace finished.
+    pub budget_exhausted: bool,
 }
 
 /// Dispatch-stall cycle counters by cause.
@@ -218,6 +254,39 @@ mod tests {
         assert_eq!(d.mean(), 0.0);
         assert_eq!(d.percentile(0.5), 0);
         assert_eq!(d.max(), 0);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = Distribution::new();
+        let mut single = Distribution::new();
+        bulk.record_n(7, 120);
+        bulk.record_n(3, 5);
+        for _ in 0..120 {
+            single.record(7);
+        }
+        for _ in 0..5 {
+            single.record(3);
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.count(), 125);
+        assert_eq!(bulk.max(), 7);
+        assert_eq!(bulk.percentile(0.0), 3);
+        assert_eq!(bulk.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn stats_serialize_to_json_via_the_derive() {
+        let stats = SimStats {
+            cycles: 200,
+            committed_instructions: 500,
+            ..Default::default()
+        };
+        let json = serde::Serialize::to_json(&stats);
+        assert!(json.starts_with('{'), "{json}");
+        assert!(json.contains("\"cycles\":200"), "{json}");
+        assert!(json.contains("\"committed_instructions\":500"), "{json}");
+        assert!(json.contains("\"memory\":{"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The performance harness as a library: run the canonical quick-suite,
+//! print the human-readable table, and dump machine-readable JSON — all
+//! from the same data, with no hand-formatted fields. `SimStats` (and the
+//! harness report types) derive the workspace serde stub's `Serialize`,
+//! which emits real JSON.
+//!
+//! ```text
+//! cargo run --release --example perf_harness
+//! ```
+
+use koc_bench::harness;
+use koc_sim::{SimBuilder, Suite};
+use koc_workloads::kernels;
+use serde::Serialize;
+
+fn main() {
+    // The same entry point `koc-bench harness --quick` uses.
+    let report = harness::run(true);
+    println!("{}", report.to_table());
+
+    // The whole report is one `to_json()` away (this is what lands in
+    // BENCH_<n>.json)...
+    let json = report.to_json();
+    println!(
+        "report JSON: {} bytes, schema {}",
+        json.len(),
+        harness::SCHEMA
+    );
+
+    // ...and so is any individual run's full statistics: every counter,
+    // distribution and breakdown, straight from the derive.
+    let result = SimBuilder::cooo()
+        .workloads(Suite::kernel("pointer_chase", kernels::pointer_chase()))
+        .trace_len(4_000)
+        .build()
+        .run();
+    println!();
+    println!("full SimStats of one run, no hand-formatting:");
+    println!("{}", result.per_workload[0].stats.to_json());
+}

@@ -1,0 +1,158 @@
+//! Determinism and fast-forward-equivalence gates.
+//!
+//! The CI `bench-regression` job compares cycle counts against a committed
+//! baseline at zero tolerance; these tests pin the two properties that gate
+//! depends on:
+//!
+//! 1. **Determinism** — the same configuration over the same workloads
+//!    yields *bit-identical* `SimStats`, run directly or through a rayon
+//!    `Sweep` (parallelism must not leak into results).
+//! 2. **Fast-forward equivalence** — the event-driven skip
+//!    (`ProcessorConfig::fast_forward`, on by default) changes wall-clock
+//!    only: every statistic, including per-cycle distributions and stall
+//!    counters, matches the per-cycle-stepping run exactly.
+
+use koc_sim::{DramConfig, PrefetchConfig, ProcessorConfig, SimBuilder, Suite, Sweep};
+use koc_workloads::kernels;
+
+/// Configurations chosen to cover both engines and all three memory
+/// backends (flat, banked DRAM, DRAM behind the stride prefetcher).
+fn coverage_configs() -> Vec<ProcessorConfig> {
+    let mut dram = ProcessorConfig::cooo(32, 512, 800);
+    dram.memory = dram.memory.with_dram(DramConfig::table1_like());
+    let mut prefetching = ProcessorConfig::baseline(64, 800);
+    prefetching.memory = prefetching
+        .memory
+        .with_dram(DramConfig::table1_like())
+        .with_prefetch(PrefetchConfig::stride());
+    vec![
+        ProcessorConfig::baseline(64, 800),
+        ProcessorConfig::cooo(32, 512, 800),
+        dram,
+        prefetching,
+    ]
+}
+
+#[test]
+fn identical_sessions_yield_bit_identical_stats() {
+    for config in coverage_configs() {
+        let run = || {
+            SimBuilder::from_config(config)
+                .workloads(Suite::paper())
+                .trace_len(2_000)
+                .build()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        for (wa, wb) in a.per_workload.iter().zip(b.per_workload.iter()) {
+            assert_eq!(wa.workload, wb.workload);
+            assert_eq!(
+                wa.stats, wb.stats,
+                "{} must be bit-identical across runs",
+                wa.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_sweeps_are_as_deterministic_as_serial_runs() {
+    let workloads = Suite::paper().generate(2_000);
+    let configs = coverage_configs();
+    let first = Sweep::over(configs.clone()).run_on(&workloads);
+    let second = Sweep::over(configs.clone()).run_on(&workloads);
+    for (a, b) in first.iter().zip(second.iter()) {
+        for (wa, wb) in a.per_workload.iter().zip(b.per_workload.iter()) {
+            assert_eq!(wa.stats, wb.stats, "rayon must not leak into results");
+        }
+    }
+    // And the sweep agrees with one-at-a-time sessions.
+    for (config, swept) in configs.iter().zip(first.iter()) {
+        let solo = SimBuilder::from_config(*config)
+            .workloads(Suite::custom(workloads.clone()))
+            .build()
+            .run();
+        for (ws, wp) in solo.per_workload.iter().zip(swept.per_workload.iter()) {
+            assert_eq!(ws.stats, wp.stats, "sweep vs session must agree");
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_identical_to_per_cycle_stepping() {
+    let workloads = {
+        let mut all = Suite::paper().generate(2_000);
+        all.extend(Suite::mlp_contrast().generate(2_000));
+        all
+    };
+    for config in coverage_configs() {
+        let run = |ff: bool| {
+            SimBuilder::from_config(config)
+                .fast_forward(ff)
+                .workloads(Suite::custom(workloads.clone()))
+                .build()
+                .run()
+        };
+        let (fast, slow) = (run(true), run(false));
+        for (wf, ws) in fast.per_workload.iter().zip(slow.per_workload.iter()) {
+            assert_eq!(
+                wf.stats.cycles, ws.stats.cycles,
+                "{}: cycle counts must not depend on the skip path",
+                wf.workload
+            );
+            assert_eq!(
+                wf.stats, ws.stats,
+                "{}: every statistic (distributions, stalls, recoveries) \
+                 must match with fast-forward {:?}",
+                wf.workload, config.fast_forward
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_speeds_up_the_memory_bound_kernel() {
+    // pointer_chase (a dependent chain, MLP = 1) at 1000-cycle memory is
+    // almost entirely dead time: the skip path must be at least 2x faster
+    // in wall-clock with, as above, identical cycle counts. The margin in
+    // practice is >20x, so the 2x assertion stays robust on loaded CI
+    // machines.
+    let run = |ff: bool| {
+        let session = SimBuilder::cooo()
+            .memory_latency(1000)
+            .fast_forward(ff)
+            .workloads(Suite::kernel("pointer_chase", kernels::pointer_chase()))
+            .trace_len(10_000)
+            .build();
+        let start = std::time::Instant::now();
+        let result = session.run();
+        (start.elapsed(), result.per_workload[0].stats.clone())
+    };
+    let (slow_wall, slow_stats) = run(false);
+    let (fast_wall, fast_stats) = run(true);
+    assert_eq!(fast_stats, slow_stats, "identical results either way");
+    assert!(
+        slow_wall.as_secs_f64() > fast_wall.as_secs_f64() * 2.0,
+        "fast-forward must be >=2x faster on pointer_chase: {:?} vs {:?}",
+        fast_wall,
+        slow_wall
+    );
+}
+
+#[test]
+fn budgeted_runs_are_deterministic_and_bounded() {
+    let run = || {
+        SimBuilder::baseline(64)
+            .memory_latency(1000)
+            .workloads(Suite::kernel("pointer_chase", kernels::pointer_chase()))
+            .trace_len(4_000)
+            .cycle_budget(50_000)
+            .build()
+            .run()
+    };
+    let (a, b) = (run(), run());
+    let (sa, sb) = (&a.per_workload[0].stats, &b.per_workload[0].stats);
+    assert_eq!(sa, sb);
+    assert!(sa.budget_exhausted);
+    assert_eq!(sa.cycles, 50_000);
+}

@@ -45,15 +45,38 @@ fn builder_overrides_land_in_the_config() {
 }
 
 #[test]
-fn deprecated_shims_still_run() {
-    #[allow(deprecated)]
-    {
-        let w = koc_workloads::Workload::generate("gather", kernels::gather(), 1_000);
-        let stats = koc_sim::run_trace(ProcessorConfig::baseline(64, 100), &w.trace);
-        assert_eq!(stats.committed_instructions as usize, w.trace.len());
-        let suite = koc_sim::run_suite(ProcessorConfig::baseline(64, 100), 600);
-        assert_eq!(suite.per_workload.len(), 5);
-    }
+fn sessions_cover_the_former_free_function_entry_points() {
+    // `run_trace`/`run_suite`/`run_workloads` are gone; the session API is
+    // the single way in.
+    let w = koc_workloads::Workload::generate("gather", kernels::gather(), 1_000);
+    let session = SimBuilder::baseline(64).memory_latency(100).build();
+    let stats = session.run_trace(&w.trace);
+    assert_eq!(stats.committed_instructions as usize, w.trace.len());
+    let suite = SimBuilder::baseline(64)
+        .memory_latency(100)
+        .workloads(Suite::paper())
+        .trace_len(600)
+        .build()
+        .run();
+    assert_eq!(suite.per_workload.len(), 5);
+}
+
+#[test]
+fn a_cycle_budget_caps_every_run_in_a_session() {
+    let result = SimBuilder::baseline(64)
+        .memory_latency(1000)
+        .workloads(Suite::kernel("gather", kernels::gather()))
+        .trace_len(5_000)
+        .cycle_budget(200)
+        .build()
+        .run();
+    let stats = &result.per_workload[0].stats;
+    assert!(
+        stats.budget_exhausted,
+        "1000-cycle memory cannot finish in 200"
+    );
+    assert_eq!(stats.cycles, 200);
+    assert!((stats.committed_instructions as usize) < 5_000);
 }
 
 proptest! {

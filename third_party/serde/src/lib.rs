@@ -1,12 +1,32 @@
-//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` traits exist
-//! as markers and the derives expand to nothing, so `#[derive(Serialize,
-//! Deserialize)]` compiles without pulling in the real framework. See
-//! `third_party/README.md` for how to swap the real crate back in.
+//! Offline stand-in for `serde`, specialised to JSON output.
+//!
+//! Unlike the real framework (which is generic over serialization formats),
+//! this stub's [`Serialize`] writes JSON directly: the derive in
+//! `serde_derive` generates a [`Serialize::write_json`] implementation from
+//! the struct/enum shape, so `#[derive(Serialize)]` gives every type a real
+//! [`Serialize::to_json`] without pulling in the full framework. The output
+//! follows serde's JSON conventions: structs are objects, newtype structs
+//! are transparent, unit enum variants are strings, data-carrying variants
+//! are single-key objects.
+//!
+//! `Deserialize` remains a marker trait (nothing in this repository parses
+//! with serde). See `third_party/README.md` for how to swap the real crate
+//! back in.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+/// JSON-producing stand-in for `serde::Serialize`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The JSON encoding of `self` as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
 
 /// Marker stand-in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
@@ -14,3 +34,248 @@ pub trait Deserialize<'de>: Sized {}
 /// Marker stand-in for `serde::de::DeserializeOwned`.
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Escapes and quotes `s` as a JSON string.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 48], *self as i128));
+            }
+        })*
+    };
+}
+
+/// Formats an integer without going through `format!` (reports write many
+/// counters).
+fn itoa_buf(buf: &mut [u8; 48], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        // Remainder on negative values is negative in Rust; fold the sign in
+        // per digit so i128::MIN needs no absolute value.
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for u128 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Shortest round-trip representation; integral values keep a
+            // trailing ".0" so they read back as floats.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            // JSON has no NaN/Infinity.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut b = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut b), out);
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl IntoIterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        })*
+    };
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Maps serialize as JSON objects; keys use their `Display` form (string
+/// keys are the only kind JSON supports).
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&k.to_string(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize_as_json_scalars() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-7i32).to_json(), "-7");
+        assert_eq!(i64::MIN.to_json(), i64::MIN.to_string());
+        assert_eq!(u64::MAX.to_json(), u64::MAX.to_string());
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\n".to_json(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers_serialize_as_arrays_and_objects() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(5u8).to_json(), "5");
+        assert_eq!(None::<u8>.to_json(), "null");
+        assert_eq!([1u8, 2].to_json(), "[1,2]");
+        assert_eq!((1u8, "x".to_string()).to_json(), "[1,\"x\"]");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(m.to_json(), "{\"k\":9}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(3.0f64.to_json(), "3.0");
+    }
+}

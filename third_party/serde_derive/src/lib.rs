@@ -1,15 +1,333 @@
-//! No-op stand-in for `serde_derive`: accepts `#[derive(Serialize,
-//! Deserialize)]` (including `#[serde(...)]` helper attributes) and emits
-//! nothing. See `third_party/README.md`.
+//! Stand-in for `serde_derive` that generates *working* JSON serialization.
+//!
+//! `#[derive(Serialize)]` parses the struct/enum shape directly from the
+//! token stream (no `syn`/`quote` — this crate must build offline with no
+//! dependencies) and emits an implementation of the stub `serde::Serialize`
+//! trait's `write_json`, following serde's JSON conventions:
+//!
+//! * named-field structs → objects (`{"field": ...}`)
+//! * newtype structs → transparent (the inner value)
+//! * tuple structs → arrays
+//! * unit enum variants → strings (`"Variant"`)
+//! * data-carrying variants → single-key objects (`{"Variant": ...}`)
+//!
+//! `#[derive(Deserialize)]` remains a no-op marker (nothing in this
+//! repository parses with serde). Generic types are not supported — the
+//! workspace derives only on concrete types.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let parsed = parse_item(&tokens);
+    generate(&parsed)
+        .parse()
+        .expect("serde stub derive generated invalid Rust")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility
+/// prefix starting at `i`; returns the index of the next significant token.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // the '#' and its bracket group
+            continue;
+        }
+        if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Item {
+    let mut i = skip_attrs_and_vis(tokens, 0);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("serde stub derive: expected `struct` or `enum`");
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected a type name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde stub derive does not support generic types ({name})");
+    }
+    let shape = if is_enum {
+        let TokenTree::Group(body) = &tokens[i] else {
+            panic!("serde stub derive: expected an enum body for {name}");
+        };
+        Shape::Enum(parse_variants(
+            &body.stream().into_iter().collect::<Vec<_>>(),
+        ))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple(
+                count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(t) if is_punct(t, ';') => Shape::Unit,
+            None => Shape::Unit,
+            Some(other) => panic!("serde stub derive: unexpected token {other} in {name}"),
+        }
+    };
+    Item { name, shape }
+}
+
+/// Advances past one type (or other comma-terminated run of tokens),
+/// treating `<`/`>` as nesting so commas inside generic arguments do not
+/// split the field list. Returns the index of the top-level `,` (or
+/// `tokens.len()`).
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            t if is_punct(t, '<') => angle_depth += 1,
+            t if is_punct(t, '>') => angle_depth -= 1,
+            t if is_punct(t, ',') && angle_depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(field) = &tokens[i] else {
+            panic!(
+                "serde stub derive: expected a field name, found {}",
+                tokens[i]
+            );
+        };
+        fields.push(field.to_string());
+        i += 1; // the name
+        debug_assert!(is_punct(&tokens[i], ':'));
+        i = skip_to_top_level_comma(tokens, i) + 1;
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_top_level_comma(tokens, i) + 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde stub derive: expected a variant name, found {}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantKind::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip any payload group / explicit discriminant up to the comma.
+        i = skip_to_top_level_comma(tokens, i) + 1;
+    }
+    variants
+}
+
+/// Emits `out.push_str("...")` for a literal JSON fragment.
+fn push_literal(code: &mut String, fragment: &str) {
+    code.push_str("out.push_str(\"");
+    for c in fragment.chars() {
+        match c {
+            '"' => code.push_str("\\\""),
+            '\\' => code.push_str("\\\\"),
+            c => code.push(c),
+        }
+    }
+    code.push_str("\");");
+}
+
+/// Emits `write_json` calls for an object body `{"f": <f>, ...}` whose
+/// fields are read through `accessor` (e.g. `&self.` or a bound name).
+fn object_body(code: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+    for (i, f) in fields.iter().enumerate() {
+        let sep = if i == 0 { "{" } else { "," };
+        push_literal(code, &format!("{sep}\"{f}\":"));
+        code.push_str(&format!(
+            "::serde::Serialize::write_json({}, out);",
+            accessor(f)
+        ));
+    }
+    if fields.is_empty() {
+        push_literal(code, "{");
+    }
+    push_literal(code, "}");
+}
+
+fn generate(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => {
+            object_body(&mut body, fields, |f| format!("&self.{f}"));
+        }
+        Shape::Tuple(1) => {
+            // Newtype structs are transparent, as in serde.
+            body.push_str("::serde::Serialize::write_json(&self.0, out);");
+        }
+        Shape::Tuple(n) => {
+            push_literal(&mut body, "[");
+            for i in 0..*n {
+                if i > 0 {
+                    push_literal(&mut body, ",");
+                }
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);"));
+            }
+            push_literal(&mut body, "]");
+        }
+        Shape::Unit => {
+            push_literal(&mut body, "null");
+        }
+        Shape::Enum(variants) => {
+            assert!(
+                !variants.is_empty(),
+                "serde stub derive: cannot serialize an empty enum ({name})"
+            );
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("{name}::{vname} => {{"));
+                        push_literal(&mut body, &format!("\"{vname}\""));
+                        body.push('}');
+                    }
+                    VariantKind::Tuple(1) => {
+                        body.push_str(&format!("{name}::{vname}(__f0) => {{"));
+                        push_literal(&mut body, &format!("{{\"{vname}\":"));
+                        body.push_str("::serde::Serialize::write_json(__f0, out);");
+                        push_literal(&mut body, "}");
+                        body.push('}');
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!("{name}::{vname}({}) => {{", binds.join(", ")));
+                        push_literal(&mut body, &format!("{{\"{vname}\":["));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                push_literal(&mut body, ",");
+                            }
+                            body.push_str(&format!("::serde::Serialize::write_json({b}, out);"));
+                        }
+                        push_literal(&mut body, "]}");
+                        body.push('}');
+                    }
+                    VariantKind::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{",
+                            fields.join(", ")
+                        ));
+                        push_literal(&mut body, &format!("{{\"{vname}\":"));
+                        object_body(&mut body, fields, |f| f.to_string());
+                        push_literal(&mut body, "}");
+                        body.push('}');
+                    }
+                }
+                body.push(',');
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
 }
