@@ -4,6 +4,9 @@
 //! koc-bench harness --quick                   # run, write BENCH_<n>.json
 //! koc-bench harness --quick --out fresh.json  # explicit output path
 //! koc-bench harness --full
+//! koc-bench harness --list                    # canonical workload names
+//! koc-bench harness --only gather             # one workload only
+//! koc-bench harness --source streamed         # lazy O(window) ingestion
 //! koc-bench compare --baseline bench/baseline.json --current fresh.json
 //! koc-bench compare ... --max-slowdown 0.5    # also gate wall-clock speed
 //! koc-bench compare ... --cycle-tolerance 0.001
@@ -12,14 +15,18 @@
 //! `harness` prints the human-readable table and writes the JSON report;
 //! `compare` exits non-zero on any threshold violation (CI's regression
 //! gate: cycle drift is an accuracy bug, wall-clock drift a perf one).
+//! Streamed and materialized harness runs must agree cycle for cycle, so
+//! CI cross-compares one against the other.
 
-use koc_bench::harness::{self, CompareThresholds};
+use koc_bench::harness::{self, CompareThresholds, HarnessOptions};
+use koc_sim::SourceMode;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn print_usage() {
-    eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH]");
+    eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH] [--list]");
+    eprintln!("                         [--only WORKLOAD] [--source streamed|materialized]");
     eprintln!("       koc-bench compare --baseline PATH --current PATH");
     eprintln!("                         [--cycle-tolerance F] [--max-slowdown F]");
 }
@@ -41,18 +48,46 @@ fn main() -> ExitCode {
 }
 
 fn run_harness(args: &[String]) -> ExitCode {
-    let mut quick = true;
+    let mut options = HarnessOptions {
+        quick: true,
+        ..HarnessOptions::default()
+    };
     let mut out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
-                quick = true;
+                options.quick = true;
                 i += 1;
             }
             "--full" => {
-                quick = false;
+                options.quick = false;
                 i += 1;
+            }
+            "--list" => {
+                for name in harness::workload_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--only requires a workload name (see --list)");
+                    return ExitCode::FAILURE;
+                };
+                options.only = Some(name.clone());
+                i += 2;
+            }
+            "--source" => {
+                options.source = match args.get(i + 1).map(String::as_str) {
+                    Some("streamed") => SourceMode::Streamed,
+                    Some("materialized") => SourceMode::Materialized,
+                    other => {
+                        eprintln!("--source requires 'streamed' or 'materialized', got {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
             }
             "--out" => {
                 let Some(path) = args.get(i + 1) else {
@@ -69,7 +104,13 @@ fn run_harness(args: &[String]) -> ExitCode {
             }
         }
     }
-    let report = harness::run(quick);
+    let report = match harness::run_with(&options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{}", report.to_table());
     let path = out.unwrap_or_else(|| harness::next_bench_path(std::path::Path::new(".")));
     if let Err(e) = std::fs::write(&path, report.to_json()) {

@@ -32,8 +32,9 @@
 //! ```
 
 use crate::report::Report;
-use koc_sim::{Processor, ProcessorConfig, SimStats};
-use koc_workloads::{Suite, Workload};
+use koc_isa::json::{parse_json, Json};
+use koc_sim::{Processor, ProcessorConfig, SimStats, SourceMode};
+use koc_workloads::{Suite, Workload, WorkloadSpec};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -72,8 +73,8 @@ pub struct BenchEntry {
     pub peak_inflight: usize,
 }
 
-/// A full harness run: every workload of the canonical suite under both
-/// commit engines.
+/// A full harness run: every selected workload of the canonical suite under
+/// both commit engines.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
     /// Schema identifier ([`SCHEMA`]).
@@ -82,6 +83,14 @@ pub struct BenchReport {
     pub suite: String,
     /// Dynamic trace length every workload was generated at.
     pub trace_len: usize,
+    /// How workloads were fed to the pipeline: `"materialized"` (traces
+    /// generated up front) or `"streamed"` (pulled lazily through the
+    /// replay window). Cycle counts are identical either way; wall-clock
+    /// figures for streamed runs include generation.
+    pub source: String,
+    /// The `--only` workload filter this report was produced with, if any
+    /// (`null` = the whole canonical suite).
+    pub filter: Option<String>,
     /// One entry per (workload, engine), in suite-then-engine order.
     pub results: Vec<BenchEntry>,
 }
@@ -97,10 +106,15 @@ impl BenchReport {
     /// Renders the report as the aligned plain-text table the experiment
     /// driver prints (one formatting path for humans, JSON for machines).
     pub fn to_table(&self) -> Report {
+        let filter = self
+            .filter
+            .as_deref()
+            .map(|f| format!(", only {f}"))
+            .unwrap_or_default();
         let mut r = Report::new(
             format!(
-                "harness — {} suite (trace_len {})",
-                self.suite, self.trace_len
+                "harness — {} suite (trace_len {}, {} sources{filter})",
+                self.suite, self.trace_len, self.source
             ),
             &[
                 "workload",
@@ -141,33 +155,95 @@ pub fn engines() -> [(&'static str, ProcessorConfig); 2] {
     ]
 }
 
-/// The canonical workload list: the paper's five-kernel suite plus the
-/// MLP-contrast pair (`pointer_chase` is the memory-bound case the
+/// The canonical workload list as lazy specs: the paper's five-kernel suite
+/// plus the MLP-contrast pair (`pointer_chase` is the memory-bound case the
 /// event-driven fast-forward exists for).
-pub fn workloads(trace_len: usize) -> Vec<Workload> {
-    let mut all = Suite::paper().generate(trace_len);
-    all.extend(Suite::mlp_contrast().generate(trace_len));
+pub fn specs(trace_len: usize) -> Vec<WorkloadSpec> {
+    let mut all = Suite::paper().specs(trace_len);
+    all.extend(Suite::mlp_contrast().specs(trace_len));
     all
+}
+
+/// The canonical workload list, materialized.
+pub fn workloads(trace_len: usize) -> Vec<Workload> {
+    specs(trace_len).iter().map(|s| s.materialize()).collect()
+}
+
+/// The canonical workload names, for `--list` and `--only` validation.
+pub fn workload_names() -> Vec<String> {
+    // The names do not depend on the trace length.
+    specs(QUICK_TRACE_LEN)
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect()
+}
+
+/// What [`run_with`] should run.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// `false` runs the full suite length ([`FULL_TRACE_LEN`]).
+    pub quick: bool,
+    /// Restrict the run to one workload of the canonical suite
+    /// (`--only <workload>`); `None` runs everything.
+    pub only: Option<String>,
+    /// Feed runs from materialized traces or stream them on demand
+    /// (`--source`). Cycle counts are identical; streamed wall-clock
+    /// includes generation.
+    pub source: SourceMode,
 }
 
 /// Runs the canonical suite under both engines, timing each run, and
 /// returns the report. Runs are sequential so the wall-clock figures
 /// measure the simulator, not the host's core count.
 pub fn run(quick: bool) -> BenchReport {
-    let trace_len = if quick {
+    run_with(&HarnessOptions {
+        quick,
+        ..HarnessOptions::default()
+    })
+    .expect("an unfiltered harness run cannot fail")
+}
+
+/// Runs the harness as described by `options` (see [`run`]).
+///
+/// # Errors
+/// Returns a message naming the available workloads when
+/// [`HarnessOptions::only`] does not match any of them.
+pub fn run_with(options: &HarnessOptions) -> Result<BenchReport, String> {
+    let trace_len = if options.quick {
         QUICK_TRACE_LEN
     } else {
         FULL_TRACE_LEN
     };
-    let workloads = workloads(trace_len);
+    let mut specs = specs(trace_len);
+    if let Some(only) = &options.only {
+        specs.retain(|s| s.name() == only);
+        if specs.is_empty() {
+            return Err(format!(
+                "unknown workload '{only}' (available: {})",
+                workload_names().join(", ")
+            ));
+        }
+    }
     let mut results = Vec::new();
-    for w in &workloads {
+    for spec in &specs {
+        // In materialized mode the trace is generated once, outside the
+        // timed region, and shared by both engines — the historical
+        // behaviour. In streamed mode every run pulls a fresh source, so
+        // the timed region covers generation too (that *is* the streamed
+        // ingestion cost) and memory stays O(window).
+        let materialized = match options.source {
+            SourceMode::Materialized => Some(spec.materialize()),
+            SourceMode::Streamed => None,
+        };
         for (engine, config) in engines() {
             let start = Instant::now();
-            let stats: SimStats = Processor::new(config, &w.trace).run();
+            let stats: SimStats = match &materialized {
+                Some(w) => Processor::new(config, &w.trace).run(),
+                None => Processor::new(config, spec.source()).run(),
+            };
             let wall = start.elapsed().as_secs_f64();
             results.push(BenchEntry {
-                workload: w.name.clone(),
+                workload: spec.name().to_string(),
                 engine: engine.to_string(),
                 cycles: stats.cycles,
                 retired: stats.committed_instructions,
@@ -179,12 +255,18 @@ pub fn run(quick: bool) -> BenchReport {
             });
         }
     }
-    BenchReport {
+    Ok(BenchReport {
         schema: SCHEMA.to_string(),
-        suite: if quick { "quick" } else { "full" }.to_string(),
+        suite: if options.quick { "quick" } else { "full" }.to_string(),
         trace_len,
+        source: match options.source {
+            SourceMode::Materialized => "materialized",
+            SourceMode::Streamed => "streamed",
+        }
+        .to_string(),
+        filter: options.only.clone(),
         results,
-    }
+    })
 }
 
 /// Picks the default output name `BENCH_<n>.json`: one past the highest
@@ -274,6 +356,15 @@ pub fn compare(
         ));
         return Ok(outcome);
     }
+    if baseline.source != current.source {
+        // Streamed and materialized ingestion must agree cycle for cycle —
+        // comparing across modes is exactly how CI asserts that — so a
+        // source difference is informational, never a gate.
+        outcome.notes.push(format!(
+            "comparing across source modes: baseline {} vs current {}",
+            baseline.source, current.source
+        ));
+    }
     for b in &baseline.results {
         let Some(c) = current.entry(&b.workload, &b.engine) else {
             outcome.failures.push(format!(
@@ -335,72 +426,6 @@ pub fn compare(
     Ok(outcome)
 }
 
-fn check_count(
-    outcome: &mut CompareOutcome,
-    workload: &str,
-    engine: &str,
-    what: &str,
-    baseline: u64,
-    current: u64,
-    tolerance: f64,
-) {
-    let drift = if baseline == 0 {
-        if current == 0 {
-            0.0
-        } else {
-            f64::INFINITY
-        }
-    } else {
-        (current as f64 - baseline as f64).abs() / baseline as f64
-    };
-    if drift > tolerance {
-        outcome.failures.push(format!(
-            "{workload}/{engine}: {what} drifted {current} vs baseline {baseline} \
-             ({:+.4}%, tolerance {:.4}%)",
-            (current as f64 / baseline as f64 - 1.0) * 100.0,
-            tolerance * 100.0
-        ));
-    }
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader (the workspace serde stub only writes JSON)
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value — just enough to read harness reports back.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
 fn parse_report(text: &str) -> Result<BenchReport, String> {
     let json = parse_json(text)?;
     let schema = json
@@ -429,13 +454,29 @@ fn parse_report(text: &str) -> Result<BenchReport, String> {
         suite: field_str("suite")?,
         trace_len: json
             .get("trace_len")
-            .and_then(Json::as_f64)
+            .and_then(Json::as_u64)
             .ok_or("missing trace_len")? as usize,
+        // Reports predating the streaming API carry neither field: they
+        // were materialized, unfiltered runs.
+        source: json
+            .get("source")
+            .and_then(Json::as_str)
+            .unwrap_or("materialized")
+            .to_string(),
+        filter: json
+            .get("filter")
+            .and_then(Json::as_str)
+            .map(str::to_string),
         results,
     })
 }
 
 fn parse_entry(json: &Json) -> Result<BenchEntry, String> {
+    let int = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("entry missing {key}"))
+    };
     let num = |key: &str| -> Result<f64, String> {
         json.get(key)
             .and_then(Json::as_f64)
@@ -452,159 +493,41 @@ fn parse_entry(json: &Json) -> Result<BenchEntry, String> {
             .and_then(Json::as_str)
             .ok_or("entry missing engine")?
             .to_string(),
-        cycles: num("cycles")? as u64,
-        retired: num("retired")? as u64,
+        cycles: int("cycles")?,
+        retired: int("retired")?,
         ipc: num("ipc")?,
         wall_seconds: num("wall_seconds")?,
         mcycles_per_sec: num("mcycles_per_sec")?,
         mips: num("mips")?,
-        peak_inflight: num("peak_inflight")? as usize,
+        peak_inflight: int("peak_inflight")? as usize,
     })
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut pairs = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let Json::Str(key) = parse_value(bytes, pos)? else {
-                    return Err(format!("object key must be a string at byte {pos}"));
-                };
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                let value = parse_value(bytes, pos)?;
-                pairs.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
+fn check_count(
+    outcome: &mut CompareOutcome,
+    workload: &str,
+    engine: &str,
+    what: &str,
+    baseline: u64,
+    current: u64,
+    tolerance: f64,
+) {
+    let drift = if baseline == 0 {
+        if current == 0 {
+            0.0
+        } else {
+            f64::INFINITY
         }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => {
-            *pos += 1;
-            let mut s = String::new();
-            loop {
-                match bytes.get(*pos) {
-                    None => return Err("unterminated string".into()),
-                    Some(b'"') => {
-                        *pos += 1;
-                        return Ok(Json::Str(s));
-                    }
-                    Some(b'\\') => {
-                        *pos += 1;
-                        match bytes.get(*pos) {
-                            Some(b'"') => s.push('"'),
-                            Some(b'\\') => s.push('\\'),
-                            Some(b'/') => s.push('/'),
-                            Some(b'n') => s.push('\n'),
-                            Some(b'r') => s.push('\r'),
-                            Some(b't') => s.push('\t'),
-                            Some(b'u') => {
-                                let hex = bytes
-                                    .get(*pos + 1..*pos + 5)
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                    16,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                                *pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar.
-                        let rest = std::str::from_utf8(&bytes[*pos..])
-                            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
-                        let c = rest.chars().next().expect("non-empty");
-                        s.push(c);
-                        *pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
-        }
+    } else {
+        (current as f64 - baseline as f64).abs() / baseline as f64
+    };
+    if drift > tolerance {
+        outcome.failures.push(format!(
+            "{workload}/{engine}: {what} drifted {current} vs baseline {baseline} \
+             ({:+.4}%, tolerance {:.4}%)",
+            (current as f64 / baseline as f64 - 1.0) * 100.0,
+            tolerance * 100.0
+        ));
     }
 }
 
@@ -617,6 +540,8 @@ mod tests {
             schema: SCHEMA.to_string(),
             suite: "quick".to_string(),
             trace_len: 100,
+            source: "materialized".to_string(),
+            filter: None,
             results: vec![BenchEntry {
                 workload: "stream_add".to_string(),
                 engine: "baseline".to_string(),
@@ -749,6 +674,89 @@ mod tests {
     }
 
     #[test]
+    fn old_reports_without_source_or_filter_still_parse() {
+        let mut report = tiny_report();
+        report.source = "ignored".to_string();
+        let json = report.to_json();
+        // Strip the new fields to emulate a pre-streaming baseline file.
+        let legacy = json
+            .replace(",\"source\":\"ignored\"", "")
+            .replace(",\"filter\":null", "");
+        assert!(!legacy.contains("source"), "{legacy}");
+        let back = parse_report(&legacy).unwrap();
+        assert_eq!(back.source, "materialized");
+        assert_eq!(back.filter, None);
+    }
+
+    #[test]
+    fn comparing_across_source_modes_notes_but_does_not_gate() {
+        let base = tiny_report();
+        let mut streamed = base.clone();
+        streamed.source = "streamed".to_string();
+        let outcome = compare(
+            &base.to_json(),
+            &streamed.to_json(),
+            &CompareThresholds::default(),
+        )
+        .unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("source modes")),
+            "{:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn only_filter_restricts_the_run_and_lands_in_the_json() {
+        let report = run_with(&HarnessOptions {
+            quick: true,
+            only: Some("pointer_chase".to_string()),
+            source: SourceMode::Streamed,
+        })
+        .unwrap();
+        assert_eq!(report.filter.as_deref(), Some("pointer_chase"));
+        assert_eq!(report.source, "streamed");
+        assert_eq!(report.results.len(), 2, "one workload x two engines");
+        assert!(report.results.iter().all(|e| e.workload == "pointer_chase"));
+        let parsed = parse_report(&report.to_json()).unwrap();
+        assert_eq!(parsed.filter.as_deref(), Some("pointer_chase"));
+        assert_eq!(parsed.source, "streamed");
+    }
+
+    #[test]
+    fn unknown_only_filter_lists_the_workloads() {
+        let err = run_with(&HarnessOptions {
+            quick: true,
+            only: Some("swim".to_string()),
+            ..HarnessOptions::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown workload 'swim'"), "{err}");
+        assert!(err.contains("stream_add"), "{err}");
+        assert!(err.contains("pointer_chase"), "{err}");
+    }
+
+    #[test]
+    fn streamed_and_materialized_runs_have_identical_counts() {
+        let base = HarnessOptions {
+            quick: true,
+            only: Some("reduction".to_string()),
+            source: SourceMode::Materialized,
+        };
+        let materialized = run_with(&base).unwrap();
+        let streamed = run_with(&HarnessOptions {
+            source: SourceMode::Streamed,
+            ..base
+        })
+        .unwrap();
+        for (m, s) in materialized.results.iter().zip(&streamed.results) {
+            assert_eq!((m.cycles, m.retired), (s.cycles, s.retired), "{}", m.engine);
+            assert_eq!(m.peak_inflight, s.peak_inflight);
+        }
+    }
+
+    #[test]
     fn next_bench_path_starts_at_three_and_increments() {
         let dir = std::env::temp_dir().join(format!("koc-bench-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -756,21 +764,5 @@ mod tests {
         std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
         assert!(next_bench_path(&dir).ends_with("BENCH_8.json"));
         std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn json_parser_handles_escapes_and_nesting() {
-        let v = parse_json(r#"{"a": [1, 2.5, "x\n\"y\""], "b": {"c": null, "d": true}}"#).unwrap();
-        assert_eq!(
-            v.get("a").unwrap(),
-            &Json::Arr(vec![
-                Json::Num(1.0),
-                Json::Num(2.5),
-                Json::Str("x\n\"y\"".to_string()),
-            ])
-        );
-        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
-        assert!(parse_json("{\"unterminated\": ").is_err());
-        assert!(parse_json("[1,]").is_err());
     }
 }

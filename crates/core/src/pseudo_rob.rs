@@ -143,6 +143,13 @@ impl PseudoRob {
         self.entries.pop_front()
     }
 
+    /// Stream position of the oldest entry, if any. Entries still inside
+    /// the pseudo-ROB are classified at retirement, so this bounds how far
+    /// the fetch replay window may be released.
+    pub fn oldest_inst(&self) -> Option<InstId> {
+        self.entries.front().map(|e| e.inst)
+    }
+
     /// Whether the given instruction is still inside the pseudo-ROB (and can
     /// therefore be recovered without a checkpoint rollback).
     pub fn contains(&self, inst: InstId) -> bool {

@@ -67,7 +67,7 @@ impl BranchInfo {
 /// The simulator is trace driven: register *values* are not modelled, only
 /// dependences (via architectural register names), memory addresses and
 /// branch outcomes — everything the pipeline timing depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Instruction {
     /// Program counter of the instruction (used by the branch predictor).
     pub pc: u64,

@@ -1,0 +1,255 @@
+//! Versioned on-disk persistence for [`Trace`]s.
+//!
+//! Recorded traces are shareable artifacts: a trace captured in one run (or
+//! produced by an external tool) can be replayed in another, byte for byte.
+//! The format is versioned JSON under the schema id [`TRACE_SCHEMA`]
+//! (`koc-trace/1`): the instruction encoding follows the workspace serde
+//! stub's JSON conventions (the same shape `#[derive(Serialize)]` emits for
+//! [`Instruction`]), so a saved file is exactly what the derive would
+//! write, wrapped in a schema envelope:
+//!
+//! ```json
+//! {"schema":"koc-trace/1","name":"stream_add","insts":[
+//!   {"pc":0,"kind":"IntAlu","dest":1,"srcs":[1,null,null],
+//!    "mem":null,"branch":null,"raises_exception":false}
+//! ]}
+//! ```
+//!
+//! Registers are flat indices (`0..32` integer, `32..64` floating point),
+//! loads/stores carry a `mem` object, branches a `branch` object. Unknown
+//! schemas are rejected with a descriptive error rather than misread.
+
+use crate::inst::{BranchInfo, Instruction, MemAccess};
+use crate::json::{parse_json, Json};
+use crate::op::OpKind;
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use crate::trace::Trace;
+use serde::Serialize;
+
+/// Schema identifier embedded in every saved trace.
+pub const TRACE_SCHEMA: &str = "koc-trace/1";
+
+/// Encodes a trace in the versioned `koc-trace/1` JSON format.
+pub fn trace_to_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    serde::write_json_string(TRACE_SCHEMA, &mut out);
+    out.push_str(",\"name\":");
+    serde::write_json_string(trace.name(), &mut out);
+    out.push_str(",\"insts\":[");
+    for (i, inst) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        inst.write_json(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Decodes a trace from the versioned `koc-trace/1` JSON format.
+///
+/// # Errors
+/// Returns a description of the first structural problem: unparseable JSON,
+/// a missing or unsupported schema, or an instruction field that does not
+/// decode (unknown op kind, register index out of range, …).
+pub fn trace_from_json(text: &str) -> Result<Trace, String> {
+    let json = parse_json(text)?;
+    let schema = json
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != TRACE_SCHEMA {
+        return Err(format!(
+            "unsupported trace schema '{schema}' (expected {TRACE_SCHEMA})"
+        ));
+    }
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing name field")?;
+    let Some(Json::Arr(items)) = json.get("insts") else {
+        return Err("missing insts array".into());
+    };
+    let insts = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| decode_instruction(item).map_err(|e| format!("instruction {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace::from_instructions(name, insts))
+}
+
+fn decode_instruction(json: &Json) -> Result<Instruction, String> {
+    let pc = json.get("pc").and_then(Json::as_u64).ok_or("missing pc")?;
+    let kind = decode_kind(
+        json.get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing kind")?,
+    )?;
+    let dest = decode_opt_reg(json.get("dest").unwrap_or(&Json::Null))?;
+    let mut srcs = [None; crate::inst::MAX_SRCS];
+    if let Some(Json::Arr(items)) = json.get("srcs") {
+        if items.len() > srcs.len() {
+            return Err(format!("too many sources: {}", items.len()));
+        }
+        for (slot, item) in srcs.iter_mut().zip(items.iter()) {
+            *slot = decode_opt_reg(item)?;
+        }
+    }
+    let mem = match json.get("mem") {
+        None | Some(Json::Null) => None,
+        Some(m) => Some(MemAccess::new(
+            m.get("addr").and_then(Json::as_u64).ok_or("mem.addr")?,
+            m.get("size").and_then(Json::as_u64).ok_or("mem.size")? as u8,
+        )),
+    };
+    let branch = match json.get("branch") {
+        None | Some(Json::Null) => None,
+        Some(b) => {
+            let taken = b
+                .get("taken")
+                .and_then(Json::as_bool)
+                .ok_or("branch.taken")?;
+            let target = b
+                .get("target")
+                .and_then(Json::as_u64)
+                .ok_or("branch.target")?;
+            let unconditional = b
+                .get("unconditional")
+                .and_then(Json::as_bool)
+                .ok_or("branch.unconditional")?;
+            Some(if unconditional {
+                BranchInfo::unconditional(target)
+            } else {
+                BranchInfo::conditional(taken, target)
+            })
+        }
+    };
+    let raises_exception = json
+        .get("raises_exception")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    Ok(Instruction {
+        pc,
+        kind,
+        dest,
+        srcs,
+        mem,
+        branch,
+        raises_exception,
+    })
+}
+
+fn decode_kind(name: &str) -> Result<OpKind, String> {
+    Ok(match name {
+        "IntAlu" => OpKind::IntAlu,
+        "IntMul" => OpKind::IntMul,
+        "IntDiv" => OpKind::IntDiv,
+        "FpAlu" => OpKind::FpAlu,
+        "FpDiv" => OpKind::FpDiv,
+        "Load" => OpKind::Load,
+        "Store" => OpKind::Store,
+        "Branch" => OpKind::Branch,
+        "Nop" => OpKind::Nop,
+        other => return Err(format!("unknown op kind '{other}'")),
+    })
+}
+
+fn decode_opt_reg(json: &Json) -> Result<Option<ArchReg>, String> {
+    if *json == Json::Null {
+        return Ok(None);
+    }
+    match json.as_u64() {
+        Some(i) if (i as usize) < NUM_ARCH_REGS => Ok(Some(ArchReg::from_flat_index(i as usize))),
+        Some(i) => Err(format!("register index {i} out of range")),
+        None => Err(format!("register must be an index or null, got {json:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::named("round\ttrip");
+        b.int_alu(ArchReg::int(1), &[]);
+        b.load(ArchReg::fp(2), ArchReg::int(1), 0x1000_0000);
+        b.fp_alu(ArchReg::fp(3), &[ArchReg::fp(2), ArchReg::fp(3)]);
+        b.store(ArchReg::fp(3), ArchReg::int(1), 0x2000_0008);
+        b.branch_to(ArchReg::int(1), true, 4);
+        b.raw(Instruction::op(0, OpKind::Branch, None, &[ArchReg::int(2)]).with_exception());
+        b.nop();
+        b.finish()
+    }
+
+    #[test]
+    fn save_load_round_trips_every_field() {
+        let t = sample_trace();
+        let json = trace_to_json(&t);
+        let back = trace_from_json(&json).expect("round trip");
+        assert_eq!(back, t);
+        assert_eq!(back.name(), "round\ttrip");
+    }
+
+    #[test]
+    fn values_beyond_f64_precision_round_trip_exactly() {
+        // pcs and addresses are full u64s; the loader must not route them
+        // through f64 (which silently rounds above 2^53).
+        let mut t = Trace::new("wide");
+        let addr = (1u64 << 53) + 1;
+        t.push(Instruction::load(
+            u64::MAX - 3,
+            ArchReg::fp(0),
+            ArchReg::int(1),
+            addr,
+        ));
+        let back = trace_from_json(&trace_to_json(&t)).unwrap();
+        assert_eq!(back[0].pc, u64::MAX - 3);
+        assert_eq!(back[0].mem.unwrap().addr, addr);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let t = sample_trace();
+        let json = trace_to_json(&t).replace(TRACE_SCHEMA, "koc-trace/999");
+        let err = trace_from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported trace schema"), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_bad_fields_error_cleanly() {
+        assert!(trace_from_json("not json").is_err());
+        assert!(trace_from_json("{}").unwrap_err().contains("schema"));
+        let bad_kind = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"name\":\"x\",\"insts\":[{{\"pc\":0,\"kind\":\"Warp\"}}]}}"
+        );
+        let err = trace_from_json(&bad_kind).unwrap_err();
+        assert!(err.contains("unknown op kind"), "{err}");
+        let bad_reg = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"name\":\"x\",\"insts\":[{{\"pc\":0,\"kind\":\"Nop\",\"dest\":99}}]}}"
+        );
+        let err = trace_from_json(&bad_reg).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn file_save_and_load_round_trip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("koc-isa-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).expect("save");
+        let back = Trace::load(&path).expect("load");
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new("empty");
+        let back = trace_from_json(&trace_to_json(&t)).unwrap();
+        assert_eq!(back, t);
+        assert!(back.is_empty());
+    }
+}

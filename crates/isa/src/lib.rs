@@ -14,7 +14,10 @@
 //! * [`Instruction`] — one *dynamic* instruction of a trace (operands,
 //!   memory address, branch outcome),
 //! * [`Trace`] — a finite dynamic instruction stream plus a rewindable
-//!   [`TraceCursor`], which is what checkpoint rollback re-execution needs.
+//!   [`TraceCursor`], which is what checkpoint rollback re-execution needs,
+//! * [`InstructionSource`] and [`ReplayWindow`] — the streaming ingestion
+//!   seam: instructions produced on demand, replayed out of an O(window)
+//!   ring buffer, so run length is unbounded by host memory.
 //!
 //! ```
 //! use koc_isa::{ArchReg, Instruction, OpKind, TraceBuilder};
@@ -32,8 +35,11 @@
 
 pub mod builder;
 pub mod inst;
+pub mod io;
+pub mod json;
 pub mod op;
 pub mod reg;
+pub mod source;
 pub mod trace;
 
 pub use builder::TraceBuilder;
@@ -41,4 +47,7 @@ pub use inst::MAX_SRCS;
 pub use inst::{BranchInfo, Instruction, MemAccess};
 pub use op::{FuClass, OpKind, OpLatency};
 pub use reg::{ArchReg, PhysReg, RegClass, RegList, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
+pub use source::{
+    InstructionSource, IntoInstructionSource, MaterializedTrace, ReplayWindow, SourceExt,
+};
 pub use trace::{InstId, Trace, TraceCursor};

@@ -50,11 +50,13 @@ impl CheckpointedEngine {
     /// Classifies an instruction retiring from the pseudo-ROB (Figure 12)
     /// and moves still-waiting long-latency dependents into the SLIQ.
     fn classify_retired(&mut self, entry: PseudoRobEntry, ctx: &mut EngineCtx<'_, '_>) {
-        let trace = ctx.trace;
-        let trace_inst = &trace[entry.inst];
+        // Pseudo-ROB entries bound the replay-window release frontier (see
+        // `commit`), so the instruction is still resident; copy it out to
+        // keep the context borrow free.
+        let trace_inst = *ctx.fetch.get(entry.inst);
         // Update the dependence mask with this instruction regardless of its
         // class: independent redefinitions kill dependences.
-        let trigger = self.dep.classify(trace_inst);
+        let trigger = self.dep.classify(&trace_inst);
         let fl = ctx.inflight.get(entry.inst);
         let class = if entry.is_store {
             RetireClass::Store
@@ -167,8 +169,8 @@ impl CheckpointedEngine {
         }
         ctx.stats.recoveries.squashed_instructions += squashed;
         ctx.stats.recoveries.reexecuted_instructions +=
-            ctx.cursor.position().saturating_sub(trace_index) as u64;
-        ctx.cursor.rewind_to(trace_index);
+            ctx.fetch.position().saturating_sub(trace_index) as u64;
+        ctx.fetch.rewind_to(trace_index);
     }
 }
 
@@ -295,7 +297,7 @@ impl CommitEngine for CheckpointedEngine {
     }
 
     fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>) {
-        let trace_done = ctx.cursor.at_end();
+        let trace_done = ctx.fetch.at_end();
         if !self.table.can_commit_oldest(trace_done) {
             return;
         }
@@ -304,7 +306,7 @@ impl CommitEngine for CheckpointedEngine {
             .table
             .oldest()
             .map(|c| c.trace_index)
-            .unwrap_or_else(|| ctx.cursor.position());
+            .unwrap_or_else(|| ctx.fetch.position());
         ctx.stats.checkpoints_committed += 1;
         ctx.stats.committed_instructions += committed.total_insts as u64;
         for p in &committed.free_on_commit {
@@ -313,6 +315,15 @@ impl CommitEngine for CheckpointedEngine {
         let id = committed.id;
         ctx.inflight.retain(|fl| fl.ckpt != id);
         ctx.drain_stores(frontier);
+        // No rollback can target anything older than the oldest live
+        // checkpoint, but instructions of the committed checkpoint may still
+        // sit in the pseudo-ROB awaiting classification — hold the replay
+        // window until they have passed through.
+        let release = self
+            .pseudo_rob
+            .oldest_inst()
+            .map_or(frontier, |oldest| oldest.min(frontier));
+        ctx.release_fetch_to(release);
     }
 
     fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {

@@ -101,6 +101,9 @@ impl CommitEngine for InOrderEngine {
         }
         ctx.stats.committed_instructions += committed.len() as u64;
         ctx.drain_stores(frontier);
+        // In-order retirement never revisits committed instructions: the
+        // replay window can forget everything behind the commit point.
+        ctx.release_fetch_to(frontier);
     }
 
     fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {

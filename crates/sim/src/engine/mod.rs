@@ -11,7 +11,7 @@
 //!
 //! Engines receive an [`EngineCtx`] at every hook: mutable access to the
 //! shared pipeline resources (rename map, register file, issue queues, LSQ,
-//! memory, in-flight table, statistics and the fetch cursor). The engine
+//! memory, in-flight table, statistics and the fetch window). The engine
 //! owns only its private retirement structures — the ROB for
 //! [`inorder::InOrderEngine`], the checkpoint table / pseudo-ROB / SLIQ for
 //! [`checkpointed::CheckpointedEngine`].
@@ -30,7 +30,7 @@ use crate::config::{CommitConfig, ProcessorConfig};
 use crate::inflight::{InFlight, InFlightTable};
 use crate::stats::SimStats;
 use koc_core::{CamRenameMap, CheckpointId, InstructionQueue, LoadStoreQueue, PhysRegFile};
-use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, Trace, TraceCursor};
+use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, ReplayWindow};
 use koc_mem::MemoryHierarchy;
 
 /// Why the engine refused to accept the next instruction this cycle.
@@ -85,10 +85,11 @@ pub struct EngineCtx<'c, 'a> {
     pub config: &'c ProcessorConfig,
     /// Current cycle.
     pub cycle: u64,
-    /// The trace being executed.
-    pub trace: &'a Trace,
-    /// Fetch cursor (recovery rewinds it).
-    pub cursor: &'c mut TraceCursor<'a>,
+    /// The fetch stream: a [`ReplayWindow`] over the run's
+    /// [`InstructionSource`](koc_isa::InstructionSource). Recovery rewinds
+    /// it; commit [releases](ReplayWindow::release_to) it; instructions
+    /// still inside the window are looked up by stream position.
+    pub fetch: &'c mut ReplayWindow<'a>,
     /// The CAM rename map with future-free bits.
     pub rename: &'c mut CamRenameMap,
     /// Physical register file / free list.
@@ -138,9 +139,18 @@ impl EngineCtx<'_, '_> {
 
     /// Rewinds fetch so it restarts at `target`, if fetch has moved past it.
     pub fn rewind_fetch_to(&mut self, target: InstId) {
-        if target < self.cursor.position() {
-            self.cursor.rewind_to(target);
+        if target < self.fetch.position() {
+            self.fetch.rewind_to(target);
         }
+    }
+
+    /// Declares that no recovery will ever rewind below `frontier` again
+    /// (every older recovery point has retired), letting the fetch replay
+    /// window drop its tail. Engines call this as commit advances; the
+    /// frontier must not overtake any instruction the engine may still look
+    /// up (e.g. pseudo-ROB entries awaiting classification).
+    pub fn release_fetch_to(&mut self, frontier: InstId) {
+        self.fetch.release_to(frontier);
     }
 
     /// Undoes the youngest-first rename records of a squash walk and removes

@@ -53,12 +53,16 @@ pub use config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterMod
 pub use engine::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
 pub use inflight::{InFlight, InFlightTable, InstState};
 pub use pipeline::Processor;
-pub use session::{Session, SimBuilder, SuiteResult, Sweep, WorkloadResult};
+pub use session::{Session, SimBuilder, SourceMode, SuiteResult, Sweep, WorkloadResult};
 pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallStats};
 
 // Re-exported so sessions can be configured without importing
 // `koc_workloads` directly.
 pub use koc_workloads::Suite;
+
+// Re-exported so streaming runs (`Session::run_source`, `Processor::new`
+// over a generator) can be written without importing `koc_isa` directly.
+pub use koc_isa::{InstructionSource, IntoInstructionSource, ReplayWindow, SourceExt};
 
 // Re-exported so the memory-backend knobs (`SimBuilder::dram`,
 // `mshr_entries`, `prefetch`, …) can be used without importing `koc_mem`.

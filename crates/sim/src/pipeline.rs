@@ -34,7 +34,9 @@ use koc_core::{
     VirtualRegisterFile,
 };
 use koc_frontend::{BranchPredictor, GsharePredictor, PerfectPredictor};
-use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, RegList, Trace, TraceCursor};
+use koc_isa::{
+    ArchReg, InstId, Instruction, IntoInstructionSource, OpKind, PhysReg, RegList, ReplayWindow,
+};
 use koc_mem::{MemLevel, MemoryHierarchy, TimedAccess};
 use std::collections::{BTreeMap, HashSet};
 
@@ -132,8 +134,7 @@ macro_rules! engine_ctx {
         EngineCtx {
             config: &$self.config,
             cycle: $self.cycle,
-            trace: $self.trace,
-            cursor: &mut $self.cursor,
+            fetch: &mut $self.fetch,
             rename: &mut $self.rename,
             regs: &mut $self.regs,
             int_iq: &mut $self.int_iq,
@@ -152,8 +153,8 @@ macro_rules! engine_ctx {
 /// [`CommitEngine`] trait.
 pub struct Processor<'a> {
     config: ProcessorConfig,
-    trace: &'a Trace,
-    cursor: TraceCursor<'a>,
+    /// The fetch stream: a replay window over the run's instruction source.
+    fetch: ReplayWindow<'a>,
     cycle: u64,
 
     rename: CamRenameMap,
@@ -193,14 +194,18 @@ pub struct Processor<'a> {
 }
 
 impl<'a> Processor<'a> {
-    /// Builds a processor for one run over `trace`, with the commit engine
-    /// the configuration describes.
+    /// Builds a processor for one run over `source` — a `&Trace`, a
+    /// streaming generator, or any other
+    /// [`InstructionSource`](koc_isa::InstructionSource) — with the commit
+    /// engine the configuration describes. The stream is pulled on demand
+    /// and replayed out of an O(window) buffer, so run length is unbounded
+    /// by host memory.
     ///
     /// # Panics
     /// Panics if the configuration fails [`ProcessorConfig::validate`].
-    pub fn new(config: ProcessorConfig, trace: &'a Trace) -> Self {
+    pub fn new(config: ProcessorConfig, source: impl IntoInstructionSource<'a>) -> Self {
         let engine = engine::from_config(&config.commit);
-        Self::with_engine(config, trace, engine)
+        Self::with_engine(config, source, engine)
     }
 
     /// Builds a processor driving a caller-supplied commit engine — the
@@ -211,7 +216,7 @@ impl<'a> Processor<'a> {
     /// Panics if the configuration fails [`ProcessorConfig::validate`].
     pub fn with_engine(
         config: ProcessorConfig,
-        trace: &'a Trace,
+        source: impl IntoInstructionSource<'a>,
         engine: Box<dyn CommitEngine>,
     ) -> Self {
         if let Err(e) = config.validate() {
@@ -232,8 +237,7 @@ impl<'a> Processor<'a> {
             BranchPredictorKind::Perfect => PredictorImpl::Perfect(PerfectPredictor::new()),
         };
         Processor {
-            cursor: trace.cursor(),
-            trace,
+            fetch: ReplayWindow::new(source),
             cycle: 0,
             rename: CamRenameMap::new(rename_pool),
             regs: PhysRegFile::new(rename_pool),
@@ -289,10 +293,11 @@ impl<'a> Processor<'a> {
         ArchReg::all().map(|r| self.rename.lookup(r)).collect()
     }
 
-    /// Whether the run is complete: the whole trace has been fetched,
-    /// executed and committed.
-    pub fn is_done(&self) -> bool {
-        self.cursor.at_end() && self.inflight.is_empty() && self.engine.is_empty()
+    /// Whether the run is complete: the whole stream has been fetched,
+    /// executed and committed. Takes `&mut self` because deciding the
+    /// stream's end may pull one instruction of lookahead from the source.
+    pub fn is_done(&mut self) -> bool {
+        self.fetch.at_end() && self.inflight.is_empty() && self.engine.is_empty()
     }
 
     /// Runs until completion and returns the statistics.
@@ -314,7 +319,6 @@ impl<'a> Processor<'a> {
     /// Panics if the simulation exceeds a generous cycle bound (indicating a
     /// pipeline deadlock, which is a bug).
     pub fn run_capped(mut self, max_cycles: Option<u64>) -> SimStats {
-        let bound = self.cycle_bound();
         let cap = max_cycles.unwrap_or(u64::MAX);
         while !self.is_done() {
             if self.cycle >= cap {
@@ -322,11 +326,14 @@ impl<'a> Processor<'a> {
                 break;
             }
             let activity = self.step_cycle();
+            // The deadlock bound scales with the stream as it is fetched
+            // (the full length may not be known up front).
+            let bound = self.cycle_bound();
             assert!(
                 self.cycle < bound,
-                "simulation exceeded {bound} cycles: likely pipeline deadlock ({} of {} committed)",
+                "simulation exceeded {bound} cycles: likely pipeline deadlock ({} of {} fetched committed)",
                 self.stats.committed_instructions,
-                self.trace.len()
+                self.fetch.fetched()
             );
             if self.config.fast_forward && !activity.progressed {
                 self.fast_forward(activity.stall, cap);
@@ -345,17 +352,18 @@ impl<'a> Processor<'a> {
             koc_mem::BackendKind::Flat => 1,
             koc_mem::BackendKind::Dram(_) => 2 + self.config.memory.prefetch.degree() as u64,
         };
-        1_000_000 + self.trace.len() as u64 * worst_inst * backpressure
+        1_000_000 + self.fetch.fetched() as u64 * worst_inst * backpressure
     }
 
     fn finalize(&mut self) {
         self.stats.memory = *self.mem.stats();
+        self.stats.replay_window_peak = self.fetch.peak_occupancy();
         self.engine.finalize(&mut self.stats);
         if !self.stats.budget_exhausted {
             debug_assert_eq!(
                 self.stats.committed_instructions as usize,
-                self.trace.len(),
-                "every trace instruction must commit exactly once"
+                self.fetch.fetched(),
+                "every fetched instruction must commit exactly once"
             );
         }
     }
@@ -581,7 +589,9 @@ impl<'a> Processor<'a> {
     }
 
     fn begin_execution(&mut self, inst: InstId) {
-        let trace_inst = &self.trace[inst];
+        // Issued instructions are in flight, which pins them inside the
+        // replay window (release never overtakes the oldest recovery point).
+        let trace_inst = *self.fetch.get(inst);
         let seq = self
             .inflight
             .get(inst)
@@ -631,8 +641,8 @@ impl<'a> Processor<'a> {
         let mut progressed = false;
         // Drain the engine's frontend-side structures when fetch has
         // finished, so classification and SLIQ moves keep happening for the
-        // tail of the trace.
-        if self.cursor.at_end() {
+        // tail of the stream.
+        if self.fetch.at_end() {
             let budget = self.config.fetch_width;
             progressed |= self.engine.frontend_drain(budget, &mut engine_ctx!(self)) > 0;
         }
@@ -643,12 +653,12 @@ impl<'a> Processor<'a> {
         let mut dispatched = 0;
         let mut stall = None;
         while dispatched < self.config.fetch_width {
-            let Some((id, inst)) = self.cursor.peek() else {
+            let Some((id, inst)) = self.fetch.peek().map(|(id, inst)| (id, *inst)) else {
                 break;
             };
-            match self.try_dispatch(id, inst) {
+            match self.try_dispatch(id, &inst) {
                 Ok(()) => {
-                    self.cursor.next_inst();
+                    self.fetch.next_inst();
                     dispatched += 1;
                     // A taken branch ends the fetch group.
                     if inst.is_branch() && inst.branch.map(|b| b.taken).unwrap_or(false) {
@@ -876,7 +886,7 @@ impl<'a> Processor<'a> {
 mod tests {
     use super::*;
     use crate::config::ProcessorConfig;
-    use koc_isa::{ArchReg, TraceBuilder};
+    use koc_isa::{ArchReg, Trace, TraceBuilder};
 
     fn tiny_independent_trace(n: usize) -> Trace {
         let mut b = TraceBuilder::named("tiny");

@@ -20,13 +20,30 @@ use crate::config::{BranchPredictorKind, CommitConfig, ProcessorConfig, Register
 use crate::pipeline::Processor;
 use crate::stats::SimStats;
 use koc_core::CheckpointPolicy;
-use koc_isa::Trace;
+use koc_isa::{IntoInstructionSource, Trace};
 use koc_mem::{BackendKind, DramConfig, PrefetchConfig};
 use koc_workloads::{suite::suite_average, Suite, Workload};
 use rayon::prelude::*;
 
 /// Default minimum dynamic trace length per workload when none is given.
 pub const DEFAULT_TRACE_LEN: usize = 10_000;
+
+/// How a session's workloads are fed to the pipeline.
+///
+/// Cycle counts are **bit-identical** between the two modes (both fetch
+/// through the same replay window); only the memory profile differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SourceMode {
+    /// Generate every workload's full trace up front and share it across
+    /// runs. Fastest for sweeps that reuse workloads many times; memory is
+    /// O(trace length).
+    #[default]
+    Materialized,
+    /// Generate each run's instruction stream on demand: every (config ×
+    /// workload) run pulls a fresh streaming source and peak memory is
+    /// O(in-flight window) — the mode for runs of unbounded length.
+    Streamed,
+}
 
 /// The result of running one configuration over one workload.
 #[derive(Debug, Clone)]
@@ -88,6 +105,7 @@ pub struct SimBuilder {
     suite: Suite,
     trace_len: usize,
     cycle_budget: Option<u64>,
+    source_mode: SourceMode,
 }
 
 impl SimBuilder {
@@ -98,6 +116,7 @@ impl SimBuilder {
             suite: Suite::paper(),
             trace_len: DEFAULT_TRACE_LEN,
             cycle_budget: None,
+            source_mode: SourceMode::default(),
         }
     }
 
@@ -294,6 +313,21 @@ impl SimBuilder {
         self
     }
 
+    /// Selects how workloads are fed to the pipeline:
+    /// [`SourceMode::Materialized`] (default — full traces generated up
+    /// front and shared) or [`SourceMode::Streamed`] (each run pulls its
+    /// stream on demand, O(window) memory). Cycle counts are bit-identical
+    /// either way.
+    pub fn source_mode(mut self, mode: SourceMode) -> Self {
+        self.source_mode = mode;
+        self
+    }
+
+    /// Shorthand for [`source_mode`](Self::source_mode)`(SourceMode::Streamed)`.
+    pub fn streamed(self) -> Self {
+        self.source_mode(SourceMode::Streamed)
+    }
+
     /// The configuration as currently built.
     pub fn config(&self) -> &ProcessorConfig {
         &self.config
@@ -313,6 +347,7 @@ impl SimBuilder {
             suite: self.suite,
             trace_len: self.trace_len,
             cycle_budget: self.cycle_budget,
+            source_mode: self.source_mode,
         }
     }
 }
@@ -324,6 +359,7 @@ pub struct Session {
     suite: Suite,
     trace_len: usize,
     cycle_budget: Option<u64>,
+    source_mode: SourceMode,
 }
 
 impl Session {
@@ -337,15 +373,27 @@ impl Session {
         self.suite.generate(self.trace_len)
     }
 
-    /// Materializes the workloads, runs every one (in parallel) and returns
-    /// the suite result.
+    /// Runs every workload of the suite (in parallel) and returns the suite
+    /// result. In [`SourceMode::Materialized`] the workload traces are
+    /// generated up front; in [`SourceMode::Streamed`] each run pulls its
+    /// instruction stream lazily and nothing is materialized.
     pub fn run(&self) -> SuiteResult {
-        let workloads = self.workloads();
-        self.run_on(&workloads)
+        let mut sweep = Sweep::over([self.config])
+            .workloads(self.suite.clone())
+            .trace_len(self.trace_len)
+            .source_mode(self.source_mode);
+        if let Some(budget) = self.cycle_budget {
+            sweep = sweep.cycle_budget(budget);
+        }
+        sweep
+            .run()
+            .pop()
+            .expect("a sweep returns one result per configuration")
     }
 
     /// Runs the session's configuration over pre-generated workloads (in
-    /// parallel), ignoring the session's own suite.
+    /// parallel), ignoring the session's own suite. The workloads stream
+    /// through the replay window from their materialized traces.
     pub fn run_on(&self, workloads: &[Workload]) -> SuiteResult {
         let mut sweep = Sweep::over([self.config]);
         if let Some(budget) = self.cycle_budget {
@@ -362,10 +410,20 @@ impl Session {
         Processor::new(self.config, trace).run_capped(self.cycle_budget)
     }
 
-    /// A fresh processor over `trace`, for callers that want to drive the
+    /// Runs the session's configuration over one externally supplied
+    /// instruction source — a streaming generator, a combinator pipeline, a
+    /// `&Trace`, anything implementing
+    /// [`InstructionSource`](koc_isa::InstructionSource). This is the entry
+    /// point for unbounded-length runs: memory stays O(in-flight window)
+    /// regardless of how many instructions the source produces.
+    pub fn run_source<'s>(&self, source: impl IntoInstructionSource<'s>) -> SimStats {
+        Processor::new(self.config, source).run_capped(self.cycle_budget)
+    }
+
+    /// A fresh processor over `source`, for callers that want to drive the
     /// pipeline cycle by cycle (or inspect state mid-run).
-    pub fn processor<'t>(&self, trace: &'t Trace) -> Processor<'t> {
-        Processor::new(self.config, trace)
+    pub fn processor<'t>(&self, source: impl IntoInstructionSource<'t>) -> Processor<'t> {
+        Processor::new(self.config, source)
     }
 }
 
@@ -391,6 +449,7 @@ pub struct Sweep {
     suite: Suite,
     trace_len: usize,
     cycle_budget: Option<u64>,
+    source_mode: SourceMode,
 }
 
 impl Sweep {
@@ -401,6 +460,7 @@ impl Sweep {
             suite: Suite::paper(),
             trace_len: DEFAULT_TRACE_LEN,
             cycle_budget: None,
+            source_mode: SourceMode::default(),
         }
     }
 
@@ -423,23 +483,61 @@ impl Sweep {
         self
     }
 
+    /// Selects how workloads are fed to the pipeline (see
+    /// [`SimBuilder::source_mode`]). Streamed sweeps regenerate each run's
+    /// stream on demand instead of sharing materialized traces: more
+    /// generator work, O(window) memory per run.
+    pub fn source_mode(mut self, mode: SourceMode) -> Self {
+        self.source_mode = mode;
+        self
+    }
+
     /// The configurations in the sweep, in run order.
     pub fn configs(&self) -> &[ProcessorConfig] {
         &self.configs
     }
 
-    /// Materializes the suite and runs the whole grid, fanning the
-    /// (configuration × workload) pairs out over all cores. Returns one
-    /// result per configuration, in input order.
+    /// Runs the whole grid, fanning the (configuration × workload) pairs
+    /// out over all cores. In [`SourceMode::Materialized`] the suite is
+    /// generated once and shared; in [`SourceMode::Streamed`] every run
+    /// pulls a fresh lazy source. Returns one result per configuration, in
+    /// input order.
     pub fn run(&self) -> Vec<SuiteResult> {
-        let workloads = self.suite.generate(self.trace_len);
-        self.run_on(&workloads)
+        match self.source_mode {
+            SourceMode::Materialized => {
+                let workloads = self.suite.generate(self.trace_len);
+                self.run_on(&workloads)
+            }
+            SourceMode::Streamed => {
+                let specs = self.suite.specs(self.trace_len);
+                let budget = self.cycle_budget;
+                self.run_grid(&specs, |config, spec| WorkloadResult {
+                    workload: spec.name().to_string(),
+                    stats: Processor::new(*config, spec.source()).run_capped(budget),
+                })
+            }
+        }
     }
 
     /// Runs the grid over pre-generated workloads (shared by reference, so
     /// nothing is cloned per configuration). Returns one result per
     /// configuration, in input order.
     pub fn run_on(&self, workloads: &[Workload]) -> Vec<SuiteResult> {
+        let budget = self.cycle_budget;
+        self.run_grid(workloads, |config, w| WorkloadResult {
+            workload: w.name.clone(),
+            stats: Processor::new(*config, &w.trace).run_capped(budget),
+        })
+    }
+
+    /// Flattens the (configuration × workload) grid, runs every pair in
+    /// parallel with `run_one`, and groups the results back per
+    /// configuration in input order.
+    fn run_grid<W: Sync>(
+        &self,
+        workloads: &[W],
+        run_one: impl Fn(&ProcessorConfig, &W) -> WorkloadResult + Sync,
+    ) -> Vec<SuiteResult> {
         if workloads.is_empty() {
             return self
                 .configs
@@ -452,18 +550,14 @@ impl Sweep {
         }
         // Flatten to (config × workload) pairs so parallelism covers the
         // whole grid, not just the configuration axis.
-        let pairs: Vec<(&ProcessorConfig, &Workload)> = self
+        let pairs: Vec<(&ProcessorConfig, &W)> = self
             .configs
             .iter()
             .flat_map(|c| workloads.iter().map(move |w| (c, w)))
             .collect();
-        let budget = self.cycle_budget;
         let runs: Vec<WorkloadResult> = pairs
             .par_iter()
-            .map(|(config, w)| WorkloadResult {
-                workload: w.name.clone(),
-                stats: Processor::new(**config, &w.trace).run_capped(budget),
-            })
+            .map(|(config, w)| run_one(config, w))
             .collect();
         self.configs
             .iter()

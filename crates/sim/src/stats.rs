@@ -190,6 +190,12 @@ pub struct SimStats {
     pub memory: MemoryStats,
     /// Dispatch stall cycles broken down by cause.
     pub stalls: StallStats,
+    /// Peak occupancy of the fetch replay window: the most instructions the
+    /// streaming ingestion path ever had to retain for possible rollback
+    /// replay. Bounded by the in-flight window (checkpoint depth plus fetch
+    /// lookahead), not by the stream length — the memory guarantee of the
+    /// [`InstructionSource`](koc_isa::InstructionSource) API.
+    pub replay_window_peak: usize,
     /// Whether the run stopped early because it hit a cycle budget
     /// ([`crate::Session`]'s `cycle_budget`) before the trace finished.
     pub budget_exhausted: bool,

@@ -40,5 +40,5 @@ pub mod suite;
 pub mod synth;
 
 pub use config::{DependencePattern, KernelConfig, MemoryPattern};
-pub use suite::{spec2000fp_like_suite, Suite, Workload};
-pub use synth::generate_kernel;
+pub use suite::{spec2000fp_like_suite, Suite, Workload, WorkloadSpec};
+pub use synth::{generate_kernel, KernelSource};

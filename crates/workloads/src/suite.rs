@@ -2,8 +2,8 @@
 
 use crate::config::KernelConfig;
 use crate::kernels;
-use crate::synth::generate_kernel;
-use koc_isa::Trace;
+use crate::synth::{generate_kernel, KernelSource};
+use koc_isa::{InstructionSource, MaterializedTrace, Trace};
 
 /// A named workload: a kernel configuration and its generated trace.
 #[derive(Debug, Clone)]
@@ -26,6 +26,63 @@ impl Workload {
             name: name.to_string(),
             config,
             trace,
+        }
+    }
+
+    /// An [`InstructionSource`] replaying this workload's materialized
+    /// trace (borrowing it — nothing is copied).
+    pub fn source(&self) -> MaterializedTrace<'_> {
+        MaterializedTrace::new(&self.trace)
+    }
+}
+
+/// A workload that has not (necessarily) been materialized: either a kernel
+/// configuration to generate from — lazily, via [`WorkloadSpec::source`] —
+/// or a pre-built trace used as-is.
+///
+/// This is what streamed simulation sessions run: each run pulls its own
+/// [`KernelSource`] and never holds the full dynamic stream in memory.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// A kernel to generate on demand.
+    Kernel {
+        /// Suite name of the workload.
+        name: String,
+        /// The (already length-scaled) kernel configuration.
+        config: KernelConfig,
+    },
+    /// A pre-generated workload, streamed from its materialized trace.
+    Fixed(Workload),
+}
+
+impl WorkloadSpec {
+    /// The workload's suite name.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSpec::Kernel { name, .. } => name,
+            WorkloadSpec::Fixed(w) => &w.name,
+        }
+    }
+
+    /// A fresh source producing the workload's dynamic instruction stream
+    /// from the beginning.
+    pub fn source(&self) -> Box<dyn InstructionSource + Send + '_> {
+        match self {
+            WorkloadSpec::Kernel { name, config } => Box::new(KernelSource::new(name, *config)),
+            WorkloadSpec::Fixed(w) => Box::new(w.source()),
+        }
+    }
+
+    /// Materializes the spec into a full [`Workload`] (generating the trace
+    /// for kernel specs; pre-built workloads are cloned as-is).
+    pub fn materialize(&self) -> Workload {
+        match self {
+            WorkloadSpec::Kernel { name, config } => Workload {
+                name: name.clone(),
+                config: *config,
+                trace: generate_kernel(name, config),
+            },
+            WorkloadSpec::Fixed(w) => w.clone(),
         }
     }
 }
@@ -99,14 +156,34 @@ impl Suite {
     /// Materializes the suite at the given minimum dynamic trace length.
     /// `Custom` workloads are returned as-is.
     pub fn generate(&self, target_len: usize) -> Vec<Workload> {
+        self.specs(target_len)
+            .iter()
+            .map(|s| s.materialize())
+            .collect()
+    }
+
+    /// The suite as lazy [`WorkloadSpec`]s at the given minimum dynamic
+    /// length — the streamed counterpart of [`Suite::generate`]: nothing is
+    /// materialized, each spec produces its stream on demand. `Custom`
+    /// workloads keep their pre-built traces (their length is fixed).
+    pub fn specs(&self, target_len: usize) -> Vec<WorkloadSpec> {
+        let kernel = |name: &str, config: KernelConfig| WorkloadSpec::Kernel {
+            name: name.to_string(),
+            config: config.with_target_len(target_len),
+        };
         match self {
-            Suite::Paper => spec2000fp_like_suite(target_len),
+            Suite::Paper => kernels::all()
+                .into_iter()
+                .map(|(name, config)| kernel(name, config))
+                .collect(),
             Suite::MlpContrast => kernels::mlp_contrast()
                 .into_iter()
-                .map(|(name, config)| Workload::generate(name, config, target_len))
+                .map(|(name, config)| kernel(name, config))
                 .collect(),
-            Suite::Kernel { name, config } => vec![Workload::generate(name, *config, target_len)],
-            Suite::Custom(workloads) => workloads.clone(),
+            Suite::Kernel { name, config } => vec![kernel(name, *config)],
+            Suite::Custom(workloads) => {
+                workloads.iter().cloned().map(WorkloadSpec::Fixed).collect()
+            }
         }
     }
 }
@@ -156,6 +233,40 @@ mod tests {
     fn suite_average_is_the_arithmetic_mean() {
         assert_eq!(suite_average(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(suite_average(&[]), 0.0);
+    }
+
+    #[test]
+    fn specs_stream_what_generate_materializes() {
+        for suite in [
+            Suite::paper(),
+            Suite::mlp_contrast(),
+            Suite::kernel("stream_add", crate::kernels::stream_add()),
+        ] {
+            let specs = suite.specs(1_000);
+            let workloads = suite.generate(1_000);
+            assert_eq!(specs.len(), workloads.len());
+            for (spec, w) in specs.iter().zip(&workloads) {
+                assert_eq!(spec.name(), w.name);
+                let mut source = spec.source();
+                for id in 0..w.trace.len() {
+                    assert_eq!(source.next_inst().as_ref(), Some(&w.trace[id]));
+                }
+                assert_eq!(source.next_inst(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_specs_reuse_the_fixed_trace() {
+        let w = Workload::generate("stream_add", crate::kernels::stream_add(), 500);
+        let suite = Suite::custom(vec![w.clone()]);
+        let specs = suite.specs(99_999); // target length must be ignored
+        assert_eq!(specs.len(), 1);
+        let materialized = specs[0].materialize();
+        assert_eq!(materialized.trace, w.trace);
+        let mut s = specs[0].source();
+        assert_eq!(s.len_hint(), Some(w.trace.len()));
+        assert_eq!(s.next_inst().as_ref(), Some(&w.trace[0]));
     }
 
     #[test]

@@ -1,15 +1,23 @@
-//! The generic loop-nest trace generator.
+//! The generic loop-nest workload generator.
 //!
 //! Every kernel in [`crate::kernels`] is an instance of the same template: a
 //! loop whose body is an unrolled sequence of *units* (loads, dependent FP
 //! operations, stores), terminated by a highly-predictable back-edge branch.
 //! The [`KernelConfig`] controls the memory pattern, dependence structure and
-//! basic-block length; this module turns a config into a [`Trace`].
+//! basic-block length.
+//!
+//! Generation is **streaming**: [`KernelSource`] implements
+//! [`InstructionSource`] and emits the dynamic instruction stream one loop
+//! body at a time, so a billion-instruction workload costs O(loop body)
+//! memory. [`generate_kernel`] materializes the same stream into a [`Trace`]
+//! for callers that want one — the two are identical instruction for
+//! instruction, because they *are* the same generator.
 
 use crate::config::{DependencePattern, KernelConfig, MemoryPattern};
-use koc_isa::{ArchReg, Trace, TraceBuilder};
+use koc_isa::{ArchReg, Instruction, InstructionSource, Trace};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 
 /// Register-allocation conventions used by the generator.
 ///
@@ -18,6 +26,7 @@ use rand::{RngExt, SeedableRng};
 /// * `R2`–`R5` — secondary address bases, rewritten every iteration,
 /// * `F0`–`F27` — rotating pool for loaded values and FP temporaries,
 /// * `F28`–`F31` — accumulators for loop-carried reductions.
+#[derive(Debug, Clone)]
 struct RegPool {
     next_fp: u8,
 }
@@ -35,56 +44,106 @@ impl RegPool {
     }
 }
 
-/// Generates the dynamic trace of a kernel described by `config`.
+/// A streaming kernel generator: the dynamic instruction stream described by
+/// a [`KernelConfig`], produced lazily one loop iteration at a time.
 ///
-/// The generator is deterministic for a given `config` (including its
-/// `seed`), which keeps every experiment in the repository reproducible.
-///
-/// # Panics
-/// Panics if `config.validate()` fails; experiment code constructs configs
-/// from the vetted constructors in [`crate::kernels`].
-pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
-    if let Err(e) = config.validate() {
-        panic!("invalid kernel configuration: {e}");
+/// Deterministic for a given configuration (including its `seed`), which
+/// keeps every experiment reproducible — and bit-identical to what
+/// [`generate_kernel`] materializes, since both run this generator.
+#[derive(Debug, Clone)]
+pub struct KernelSource {
+    name: String,
+    config: KernelConfig,
+    rng: StdRng,
+    pool: RegPool,
+    /// Program counter of the next emitted instruction (advances by 4).
+    pc: u64,
+    /// Element cursor per array stream, advanced across the whole run.
+    element: u64,
+    /// For AddressChain kernels: the register holding the pointer loaded by
+    /// the previous link (the next load's address base).
+    chain_ptr: Option<ArchReg>,
+    /// Outer-loop iterations already emitted into `buf`.
+    iter: usize,
+    /// Instructions of the current loop body not yet delivered.
+    buf: VecDeque<Instruction>,
+}
+
+impl KernelSource {
+    /// A streaming source for the kernel described by `config`.
+    ///
+    /// # Panics
+    /// Panics if `config.validate()` fails; experiment code constructs
+    /// configs from the vetted constructors in [`crate::kernels`].
+    pub fn new(name: impl Into<String>, config: KernelConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid kernel configuration: {e}");
+        }
+        KernelSource {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            pool: RegPool::new(),
+            pc: 0,
+            element: 0,
+            chain_ptr: None,
+            iter: 0,
+            buf: VecDeque::new(),
+        }
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = TraceBuilder::named(name);
 
-    let induction = ArchReg::int(1);
-    let addr_base = ArchReg::int(2);
-    let cond = ArchReg::int(3);
-    let accumulators = [
-        ArchReg::fp(28),
-        ArchReg::fp(29),
-        ArchReg::fp(30),
-        ArchReg::fp(31),
-    ];
+    /// The kernel configuration this source generates from.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
 
-    let mut pool = RegPool::new();
-    // Element cursor per array stream, advanced across the whole run.
-    let mut element: u64 = 0;
-    // For AddressChain kernels: the register holding the pointer loaded by
-    // the previous link (the next load's address base).
-    let mut chain_ptr: Option<ArchReg> = None;
+    /// Emits one whole loop body (the next outer iteration) into `buf`.
+    fn emit_body(&mut self) {
+        let config = &self.config;
+        let last_iteration = self.iter + 1 == config.iterations;
 
-    for iter in 0..config.iterations {
-        let last_iteration = iter + 1 == config.iterations;
+        let induction = ArchReg::int(1);
+        let addr_base = ArchReg::int(2);
+        let cond = ArchReg::int(3);
+        let accumulators = [
+            ArchReg::fp(28),
+            ArchReg::fp(29),
+            ArchReg::fp(30),
+            ArchReg::fp(31),
+        ];
+
+        let raw = |pc: &mut u64, buf: &mut VecDeque<Instruction>, mut inst: Instruction| {
+            inst.pc = *pc;
+            *pc += 4;
+            buf.push_back(inst);
+        };
+        let pc = &mut self.pc;
+        let buf = &mut self.buf;
+
         // Induction-variable update: a short loop-carried integer chain.
-        b.int_alu(induction, &[induction]);
-        b.int_alu(addr_base, &[induction]);
+        raw(
+            pc,
+            buf,
+            Instruction::op(0, koc_isa::OpKind::IntAlu, Some(induction), &[induction]),
+        );
+        raw(
+            pc,
+            buf,
+            Instruction::op(0, koc_isa::OpKind::IntAlu, Some(addr_base), &[induction]),
+        );
 
         for _unit in 0..config.unroll {
             let mut loaded: Vec<ArchReg> = Vec::with_capacity(config.loads_per_unit);
             for l in 0..config.loads_per_unit {
-                let addr = unit_address(config, &mut rng, l as u64, element);
-                let dest = pool.next();
+                let addr = unit_address(config, &mut self.rng, l as u64, self.element);
+                let dest = self.pool.next();
                 let base = match config.dependence {
                     // Each link's address comes from the previous load.
-                    DependencePattern::AddressChain => chain_ptr.unwrap_or(addr_base),
+                    DependencePattern::AddressChain => self.chain_ptr.unwrap_or(addr_base),
                     _ => addr_base,
                 };
-                b.load(dest, base, addr);
-                chain_ptr = Some(dest);
+                raw(pc, buf, Instruction::load(0, dest, base, addr));
+                self.chain_ptr = Some(dest);
                 loaded.push(dest);
             }
 
@@ -92,7 +151,7 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
             let mut chain_prev: Option<ArchReg> = None;
             let mut last_result = loaded[0];
             for f in 0..(config.fp_per_load * config.loads_per_unit) {
-                let dest = pool.next();
+                let dest = self.pool.next();
                 let src_a = loaded[f % loaded.len()];
                 let src_b = match config.dependence {
                     DependencePattern::Independent | DependencePattern::AddressChain => {
@@ -106,11 +165,19 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
                         // acc = acc + loaded: the destination *is* the accumulator,
                         // creating a cross-iteration chain.
                         let acc = accumulators[f % accumulators.len()];
-                        b.fp_alu(acc, &[src_a, acc]);
+                        raw(
+                            pc,
+                            buf,
+                            Instruction::op(0, koc_isa::OpKind::FpAlu, Some(acc), &[src_a, acc]),
+                        );
                         last_result = acc;
                     }
                     _ => {
-                        b.fp_alu(dest, &[src_a, src_b]);
+                        raw(
+                            pc,
+                            buf,
+                            Instruction::op(0, koc_isa::OpKind::FpAlu, Some(dest), &[src_a, src_b]),
+                        );
                         chain_prev = Some(dest);
                         last_result = dest;
                     }
@@ -120,28 +187,78 @@ pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
             for s in 0..config.stores_per_unit {
                 let addr = unit_address(
                     config,
-                    &mut rng,
+                    &mut self.rng,
                     (config.loads_per_unit + s) as u64,
-                    element,
+                    self.element,
                 );
-                b.store(last_result, addr_base, addr);
+                raw(pc, buf, Instruction::store(0, last_result, addr_base, addr));
             }
-            element += 1;
+            self.element += 1;
         }
 
         // Occasional poorly-predictable branch inside the body (rare in FP codes).
-        if config.irregular_branch_prob > 0.0 && rng.random_bool(config.irregular_branch_prob) {
-            let taken = rng.random_bool(0.5);
-            let target = b.pc() + 32;
-            b.branch_to(cond, taken, target);
+        if config.irregular_branch_prob > 0.0 && self.rng.random_bool(config.irregular_branch_prob)
+        {
+            let taken = self.rng.random_bool(0.5);
+            let target = *pc + 32;
+            raw(pc, buf, Instruction::branch(0, cond, taken, target));
         }
 
         // Back-edge: taken on every iteration but the last.
-        b.int_alu(cond, &[induction]);
-        b.backward_branch(cond, !last_iteration);
+        raw(
+            pc,
+            buf,
+            Instruction::op(0, koc_isa::OpKind::IntAlu, Some(cond), &[induction]),
+        );
+        let target = pc.saturating_sub(64);
+        raw(
+            pc,
+            buf,
+            Instruction::branch(0, cond, !last_iteration, target),
+        );
+
+        self.iter += 1;
+    }
+}
+
+impl InstructionSource for KernelSource {
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    b.finish()
+    fn next_inst(&mut self) -> Option<Instruction> {
+        while self.buf.is_empty() {
+            if self.iter >= self.config.iterations {
+                return None;
+            }
+            self.emit_body();
+        }
+        self.buf.pop_front()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        // `approx_len` counts exactly what `emit_body` emits; it is only
+        // "approximate" when randomly-placed irregular branches perturb the
+        // per-body count, in which case no hint is given.
+        if self.config.irregular_branch_prob > 0.0 {
+            return None;
+        }
+        Some(self.config.approx_len())
+    }
+}
+
+/// Generates the full dynamic trace of a kernel described by `config` —
+/// [`KernelSource`] run to completion and materialized.
+///
+/// # Panics
+/// Panics if `config.validate()` fails.
+pub fn generate_kernel(name: &str, config: &KernelConfig) -> Trace {
+    let mut source = KernelSource::new(name, *config);
+    let mut trace = Trace::new(name);
+    while let Some(inst) = source.next_inst() {
+        trace.push(inst);
+    }
+    trace
 }
 
 /// Computes the byte address of the `slot`-th memory stream for the current
@@ -187,6 +304,49 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(small(c), small(c));
+    }
+
+    #[test]
+    fn streaming_source_matches_the_materialized_trace() {
+        for config in [
+            KernelConfig {
+                iterations: 30,
+                ..Default::default()
+            },
+            crate::kernels::gather().with_target_len(3_000),
+            crate::kernels::pointer_chase().with_target_len(2_000),
+            crate::kernels::reduction().with_target_len(2_000),
+        ] {
+            let trace = generate_kernel("k", &config);
+            let mut source = KernelSource::new("k", config);
+            if let Some(hint) = source.len_hint() {
+                assert_eq!(hint, trace.len(), "len_hint must be exact when given");
+            }
+            for id in 0..trace.len() {
+                assert_eq!(source.next_inst().as_ref(), Some(&trace[id]), "inst {id}");
+            }
+            assert_eq!(source.next_inst(), None, "same end of stream");
+        }
+    }
+
+    #[test]
+    fn streaming_source_buffers_at_most_one_body() {
+        let c = KernelConfig {
+            iterations: 1_000,
+            ..Default::default()
+        };
+        let per_body = c.approx_len() / c.iterations;
+        let mut s = KernelSource::new("k", c);
+        let mut emitted = 0usize;
+        while s.next_inst().is_some() {
+            emitted += 1;
+            assert!(
+                s.buf.len() < per_body * 2,
+                "buffer holds bodies, not the stream: {} at {emitted}",
+                s.buf.len()
+            );
+        }
+        assert!(emitted >= c.approx_len() * 3 / 4);
     }
 
     #[test]
