@@ -6,10 +6,12 @@
 //! koc-bench harness --full
 //! koc-bench harness --list                    # canonical workload names
 //! koc-bench harness --only gather             # one workload only
+//! koc-bench harness --engine cooo             # one commit engine only
 //! koc-bench harness --source streamed         # lazy O(window) ingestion
 //! koc-bench compare --baseline bench/baseline.json --current fresh.json
 //! koc-bench compare ... --max-slowdown 0.5    # also gate wall-clock speed
 //! koc-bench compare ... --cycle-tolerance 0.001
+//! koc-bench compare ... --min-mcps cooo:1.0   # host-throughput floor
 //! ```
 //!
 //! `harness` prints the human-readable table and writes the JSON report;
@@ -26,9 +28,11 @@ use std::process::ExitCode;
 
 fn print_usage() {
     eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH] [--list]");
-    eprintln!("                         [--only WORKLOAD] [--source streamed|materialized]");
+    eprintln!("                         [--only WORKLOAD] [--engine baseline|cooo]");
+    eprintln!("                         [--source streamed|materialized]");
     eprintln!("       koc-bench compare --baseline PATH --current PATH");
     eprintln!("                         [--cycle-tolerance F] [--max-slowdown F]");
+    eprintln!("                         [--min-mcps ENGINE:F]...");
 }
 
 fn main() -> ExitCode {
@@ -76,6 +80,14 @@ fn run_harness(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 options.only = Some(name.clone());
+                i += 2;
+            }
+            "--engine" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--engine requires 'baseline' or 'cooo'");
+                    return ExitCode::FAILURE;
+                };
+                options.engine = Some(name.clone());
                 i += 2;
             }
             "--source" => {
@@ -159,6 +171,18 @@ fn run_compare(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 thresholds.max_slowdown = Some(v);
+                i += 2;
+            }
+            "--min-mcps" => {
+                let parsed = take_value(i).and_then(|v| {
+                    let (engine, floor) = v.split_once(':')?;
+                    Some((engine.to_string(), floor.parse::<f64>().ok()?))
+                });
+                let Some((engine, floor)) = parsed else {
+                    eprintln!("--min-mcps requires ENGINE:FLOOR (e.g. cooo:1.0)");
+                    return ExitCode::FAILURE;
+                };
+                thresholds.min_mcps.push((engine, floor));
                 i += 2;
             }
             other => {

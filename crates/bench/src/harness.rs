@@ -13,8 +13,8 @@
 //! * **`koc-bench compare`** diffs a fresh report against
 //!   `bench/baseline.json`. Cycle drift fails at zero tolerance by default
 //!   — any change to simulated timing must be intentional and re-baselined
-//!   — while wall-clock regression has its own, optional threshold
-//!   (machine-dependent, so CI gates on cycles and merely records speed).
+//!   — while wall-clock regression has its own, optional thresholds
+//!   (machine-dependent, so CI gates on cycles and soft-checks speed).
 //!
 //! The JSON schema (`koc-bench-harness/1`):
 //!
@@ -23,6 +23,9 @@
 //!   "schema": "koc-bench-harness/1",
 //!   "suite": "quick",
 //!   "trace_len": 8000,
+//!   "source": "materialized",
+//!   "filter": null,
+//!   "engine_filter": null,
 //!   "results": [
 //!     {"workload": "stream_add", "engine": "baseline", "cycles": 123,
 //!      "retired": 8000, "ipc": 0.5, "wall_seconds": 0.01,
@@ -30,6 +33,23 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `filter` echoes `--only`, `engine_filter` echoes `--engine`; both are
+//! `null` for full runs and absent in pre-filter baselines (the parser
+//! defaults them).
+//!
+//! # Timing methodology
+//!
+//! `wall_seconds` covers **simulation only**: the timer starts after the
+//! workload (materialized mode) or its streaming source (streamed mode)
+//! has been constructed, so materialized and streamed figures are
+//! comparable — a streamed run's timed region still includes the lazy
+//! per-instruction generation it performs while simulating, which *is*
+//! its ingestion cost, but no longer the source setup. The harness also
+//! runs one small untimed simulation per engine up front so the first
+//! timed run does not absorb one-time process warm-up (page faults,
+//! allocator growth), which would otherwise skew the first row of every
+//! report.
 
 use crate::report::Report;
 use koc_isa::json::{parse_json, Json};
@@ -91,6 +111,9 @@ pub struct BenchReport {
     /// The `--only` workload filter this report was produced with, if any
     /// (`null` = the whole canonical suite).
     pub filter: Option<String>,
+    /// The `--engine` filter this report was produced with, if any
+    /// (`null` = both engines).
+    pub engine_filter: Option<String>,
     /// One entry per (workload, engine), in suite-then-engine order.
     pub results: Vec<BenchEntry>,
 }
@@ -106,11 +129,14 @@ impl BenchReport {
     /// Renders the report as the aligned plain-text table the experiment
     /// driver prints (one formatting path for humans, JSON for machines).
     pub fn to_table(&self) -> Report {
-        let filter = self
+        let mut filter = self
             .filter
             .as_deref()
             .map(|f| format!(", only {f}"))
             .unwrap_or_default();
+        if let Some(engine) = &self.engine_filter {
+            filter.push_str(&format!(", engine {engine}"));
+        }
         let mut r = Report::new(
             format!(
                 "harness — {} suite (trace_len {}, {} sources{filter})",
@@ -186,6 +212,10 @@ pub struct HarnessOptions {
     /// Restrict the run to one workload of the canonical suite
     /// (`--only <workload>`); `None` runs everything.
     pub only: Option<String>,
+    /// Restrict the run to one commit engine (`--engine baseline|cooo`);
+    /// `None` runs both. CI and local profiling use this to time one
+    /// engine without paying for the other.
+    pub engine: Option<String>,
     /// Feed runs from materialized traces or stream them on demand
     /// (`--source`). Cycle counts are identical; streamed wall-clock
     /// includes generation.
@@ -224,24 +254,55 @@ pub fn run_with(options: &HarnessOptions) -> Result<BenchReport, String> {
             ));
         }
     }
+    let mut selected = engines().to_vec();
+    if let Some(engine) = &options.engine {
+        selected.retain(|(name, _)| *name == engine.as_str());
+        if selected.is_empty() {
+            return Err(format!(
+                "unknown engine '{engine}' (available: {})",
+                engines()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    // One small untimed run per engine primes the process (page faults,
+    // allocator growth, instruction cache) so the first timed row is
+    // measured under the same conditions as the rest. The cycle cap keeps
+    // the warm-up negligible even for --full or long-running workloads.
+    for (_, config) in &selected {
+        let warmup = specs[0].materialize();
+        let _ = Processor::new(*config, &warmup.trace).run_capped(Some(2_000));
+    }
     let mut results = Vec::new();
     for spec in &specs {
         // In materialized mode the trace is generated once, outside the
         // timed region, and shared by both engines — the historical
-        // behaviour. In streamed mode every run pulls a fresh source, so
-        // the timed region covers generation too (that *is* the streamed
-        // ingestion cost) and memory stays O(window).
+        // behaviour. In streamed mode every run pulls a fresh source; the
+        // timed region covers the lazy generation performed while
+        // simulating (that *is* the streamed ingestion cost) but not the
+        // source construction itself.
         let materialized = match options.source {
             SourceMode::Materialized => Some(spec.materialize()),
             SourceMode::Streamed => None,
         };
-        for (engine, config) in engines() {
-            let start = Instant::now();
-            let stats: SimStats = match &materialized {
-                Some(w) => Processor::new(config, &w.trace).run(),
-                None => Processor::new(config, spec.source()).run(),
+        for (engine, config) in &selected {
+            let stats: SimStats;
+            let wall = match &materialized {
+                Some(w) => {
+                    let start = Instant::now();
+                    stats = Processor::new(*config, &w.trace).run();
+                    start.elapsed().as_secs_f64()
+                }
+                None => {
+                    let source = spec.source();
+                    let start = Instant::now();
+                    stats = Processor::new(*config, source).run();
+                    start.elapsed().as_secs_f64()
+                }
             };
-            let wall = start.elapsed().as_secs_f64();
             results.push(BenchEntry {
                 workload: spec.name().to_string(),
                 engine: engine.to_string(),
@@ -265,6 +326,7 @@ pub fn run_with(options: &HarnessOptions) -> Result<BenchReport, String> {
         }
         .to_string(),
         filter: options.only.clone(),
+        engine_filter: options.engine.clone(),
         results,
     })
 }
@@ -295,7 +357,7 @@ pub fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
 // ---------------------------------------------------------------------
 
 /// Thresholds for [`compare`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompareThresholds {
     /// Allowed relative drift in `cycles` and `retired` (0.0 = exact,
     /// the default: the simulator is deterministic, so any drift is a
@@ -306,6 +368,12 @@ pub struct CompareThresholds {
     /// less than half the baseline's speed). `None` disables the perf
     /// gate — the right setting for heterogeneous CI machines.
     pub max_slowdown: Option<f64>,
+    /// Absolute host-throughput floors per engine (`--min-mcps
+    /// <engine>:<value>`): every current entry of that engine must reach
+    /// `value` Mcycles/s. Empty disables the check. CI runs this as a
+    /// soft gate (shared runners vary), so a violation there warns rather
+    /// than blocks; the cycle gate stays hard either way.
+    pub min_mcps: Vec<(String, f64)>,
 }
 
 impl Default for CompareThresholds {
@@ -313,6 +381,7 @@ impl Default for CompareThresholds {
         CompareThresholds {
             cycle_tolerance: 0.0,
             max_slowdown: None,
+            min_mcps: Vec::new(),
         }
     }
 }
@@ -355,6 +424,12 @@ pub fn compare(
             baseline.suite, baseline.trace_len, current.suite, current.trace_len
         ));
         return Ok(outcome);
+    }
+    if baseline.engine_filter != current.engine_filter {
+        outcome.notes.push(format!(
+            "engine filters differ: baseline {:?} vs current {:?}",
+            baseline.engine_filter, current.engine_filter
+        ));
     }
     if baseline.source != current.source {
         // Streamed and materialized ingestion must agree cycle for cycle —
@@ -423,6 +498,25 @@ pub fn compare(
             ));
         }
     }
+    for (engine, floor) in &thresholds.min_mcps {
+        let mut matched = false;
+        for c in current.results.iter().filter(|c| &c.engine == engine) {
+            matched = true;
+            if c.mcycles_per_sec < *floor {
+                outcome.failures.push(format!(
+                    "{}/{}: {:.2} Mcyc/s below the {:.2} floor",
+                    c.workload, c.engine, c.mcycles_per_sec, floor
+                ));
+            }
+        }
+        if !matched {
+            // A floor that matches nothing is a misconfiguration (typo or
+            // an engine-filtered report), not a pass.
+            outcome.failures.push(format!(
+                "--min-mcps {engine}:{floor}: no entries for engine '{engine}' in the current report"
+            ));
+        }
+    }
     Ok(outcome)
 }
 
@@ -465,6 +559,10 @@ fn parse_report(text: &str) -> Result<BenchReport, String> {
             .to_string(),
         filter: json
             .get("filter")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        engine_filter: json
+            .get("engine_filter")
             .and_then(Json::as_str)
             .map(str::to_string),
         results,
@@ -542,6 +640,7 @@ mod tests {
             trace_len: 100,
             source: "materialized".to_string(),
             filter: None,
+            engine_filter: None,
             results: vec![BenchEntry {
                 workload: "stream_add".to_string(),
                 engine: "baseline".to_string(),
@@ -596,7 +695,7 @@ mod tests {
             &dj,
             &CompareThresholds {
                 cycle_tolerance: 0.01,
-                max_slowdown: None,
+                ..CompareThresholds::default()
             },
         )
         .unwrap();
@@ -615,8 +714,8 @@ mod tests {
             &bj,
             &sj,
             &CompareThresholds {
-                cycle_tolerance: 0.0,
                 max_slowdown: Some(0.5),
+                ..CompareThresholds::default()
             },
         )
         .unwrap();
@@ -627,8 +726,8 @@ mod tests {
             &sj,
             &bj,
             &CompareThresholds {
-                cycle_tolerance: 0.0,
                 max_slowdown: Some(0.5),
+                ..CompareThresholds::default()
             },
         )
         .unwrap();
@@ -713,6 +812,7 @@ mod tests {
             quick: true,
             only: Some("pointer_chase".to_string()),
             source: SourceMode::Streamed,
+            ..HarnessOptions::default()
         })
         .unwrap();
         assert_eq!(report.filter.as_deref(), Some("pointer_chase"));
@@ -722,6 +822,71 @@ mod tests {
         let parsed = parse_report(&report.to_json()).unwrap();
         assert_eq!(parsed.filter.as_deref(), Some("pointer_chase"));
         assert_eq!(parsed.source, "streamed");
+    }
+
+    #[test]
+    fn engine_filter_restricts_the_run_and_lands_in_the_json() {
+        let report = run_with(&HarnessOptions {
+            quick: true,
+            only: Some("pointer_chase".to_string()),
+            engine: Some("cooo".to_string()),
+            source: SourceMode::Streamed,
+        })
+        .unwrap();
+        assert_eq!(report.engine_filter.as_deref(), Some("cooo"));
+        assert_eq!(report.results.len(), 1, "one workload x one engine");
+        assert!(report.results.iter().all(|e| e.engine == "cooo"));
+        let parsed = parse_report(&report.to_json()).unwrap();
+        assert_eq!(parsed.engine_filter.as_deref(), Some("cooo"));
+        assert!(report.to_table().to_string().contains("engine cooo"));
+    }
+
+    #[test]
+    fn unknown_engine_filter_lists_the_engines() {
+        let err = run_with(&HarnessOptions {
+            quick: true,
+            engine: Some("vliw".to_string()),
+            ..HarnessOptions::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown engine 'vliw'"), "{err}");
+        assert!(err.contains("baseline"), "{err}");
+        assert!(err.contains("cooo"), "{err}");
+    }
+
+    #[test]
+    fn min_mcps_floor_gates_the_named_engine_only() {
+        let base = tiny_report(); // baseline entry at 2.0 Mcyc/s
+        let json = base.to_json();
+        let passing = CompareThresholds {
+            min_mcps: vec![("baseline".to_string(), 1.0)],
+            ..CompareThresholds::default()
+        };
+        assert!(compare(&json, &json, &passing).unwrap().passed());
+        let failing = CompareThresholds {
+            min_mcps: vec![("baseline".to_string(), 5.0)],
+            ..CompareThresholds::default()
+        };
+        let outcome = compare(&json, &json, &failing).unwrap();
+        assert!(!outcome.passed());
+        assert!(
+            outcome.failures[0].contains("below the 5.00 floor"),
+            "{:?}",
+            outcome.failures
+        );
+        // A floor that matches no entries is a misconfiguration, not a
+        // silent pass (a typo must not disable the gate forever).
+        let other = CompareThresholds {
+            min_mcps: vec![("coo".to_string(), 99.0)],
+            ..CompareThresholds::default()
+        };
+        let outcome = compare(&json, &json, &other).unwrap();
+        assert!(!outcome.passed());
+        assert!(
+            outcome.failures[0].contains("no entries for engine 'coo'"),
+            "{:?}",
+            outcome.failures
+        );
     }
 
     #[test]
@@ -743,6 +908,7 @@ mod tests {
             quick: true,
             only: Some("reduction".to_string()),
             source: SourceMode::Materialized,
+            ..HarnessOptions::default()
         };
         let materialized = run_with(&base).unwrap();
         let streamed = run_with(&HarnessOptions {

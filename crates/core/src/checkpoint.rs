@@ -214,14 +214,24 @@ impl CheckpointTable {
         self.entries.front()
     }
 
+    /// Position of checkpoint `id` in the (id-sorted) table. Ids are
+    /// allocated monotonically and only suffixes are ever truncated, so the
+    /// deque stays sorted and the lookup is a binary search — it runs on
+    /// every instruction completion, so it must not scan.
+    fn position_of(&self, id: CheckpointId) -> Option<usize> {
+        let i = self.entries.partition_point(|c| c.id < id);
+        (i < self.entries.len() && self.entries[i].id == id).then_some(i)
+    }
+
     /// Looks up a checkpoint by id.
     pub fn get(&self, id: CheckpointId) -> Option<&Checkpoint> {
-        self.entries.iter().find(|c| c.id == id)
+        self.position_of(id).map(|i| &self.entries[i])
     }
 
     /// Looks up a checkpoint by id, mutable.
     pub fn get_mut(&mut self, id: CheckpointId) -> Option<&mut Checkpoint> {
-        self.entries.iter_mut().find(|c| c.id == id)
+        let i = self.position_of(id)?;
+        Some(&mut self.entries[i])
     }
 
     /// Associates one dispatched instruction with the youngest checkpoint.
@@ -342,9 +352,7 @@ impl CheckpointTable {
     /// Panics if `id` is not a live checkpoint.
     pub fn rollback_to(&mut self, id: CheckpointId) -> (RenameCheckpoint, InstId) {
         let pos = self
-            .entries
-            .iter()
-            .position(|c| c.id == id)
+            .position_of(id)
             .expect("rollback target checkpoint not found");
         self.entries.truncate(pos + 1);
         let c = self.entries.back_mut().expect("target survives truncation");

@@ -6,14 +6,30 @@
 //! small (32–128 entries) even when thousands of instructions are in flight.
 //! The SLIQ mechanism removes long-latency-dependent instructions from here
 //! so the scarce entries go to work that will issue soon.
+//!
+//! # Host cost
+//!
+//! Wake-up and select run every cycle, so the simulator-side structures are
+//! flat: entries live in an open-addressed [`FlatMap`] keyed by trace
+//! position (one multiply and usually one probe per touch — no tree walk,
+//! no node churn); the waiter table is a flat array keyed by [`PhysReg`]
+//! index whose per-register chains thread through a pooled node slab (a
+//! broadcast is one array load plus a walk of the actual waiters — no
+//! hashing, no `Vec` churn); and the ready set is partitioned by
+//! functional-unit class into lazy min-heaps, so selection is O(picked)
+//! regardless of how many ready instructions are starved of their unit
+//! (with two memory ports and a hundred ready loads, an age-ordered scan
+//! would revisit almost all of them every cycle).
 
 use crate::checkpoint::CheckpointId;
+use crate::flatmap::FlatMap;
 use koc_isa::{FuClass, InstId, PhysReg, RegList};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// An instruction waiting in (or being inserted into) an instruction queue.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IqEntry {
     /// The dynamic instruction.
     pub inst: InstId,
@@ -27,11 +43,24 @@ pub struct IqEntry {
     pub ckpt: CheckpointId,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Slot {
     entry: IqEntry,
     token: u64,
     outstanding: usize,
+}
+
+/// Sentinel index for "no node" in the waiter pool.
+const NIL: u32 = u32::MAX;
+
+/// One pooled waiter record: instruction `inst` (incarnation `token`) waits
+/// on the register whose chain this node is linked into. Freed nodes are
+/// chained through `next` onto the free list.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct WaiterNode {
+    inst: InstId,
+    token: u64,
+    next: u32,
 }
 
 /// Error returned when inserting into a full instruction queue.
@@ -53,16 +82,40 @@ impl std::error::Error for IqFull {}
 ///   become ready.
 /// * **Select**: [`select_ready`](InstructionQueue::select_ready) picks the
 ///   oldest ready entries subject to per-functional-unit availability.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InstructionQueue {
     capacity: usize,
-    slots: BTreeMap<InstId, Slot>,
-    ready: BTreeSet<InstId>,
-    waiters: HashMap<PhysReg, Vec<(InstId, u64)>>,
+    slots: FlatMap<Slot>,
+    /// Per-class min-heaps of `(inst, token)` that became ready. Entries
+    /// whose slot has since been stolen, squashed or issued are *stale*;
+    /// they are discarded lazily when they surface at the top, so arbitrary
+    /// removal never restructures a heap.
+    ready: [BinaryHeap<Reverse<(InstId, u64)>>; FuClass::COUNT],
+    /// Number of live ready entries across all classes.
+    ready_total: usize,
+    /// Head of each physical register's waiter chain, keyed by
+    /// [`PhysReg::index`], grown on demand.
+    waiter_heads: Vec<u32>,
+    /// Pooled waiter nodes; free nodes chain through `next` from
+    /// `waiter_free`.
+    waiter_nodes: Vec<WaiterNode>,
+    waiter_free: u32,
     next_token: u64,
-    /// Reused by [`select_ready_into`](Self::select_ready_into) so steady-
-    /// state selection allocates nothing.
-    select_scratch: Vec<InstId>,
+}
+
+impl Default for InstructionQueue {
+    fn default() -> Self {
+        InstructionQueue {
+            capacity: 0,
+            slots: FlatMap::default(),
+            ready: std::array::from_fn(|_| BinaryHeap::new()),
+            ready_total: 0,
+            waiter_heads: Vec::new(),
+            waiter_nodes: Vec::new(),
+            waiter_free: NIL,
+            next_token: 0,
+        }
+    }
 }
 
 impl InstructionQueue {
@@ -100,7 +153,60 @@ impl InstructionQueue {
 
     /// Number of entries currently ready to issue.
     pub fn ready_count(&self) -> usize {
-        self.ready.len()
+        self.ready_total
+    }
+
+    /// Pushes a newly ready instruction onto its class heap.
+    fn ready_push(&mut self, fu: FuClass, inst: InstId, token: u64) {
+        let heap = &mut self.ready[fu.index()];
+        heap.push(Reverse((inst, token)));
+        self.ready_total += 1;
+        // Stale entries are normally discarded at the top during selection;
+        // bound the heap against pathological flows where entries go stale
+        // faster than selection drains them (mass squashes, SLIQ steals).
+        if heap.len() > 64 && heap.len() > 4 * (self.slots.len() + 1) {
+            let slots = &self.slots;
+            let live: Vec<_> = std::mem::take(heap)
+                .into_iter()
+                .filter(|&Reverse((i, t))| slots.get(i).is_some_and(|s| s.token == t))
+                .collect();
+            *heap = BinaryHeap::from(live);
+        }
+    }
+
+    /// The oldest live ready instruction of class `k`, discarding stale
+    /// heap tops in passing.
+    fn ready_peek(&mut self, k: usize) -> Option<InstId> {
+        while let Some(&Reverse((inst, token))) = self.ready[k].peek() {
+            if self.slots.get(inst).is_some_and(|s| s.token == token) {
+                return Some(inst);
+            }
+            self.ready[k].pop();
+        }
+        None
+    }
+
+    fn push_waiter(&mut self, reg: PhysReg, inst: InstId, token: u64) {
+        let i = reg.index();
+        if i >= self.waiter_heads.len() {
+            self.waiter_heads.resize(i + 1, NIL);
+        }
+        let node = WaiterNode {
+            inst,
+            token,
+            next: self.waiter_heads[i],
+        };
+        let idx = if self.waiter_free != NIL {
+            let idx = self.waiter_free;
+            self.waiter_free = self.waiter_nodes[idx as usize].next;
+            self.waiter_nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.waiter_nodes.len() as u32;
+            self.waiter_nodes.push(node);
+            idx
+        };
+        self.waiter_heads[i] = idx;
     }
 
     /// Inserts an instruction. `is_ready` reports whether a source physical
@@ -124,12 +230,10 @@ impl InstructionQueue {
         for &s in &entry.srcs {
             if !is_ready(s) {
                 outstanding += 1;
-                self.waiters.entry(s).or_default().push((inst, token));
+                self.push_waiter(s, inst, token);
             }
         }
-        if outstanding == 0 {
-            self.ready.insert(inst);
-        }
+        let fu = entry.fu;
         let prev = self.slots.insert(
             inst,
             Slot {
@@ -139,6 +243,9 @@ impl InstructionQueue {
             },
         );
         debug_assert!(prev.is_none(), "instruction {inst} inserted twice");
+        if outstanding == 0 {
+            self.ready_push(fu, inst, token);
+        }
         Ok(())
     }
 
@@ -158,18 +265,27 @@ impl InstructionQueue {
 
     /// Broadcasts that `reg` now holds its value, waking dependent entries.
     pub fn wakeup(&mut self, reg: PhysReg) {
-        let Some(waiting) = self.waiters.remove(&reg) else {
+        let Some(head) = self.waiter_heads.get_mut(reg.index()) else {
             return;
         };
-        for (inst, token) in waiting {
-            if let Some(slot) = self.slots.get_mut(&inst) {
+        let mut cur = std::mem::replace(head, NIL);
+        while cur != NIL {
+            let WaiterNode { inst, token, next } = self.waiter_nodes[cur as usize];
+            let mut now_ready = None;
+            if let Some(slot) = self.slots.get_mut(inst) {
                 if slot.token == token && slot.outstanding > 0 {
                     slot.outstanding -= 1;
                     if slot.outstanding == 0 {
-                        self.ready.insert(inst);
+                        now_ready = Some(slot.entry.fu);
                     }
                 }
             }
+            if let Some(fu) = now_ready {
+                self.ready_push(fu, inst, token);
+            }
+            self.waiter_nodes[cur as usize].next = self.waiter_free;
+            self.waiter_free = cur;
+            cur = next;
         }
     }
 
@@ -188,72 +304,92 @@ impl InstructionQueue {
 
     /// [`select_ready`](Self::select_ready) into a caller-owned buffer
     /// (appended, not cleared) — the per-cycle issue path reuses one buffer
-    /// across the whole run.
+    /// across the whole run. The per-class ready minima are merged oldest
+    /// first (identical pick order to a single age-ordered scan with
+    /// functional-unit filtering), so the cost is O(picked), independent of
+    /// how many ready instructions are starved of their unit.
     pub fn select_ready_into(
         &mut self,
         fu_available: &mut [usize; FuClass::COUNT],
         max_total: usize,
         picked: &mut Vec<IqEntry>,
     ) {
-        if max_total == 0 || self.ready.is_empty() {
-            return;
-        }
-        let mut candidates = std::mem::take(&mut self.select_scratch);
-        candidates.clear();
-        candidates.extend(self.ready.iter().copied());
         let mut taken = 0;
-        for &inst in &candidates {
-            if taken >= max_total {
+        while taken < max_total && self.ready_total > 0 {
+            let mut best: Option<(InstId, usize)> = None;
+            for k in (0..FuClass::COUNT).filter(|&k| fu_available[k] > 0) {
+                if let Some(inst) = self.ready_peek(k) {
+                    if best.is_none_or(|(b, _)| inst < b) {
+                        best = Some((inst, k));
+                    }
+                }
+            }
+            let Some((inst, k)) = best else {
                 break;
-            }
-            let fu = self.slots[&inst].entry.fu;
-            if fu_available[fu.index()] == 0 {
-                continue;
-            }
-            fu_available[fu.index()] -= 1;
-            self.ready.remove(&inst);
-            let slot = self.slots.remove(&inst).expect("ready entry exists");
-            picked.push(slot.entry);
+            };
+            fu_available[k] -= 1;
             taken += 1;
+            self.ready[k].pop();
+            self.ready_total -= 1;
+            let slot = self.slots.remove(inst).expect("ready entry exists");
+            picked.push(slot.entry);
         }
-        self.select_scratch = candidates;
     }
 
     /// Removes a specific instruction (used when the SLIQ steals a
     /// long-latency-dependent entry). Returns the entry if it was present.
     pub fn remove(&mut self, inst: InstId) -> Option<IqEntry> {
-        let slot = self.slots.remove(&inst)?;
-        self.ready.remove(&inst);
+        let slot = self.slots.remove(inst)?;
+        if slot.outstanding == 0 {
+            // Its heap entry goes stale; account the live ready count now.
+            self.ready_total -= 1;
+        }
         Some(slot.entry)
     }
 
     /// Removes every instruction at or after trace position `from`
     /// (squash on rollback or branch recovery). Returns the removed entries.
     pub fn squash_from(&mut self, from: InstId) -> Vec<IqEntry> {
-        let doomed: Vec<InstId> = self.slots.range(from..).map(|(&k, _)| k).collect();
+        let doomed: Vec<InstId> = self
+            .slots
+            .iter()
+            .filter_map(|(inst, _)| (inst >= from).then_some(inst))
+            .collect();
         let mut out = Vec::with_capacity(doomed.len());
         for inst in doomed {
-            self.ready.remove(&inst);
-            out.push(self.slots.remove(&inst).expect("listed entry exists").entry);
+            let slot = self.slots.remove(inst).expect("listed entry exists");
+            if slot.outstanding == 0 {
+                self.ready_total -= 1;
+            }
+            out.push(slot.entry);
         }
+        out.sort_unstable_by_key(|e| e.inst);
         out
     }
 
     /// Whether the queue currently holds `inst`.
     pub fn contains(&self, inst: InstId) -> bool {
-        self.slots.contains_key(&inst)
+        self.slots.contains_key(inst)
     }
 
-    /// Iterates over queued entries in program order.
+    /// The queued entries in program order (collected; the queue itself is
+    /// unordered flat storage).
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.slots.values().map(|s| &s.entry)
+        let mut entries: Vec<&IqEntry> = self.slots.iter().map(|(_, s)| &s.entry).collect();
+        entries.sort_unstable_by_key(|e| e.inst);
+        entries.into_iter()
     }
 
     /// Removes everything (full pipeline flush).
     pub fn flush(&mut self) {
         self.slots.clear();
-        self.ready.clear();
-        self.waiters.clear();
+        for heap in &mut self.ready {
+            heap.clear();
+        }
+        self.ready_total = 0;
+        self.waiter_heads.fill(NIL);
+        self.waiter_nodes.clear();
+        self.waiter_free = NIL;
     }
 }
 
@@ -331,6 +467,20 @@ mod tests {
     }
 
     #[test]
+    fn select_skips_fu_starved_entries_for_later_ready_ones() {
+        let mut iq = InstructionQueue::new(8);
+        iq.insert(entry(0, &[], FuClass::Fp), |_| true).unwrap();
+        iq.insert(entry(1, &[], FuClass::Fp), |_| true).unwrap();
+        iq.insert(entry(2, &[], FuClass::IntAlu), |_| true).unwrap();
+        // One FP unit: the second FP entry is skipped, the younger integer
+        // entry still issues.
+        let picked = iq.select_ready(&mut [4, 2, 1, 2], 4);
+        let ids: Vec<_> = picked.iter().map(|e| e.inst).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(iq.contains(1));
+    }
+
+    #[test]
     fn full_queue_rejects_inserts() {
         let mut iq = InstructionQueue::new(2);
         iq.insert(entry(0, &[], FuClass::IntAlu), |_| true).unwrap();
@@ -398,6 +548,28 @@ mod tests {
     }
 
     #[test]
+    fn waiter_nodes_are_pooled_across_wakeup_churn() {
+        // Insert/wake repeatedly: the pool must recycle nodes instead of
+        // growing with the total number of waits.
+        let mut iq = InstructionQueue::new(8);
+        for round in 0..1_000usize {
+            for k in 0..4 {
+                iq.insert(entry(round * 4 + k, &[5, 6], FuClass::IntAlu), |_| false)
+                    .unwrap();
+            }
+            iq.wakeup(PhysReg(5));
+            iq.wakeup(PhysReg(6));
+            assert_eq!(iq.select_ready(&mut [8, 8, 8, 8], 8).len(), 4);
+        }
+        assert!(iq.is_empty());
+        assert!(
+            iq.waiter_nodes.len() <= 8,
+            "pool must stay at peak concurrent waiters, got {}",
+            iq.waiter_nodes.len()
+        );
+    }
+
+    #[test]
     fn insert_unbounded_ignores_capacity_but_preserves_it() {
         let mut iq = InstructionQueue::new(1);
         iq.insert(entry(0, &[], FuClass::IntAlu), |_| true).unwrap();
@@ -420,6 +592,10 @@ mod tests {
         assert_eq!(iq.ready_count(), 0);
         iq.wakeup(PhysReg(5));
         assert_eq!(iq.ready_count(), 0);
+        // The queue is reusable after a flush.
+        iq.insert(entry(1, &[5], FuClass::Fp), |_| false).unwrap();
+        iq.wakeup(PhysReg(5));
+        assert_eq!(iq.ready_count(), 1);
     }
 
     #[test]

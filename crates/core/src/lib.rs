@@ -28,6 +28,7 @@
 
 pub mod checkpoint;
 pub mod depmask;
+pub mod flatmap;
 pub mod iq;
 pub mod lsq;
 pub mod pseudo_rob;
@@ -38,10 +39,11 @@ pub mod sliq;
 
 pub use checkpoint::{Checkpoint, CheckpointId, CheckpointPolicy, CheckpointTable};
 pub use depmask::DependenceMask;
+pub use flatmap::FlatMap;
 pub use iq::{InstructionQueue, IqEntry, IqFull};
 pub use lsq::{LoadStoreQueue, LsqEntry, LsqFull};
 pub use pseudo_rob::{PseudoRob, PseudoRobEntry, RetireClass};
 pub use regfile::{PhysRegFile, VirtualRegisterFile};
 pub use rename::{CamRenameMap, RenameCheckpoint, RenamedInst};
 pub use rob::{ReorderBuffer, RobEntry, RobFull};
-pub use sliq::{DependenceTracker, SliqBuffer, SliqConfig, SliqEntry, WakeupWalker};
+pub use sliq::{DependenceTracker, SliqBuffer, SliqConfig, WakeupWalker};

@@ -127,7 +127,16 @@ impl PseudoRob {
     /// Inserts a newly dispatched instruction. If the FIFO is full, the
     /// oldest entry is *retired* (extracted) and returned — this is the
     /// moment the SLIQ classification happens.
+    ///
+    /// Dispatch walks the stream one position at a time and every squash
+    /// removes a suffix, so the FIFO always holds a contiguous band of
+    /// trace positions — the invariant [`contains`](Self::contains) relies
+    /// on for its O(1) range check.
     pub fn push(&mut self, entry: PseudoRobEntry) -> Option<PseudoRobEntry> {
+        debug_assert!(
+            self.entries.back().is_none_or(|b| entry.inst == b.inst + 1),
+            "pseudo-ROB pushes must be consecutive trace positions"
+        );
         let retired = if self.is_full() {
             self.entries.pop_front()
         } else {
@@ -152,8 +161,15 @@ impl PseudoRob {
 
     /// Whether the given instruction is still inside the pseudo-ROB (and can
     /// therefore be recovered without a checkpoint rollback).
+    ///
+    /// O(1): the FIFO holds a contiguous band of trace positions (see
+    /// [`push`](Self::push)), so membership is a range check against the
+    /// oldest and youngest entries.
     pub fn contains(&self, inst: InstId) -> bool {
-        self.entries.iter().any(|e| e.inst == inst)
+        match (self.entries.front(), self.entries.back()) {
+            (Some(front), Some(back)) => front.inst <= inst && inst <= back.inst,
+            _ => false,
+        }
     }
 
     /// Removes and returns every entry **younger** than `inst` (exclusive),

@@ -47,6 +47,12 @@ pub struct CamRenameMap {
     logical: Vec<u8>,
     valid: Vec<bool>,
     future_free: Vec<bool>,
+    /// Registers whose future-free bit was set since the last drain, in
+    /// marking order — the drain at every checkpoint is O(marked) instead
+    /// of a scan over the whole future-free column. Entries whose bit was
+    /// cleared out-of-band (walk-back undo, rollback restore) go stale and
+    /// are filtered against the column at drain time.
+    future_free_list: Vec<PhysReg>,
     /// Current mapping per logical register (the CAM lookup, kept as a
     /// direct-mapped shadow for O(1) source lookups).
     map: Vec<Option<PhysReg>>,
@@ -60,6 +66,7 @@ impl CamRenameMap {
             logical: vec![0; num_phys],
             valid: vec![false; num_phys],
             future_free: vec![false; num_phys],
+            future_free_list: Vec::new(),
             map: vec![None; NUM_ARCH_REGS],
         }
     }
@@ -86,8 +93,12 @@ impl CamRenameMap {
             // The previous mapping is no longer the current one; it will be
             // freed when the next checkpoint commits (future-free), or at the
             // renaming instruction's commit under conventional ROB commit.
+            // A valid mapping never carries the future-free bit, so this is
+            // always a fresh mark and the list stays duplicate-free.
+            debug_assert!(!self.future_free[p.index()]);
             self.valid[p.index()] = false;
             self.future_free[p.index()] = true;
+            self.future_free_list.push(p);
         }
         let idx = new_phys.index();
         self.logical[idx] = dest.flat_index() as u8;
@@ -120,13 +131,12 @@ impl CamRenameMap {
     /// Clears and returns the set of physical registers currently marked
     /// future-free. Used when closing a checkpoint window.
     pub fn drain_future_free(&mut self) -> Vec<PhysReg> {
-        let mut out = Vec::new();
-        for (i, ff) in self.future_free.iter_mut().enumerate() {
-            if *ff {
-                out.push(PhysReg(i as u32));
-                *ff = false;
-            }
-        }
+        let mut out = std::mem::take(&mut self.future_free_list);
+        // Clearing the bit as each entry is visited both performs the drain
+        // and drops stale duplicates (a register un-marked by a walk-back
+        // undo and marked again later appears twice in the list; only its
+        // first live occurrence may survive).
+        out.retain(|p| std::mem::replace(&mut self.future_free[p.index()], false));
         out
     }
 
@@ -146,6 +156,7 @@ impl CamRenameMap {
         );
         self.valid.copy_from_slice(&snapshot.valid);
         self.future_free.iter_mut().for_each(|b| *b = false);
+        self.future_free_list.clear();
         regs.restore_free_list(&snapshot.free_list);
         // Rebuild the logical→physical shadow map from the valid column.
         self.map = vec![None; NUM_ARCH_REGS];

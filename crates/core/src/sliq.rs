@@ -11,6 +11,18 @@
 //! dependent instructions into the instruction queue at 4 per cycle, after a
 //! configurable re-insertion delay (Figure 10 sweeps 1/4/8/12 cycles).
 //!
+//! # Host cost
+//!
+//! The SLIQ is the largest per-cycle structure of the checkpointed engine
+//! (up to 2048 entries in the paper's sweeps), so its simulator-side cost
+//! must be proportional to *activity*, not occupancy. Entries live in a
+//! pooled node slab threaded onto per-trigger doubly-linked buckets (a
+//! dense `Vec` keyed by [`PhysReg`] index), so a wake-up step touches only
+//! the entries it actually re-inserts. Squash walks an insertion-ordered
+//! age stack from the young end, with generation stamps marking records
+//! whose node has since been woken (freed), so `squash_from` is
+//! O(squashed), never O(entries).
+//!
 //! [`DependenceTracker`] implements the classification: the logical-register
 //! bit mask of [`crate::depmask`] plus a per-register record of *which* load
 //! the dependence chains back to.
@@ -44,16 +56,6 @@ impl SliqConfig {
     }
 }
 
-/// One SLIQ entry: the stolen instruction-queue entry plus its trigger.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SliqEntry {
-    /// The instruction-queue entry to re-insert on wake-up.
-    pub iq_entry: IqEntry,
-    /// The physical register (destination of a long-latency load) whose
-    /// production wakes this entry.
-    pub trigger: PhysReg,
-}
-
 /// A trigger whose register has been produced and whose dependent entries
 /// will start re-inserting once the re-insertion delay has elapsed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,12 +66,65 @@ pub struct WakeupWalker {
     pub ready_at: u64,
 }
 
+/// Sentinel index for "no node" in the pooled slab.
+const NIL: u32 = u32::MAX;
+
+/// One pooled SLIQ node: the stolen instruction-queue entry threaded onto
+/// its trigger's bucket list. Freed nodes are chained through `next` onto
+/// the intrusive free list; `gen` is bumped at free time so stale age-stack
+/// records can be detected without a scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SliqNode {
+    entry: IqEntry,
+    trigger: PhysReg,
+    prev: u32,
+    next: u32,
+    gen: u32,
+}
+
+/// Head/tail of one trigger's bucket, plus the pending-walker dedupe flag
+/// (replaces the linear membership scan of the walker FIFO).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct TriggerBucket {
+    head: u32,
+    tail: u32,
+    pending: bool,
+}
+
+impl TriggerBucket {
+    const EMPTY: TriggerBucket = TriggerBucket {
+        head: NIL,
+        tail: NIL,
+        pending: false,
+    };
+}
+
+/// One record of the insertion-ordered age stack: enough to find and unlink
+/// the youngest live entries on a squash without touching anything older.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct AgeRecord {
+    inst: InstId,
+    node: u32,
+    gen: u32,
+}
+
 /// The Slow Lane Instruction Queue.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliqBuffer {
     config: SliqConfig,
-    entries: VecDeque<SliqEntry>,
+    /// Node slab; free nodes are chained through `next` from `free_head`.
+    nodes: Vec<SliqNode>,
+    free_head: u32,
+    /// Per-trigger buckets, keyed by `PhysReg::index()`, grown on demand.
+    buckets: Vec<TriggerBucket>,
+    /// Insertion-ordered records of live entries (plus stale leftovers of
+    /// woken ones, skipped lazily and compacted amortized-O(1)).
+    age: Vec<AgeRecord>,
+    /// Produced triggers waiting out the re-insertion delay, FIFO. `now` is
+    /// monotonic, so the front walker always has the minimum `ready_at`.
     pending_triggers: VecDeque<WakeupWalker>,
+    /// Live entries (the slab may hold more, on the free list).
+    len: usize,
     /// Peak occupancy, for reporting.
     high_water: usize,
     /// Total instructions that ever entered the SLIQ.
@@ -86,8 +141,12 @@ impl SliqBuffer {
         assert!(config.wake_width > 0, "SLIQ wake width must be non-zero");
         SliqBuffer {
             config,
-            entries: VecDeque::new(),
+            nodes: Vec::new(),
+            free_head: NIL,
+            buckets: Vec::new(),
+            age: Vec::new(),
             pending_triggers: VecDeque::new(),
+            len: 0,
             high_water: 0,
             total_moved: 0,
         }
@@ -100,17 +159,17 @@ impl SliqBuffer {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the SLIQ holds no instructions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether another instruction can be moved in.
     pub fn has_space(&self) -> bool {
-        self.entries.len() < self.config.capacity
+        self.len < self.config.capacity
     }
 
     /// Peak occupancy seen so far.
@@ -123,6 +182,80 @@ impl SliqBuffer {
         self.total_moved
     }
 
+    fn alloc_node(&mut self, entry: IqEntry, trigger: PhysReg) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            self.free_head = node.next;
+            node.entry = entry;
+            node.trigger = trigger;
+            node.prev = NIL;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(SliqNode {
+                entry,
+                trigger,
+                prev: NIL,
+                next: NIL,
+                gen: 0,
+            });
+            idx
+        }
+    }
+
+    /// Detaches `idx` from its bucket and returns it to the free list,
+    /// bumping its generation so age-stack records pointing at it go stale.
+    fn unlink_and_free(&mut self, idx: u32) -> IqEntry {
+        let (prev, next, trigger, entry) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.trigger, n.entry)
+        };
+        let bucket = &mut self.buckets[trigger.index()];
+        if prev == NIL {
+            bucket.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            bucket.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.gen = node.gen.wrapping_add(1);
+        node.next = self.free_head;
+        self.free_head = idx;
+        self.len -= 1;
+        entry
+    }
+
+    fn bucket_mut(&mut self, trigger: PhysReg) -> &mut TriggerBucket {
+        let i = trigger.index();
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, TriggerBucket::EMPTY);
+        }
+        &mut self.buckets[i]
+    }
+
+    fn bucket(&self, trigger: PhysReg) -> TriggerBucket {
+        self.buckets
+            .get(trigger.index())
+            .copied()
+            .unwrap_or(TriggerBucket::EMPTY)
+    }
+
+    /// Drops stale records once they dominate the age stack, so its length
+    /// stays proportional to occupancy even on unbounded streams. Amortized
+    /// O(1) per insertion.
+    fn maybe_compact_age(&mut self) {
+        if self.age.len() >= 64 && self.age.len() >= 4 * self.len {
+            let nodes = &self.nodes;
+            self.age.retain(|r| nodes[r.node as usize].gen == r.gen);
+        }
+    }
+
     /// Moves an instruction into the SLIQ (in program order), tagged with its
     /// triggering load's destination register.
     ///
@@ -132,9 +265,34 @@ impl SliqBuffer {
         if !self.has_space() {
             return false;
         }
-        self.entries.push_back(SliqEntry { iq_entry, trigger });
+        self.maybe_compact_age();
+        let inst = iq_entry.inst;
+        let idx = self.alloc_node(iq_entry, trigger);
+        let gen = self.nodes[idx as usize].gen;
+        let bucket = self.bucket_mut(trigger);
+        // Dispatch order is trace order and squashes always remove the young
+        // suffix first, so appends keep every bucket (and the age stack)
+        // sorted by trace position — the "oldest first" wake-up order.
+        let tail = bucket.tail;
+        bucket.tail = idx;
+        if tail == NIL {
+            bucket.head = idx;
+        } else {
+            debug_assert!(
+                self.nodes[tail as usize].entry.inst < inst,
+                "SLIQ inserts must arrive in program order"
+            );
+            self.nodes[tail as usize].next = idx;
+            self.nodes[idx as usize].prev = tail;
+        }
+        self.age.push(AgeRecord {
+            inst,
+            node: idx,
+            gen,
+        });
+        self.len += 1;
         self.total_moved += 1;
-        self.high_water = self.high_water.max(self.entries.len());
+        self.high_water = self.high_water.max(self.len);
         true
     }
 
@@ -143,10 +301,13 @@ impl SliqBuffer {
     /// re-insertion after the configured re-insertion delay (the delay models
     /// re-computing source availability and overlaps across triggers).
     pub fn on_trigger_ready(&mut self, trigger: PhysReg, now: u64) {
-        if !self.pending_triggers.iter().any(|w| w.trigger == trigger) {
+        let delay = self.config.reinsert_delay as u64;
+        let bucket = self.bucket_mut(trigger);
+        if !bucket.pending {
+            bucket.pending = true;
             self.pending_triggers.push_back(WakeupWalker {
                 trigger,
-                ready_at: now + self.config.reinsert_delay as u64,
+                ready_at: now + delay,
             });
         }
     }
@@ -157,9 +318,23 @@ impl SliqBuffer {
     /// (`int_space` for integer/memory entries, `fp_space` for floating-point
     /// entries). Entries of one trigger re-insert oldest first; re-insertion
     /// stops at the first entry whose queue is full to preserve order.
-    pub fn step(&mut self, now: u64, mut int_space: usize, mut fp_space: usize) -> Vec<IqEntry> {
-        let mut budget = self.config.wake_width;
+    pub fn step(&mut self, now: u64, int_space: usize, fp_space: usize) -> Vec<IqEntry> {
         let mut out = Vec::new();
+        self.step_into(now, int_space, fp_space, &mut out);
+        out
+    }
+
+    /// [`step`](Self::step) into a caller-owned buffer (appended, not
+    /// cleared) — the per-cycle wake path reuses one buffer for the whole
+    /// run, and the walk touches only the entries it re-inserts.
+    pub fn step_into(
+        &mut self,
+        now: u64,
+        mut int_space: usize,
+        mut fp_space: usize,
+        out: &mut Vec<IqEntry>,
+    ) {
+        let mut budget = self.config.wake_width;
         while budget > 0 {
             let Some(front) = self.pending_triggers.front().copied() else {
                 break;
@@ -167,15 +342,14 @@ impl SliqBuffer {
             if front.ready_at > now {
                 break;
             }
-            // Re-insert this trigger's entries, oldest first.
+            // Re-insert this trigger's entries, oldest first (bucket order).
             let mut blocked = false;
-            let mut idx = 0;
-            while idx < self.entries.len() && budget > 0 {
-                if self.entries[idx].trigger != front.trigger {
-                    idx += 1;
-                    continue;
+            while budget > 0 {
+                let head = self.bucket(front.trigger).head;
+                if head == NIL {
+                    break;
                 }
-                let is_fp = self.entries[idx].iq_entry.fu == koc_isa::FuClass::Fp;
+                let is_fp = self.nodes[head as usize].entry.fu == koc_isa::FuClass::Fp;
                 let space = if is_fp { &mut fp_space } else { &mut int_space };
                 if *space == 0 {
                     blocked = true;
@@ -183,21 +357,18 @@ impl SliqBuffer {
                 }
                 *space -= 1;
                 budget -= 1;
-                let e = self.entries.remove(idx).expect("index in range");
-                out.push(e.iq_entry);
+                out.push(self.unlink_and_free(head));
             }
-            let remaining = self.entries.iter().any(|e| e.trigger == front.trigger);
-            if remaining {
-                if blocked || budget == 0 {
-                    break;
-                }
-                // Budget ran out exactly at the end of the scan.
-                break;
-            } else {
+            if self.bucket(front.trigger).head == NIL {
+                // Walk complete: retire the walker and let the next trigger
+                // use whatever budget remains this cycle.
                 self.pending_triggers.pop_front();
+                self.bucket_mut(front.trigger).pending = false;
+            } else {
+                debug_assert!(blocked || budget == 0);
+                break;
             }
         }
-        out
     }
 
     /// The pending wake-up triggers (for tests and statistics).
@@ -215,16 +386,38 @@ impl SliqBuffer {
 
     /// Removes every entry at or after trace position `from` (squash) and
     /// returns how many were removed.
+    ///
+    /// Cost is O(removed): the squashed entries are exactly the young suffix
+    /// of the insertion-ordered age stack, so the walk stops at the first
+    /// surviving entry. Stale records of already-woken nodes are dropped in
+    /// passing (each is visited at most once, ever).
     pub fn squash_from(&mut self, from: InstId) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.iq_entry.inst < from);
-        before - self.entries.len()
+        let mut removed = 0;
+        while let Some(rec) = self.age.last().copied() {
+            if self.nodes[rec.node as usize].gen != rec.gen {
+                // The node was woken (or already squashed) and possibly
+                // reused for an older entry; the record is dead weight.
+                self.age.pop();
+                continue;
+            }
+            if rec.inst < from {
+                break;
+            }
+            self.age.pop();
+            self.unlink_and_free(rec.node);
+            removed += 1;
+        }
+        removed
     }
 
     /// Removes everything, including pending wake-ups (full flush).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.nodes.clear();
+        self.free_head = NIL;
+        self.buckets.fill(TriggerBucket::EMPTY);
+        self.age.clear();
         self.pending_triggers.clear();
+        self.len = 0;
     }
 }
 
@@ -445,6 +638,62 @@ mod tests {
     }
 
     #[test]
+    fn squash_interleaves_with_wakeup_and_reinsertion() {
+        // Wake some entries, squash others, insert older replacements — the
+        // age stack must stay consistent through node reuse.
+        let mut s = SliqBuffer::new(cfg(32, 0));
+        for i in 0..8 {
+            s.insert(iq_entry(i), PhysReg(7));
+        }
+        s.on_trigger_ready(PhysReg(7), 0);
+        assert_eq!(s.step(0, 16, 16).len(), 4); // wakes 0..4, frees their nodes
+        assert_eq!(s.squash_from(6), 2, "squashes 6 and 7");
+        assert_eq!(s.len(), 2, "4 and 5 survive");
+        // Re-dispatch after the squash reuses freed nodes for ids >= 6.
+        assert!(s.insert(iq_entry(6), PhysReg(9)));
+        assert!(s.insert(iq_entry(7), PhysReg(7)));
+        assert_eq!(s.squash_from(0), 4, "everything live is squashed");
+        assert!(s.is_empty());
+        // A stale walker for an emptied trigger retires without output.
+        assert!(s.step(1, 16, 16).is_empty());
+        assert_eq!(s.pending_triggers().count(), 0);
+    }
+
+    #[test]
+    fn trigger_can_be_renotified_after_its_walk_completes() {
+        let mut s = SliqBuffer::new(cfg(16, 0));
+        s.insert(iq_entry(0), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 0);
+        assert_eq!(s.step(0, 16, 16).len(), 1);
+        // A later (re-executed) producer of the same register wakes again.
+        s.insert(iq_entry(1), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 5);
+        assert_eq!(s.step(5, 16, 16).len(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn age_stack_compacts_on_churning_workloads() {
+        // Insert/wake churn far past the capacity: the age stack must stay
+        // bounded by occupancy, not by total_moved.
+        let mut s = SliqBuffer::new(cfg(8, 0));
+        for round in 0..1_000u64 {
+            for k in 0..4 {
+                s.insert(iq_entry((round * 4 + k) as InstId), PhysReg(7));
+            }
+            s.on_trigger_ready(PhysReg(7), round);
+            assert_eq!(s.step(round, 16, 16).len(), 4);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.total_moved(), 4_000);
+        assert!(
+            s.age.len() <= 64,
+            "age stack must compact: len {}",
+            s.age.len()
+        );
+    }
+
+    #[test]
     fn flush_clears_entries_and_pending_triggers() {
         let mut s = SliqBuffer::new(cfg(16, 4));
         s.insert(iq_entry(0), PhysReg(7));
@@ -453,6 +702,11 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.pending_triggers().count(), 0);
         assert!(s.step(100, 16, 16).is_empty());
+        // The dedupe flag must be cleared too: a re-notification after the
+        // flush schedules a fresh walker.
+        s.insert(iq_entry(1), PhysReg(7));
+        s.on_trigger_ready(PhysReg(7), 200);
+        assert_eq!(s.step(204, 16, 16).len(), 1);
     }
 
     #[test]

@@ -89,6 +89,12 @@ struct CacheSet {
 pub struct Cache {
     config: CacheConfig,
     sets: Vec<CacheSet>,
+    /// `log2(line_bytes)` when the line size is a power of two — the common
+    /// geometry — so the per-access address split is a shift/mask instead
+    /// of two 64-bit divisions.
+    line_shift: Option<u32>,
+    /// `num_sets - 1` when the set count is a power of two.
+    set_mask: Option<u64>,
     hits: u64,
     misses: u64,
 }
@@ -97,11 +103,33 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = vec![CacheSet::default(); config.num_sets()];
+        let line_shift = config
+            .line_bytes
+            .is_power_of_two()
+            .then(|| config.line_bytes.trailing_zeros());
+        let set_mask = sets.len().is_power_of_two().then(|| sets.len() as u64 - 1);
         Cache {
             config,
             sets,
+            line_shift,
+            set_mask,
             hits: 0,
             misses: 0,
+        }
+    }
+
+    #[inline]
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.config.line_bytes,
+        };
+        match self.set_mask {
+            Some(mask) => ((line & mask) as usize, line >> mask.count_ones()),
+            None => (
+                (line % self.sets.len() as u64) as usize,
+                line / self.sets.len() as u64,
+            ),
         }
     }
 
@@ -112,9 +140,7 @@ impl Cache {
 
     /// Accesses byte address `addr`, updating LRU state and fill state.
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
-        let line = addr / self.config.line_bytes;
-        let set_idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let (set_idx, tag) = self.split(addr);
         let ways = self.config.ways;
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.lru.iter().position(|&t| t == tag) {
@@ -135,9 +161,7 @@ impl Cache {
 
     /// Probes for presence of the line containing `addr` without updating state.
     pub fn contains(&self, addr: u64) -> bool {
-        let line = addr / self.config.line_bytes;
-        let set_idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let (set_idx, tag) = self.split(addr);
         self.sets[set_idx].lru.contains(&tag)
     }
 

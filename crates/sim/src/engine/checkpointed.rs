@@ -10,7 +10,32 @@ use koc_core::{
     RetireClass, SliqBuffer, SliqConfig,
 };
 use koc_isa::{FuClass, InstId, Instruction, OpKind, PhysReg};
-use std::collections::HashSet;
+
+/// Membership marks for the physical registers currently armed as SLIQ
+/// wake-up triggers: a dense flag vector keyed by [`PhysReg::index`], so
+/// the per-completion membership test is an array load instead of a hash.
+#[derive(Debug, Default)]
+struct TriggerMarks {
+    marks: Vec<bool>,
+}
+
+impl TriggerMarks {
+    fn insert(&mut self, p: PhysReg) {
+        let i = p.index();
+        if i >= self.marks.len() {
+            self.marks.resize(i + 1, false);
+        }
+        self.marks[i] = true;
+    }
+
+    /// Clears the mark for `p`, returning whether it was set.
+    fn remove(&mut self, p: PhysReg) -> bool {
+        match self.marks.get_mut(p.index()) {
+            Some(m) => std::mem::replace(m, false),
+            None => false,
+        }
+    }
+}
 
 /// Checkpointed out-of-order commit: retirement happens a whole checkpoint
 /// at a time, as soon as every instruction in the checkpoint's window has
@@ -21,7 +46,10 @@ pub struct CheckpointedEngine {
     pseudo_rob: PseudoRob,
     sliq: SliqBuffer,
     dep: DependenceTracker,
-    sliq_triggers: HashSet<PhysReg>,
+    sliq_triggers: TriggerMarks,
+    /// Reused by [`wake`](CommitEngine::wake) so the per-cycle SLIQ walk
+    /// allocates nothing.
+    wake_scratch: Vec<koc_core::IqEntry>,
     /// Take a checkpoint exactly before this instruction (precise exception
     /// re-execution).
     force_checkpoint_at: Option<InstId>,
@@ -42,7 +70,8 @@ impl CheckpointedEngine {
             pseudo_rob: PseudoRob::new(pseudo_rob_size),
             sliq: SliqBuffer::new(sliq),
             dep: DependenceTracker::new(),
-            sliq_triggers: HashSet::new(),
+            sliq_triggers: TriggerMarks::default(),
+            wake_scratch: Vec::new(),
             force_checkpoint_at: None,
         }
     }
@@ -260,9 +289,19 @@ impl CommitEngine for CheckpointedEngine {
         // wait — the queue would only drain once instructions still parked in
         // the SLIQ execute — so the overshoot is the documented modelling
         // choice (DESIGN.md).
-        let woken = self.sliq.step(ctx.cycle, usize::MAX, usize::MAX);
+        if self
+            .sliq
+            .next_pending_ready_at()
+            .is_none_or(|ready_at| ready_at > ctx.cycle)
+        {
+            return 0;
+        }
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        woken.clear();
+        self.sliq
+            .step_into(ctx.cycle, usize::MAX, usize::MAX, &mut woken);
         let n = woken.len();
-        for entry in woken {
+        for entry in woken.drain(..) {
             let inst = entry.inst;
             let queue = if entry.fu == FuClass::Fp {
                 &mut *ctx.fp_iq
@@ -275,17 +314,23 @@ impl CommitEngine for CheckpointedEngine {
                 fl.state = InstState::Waiting;
             }
         }
+        self.wake_scratch = woken;
         n
     }
 
     fn next_wake(&self) -> Option<u64> {
+        // The SLIQ walker FIFO is the engine's only self-scheduled work; its
+        // front (minimum, by monotonicity) `ready_at` is exact, so the
+        // shell's fast-forward can jump a stalled window straight to the
+        // next re-insertion burst under `cooo` just as it jumps to the next
+        // memory completion under the baseline.
         self.sliq.next_pending_ready_at()
     }
 
     fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>) {
         self.table.on_complete(wb.ckpt);
         if let Some(p) = wb.dest_phys {
-            if self.sliq_triggers.remove(&p) {
+            if self.sliq_triggers.remove(p) {
                 self.sliq.on_trigger_ready(p, ctx.cycle);
             }
             if wb.kind == OpKind::Load {
@@ -312,8 +357,14 @@ impl CommitEngine for CheckpointedEngine {
         for p in &committed.free_on_commit {
             ctx.regs.free(*p);
         }
-        let id = committed.id;
-        ctx.inflight.retain(|fl| fl.ckpt != id);
+        // The committed checkpoint's instructions are exactly the in-flight
+        // band below the surviving frontier: older checkpoints are gone, and
+        // everything at or past the frontier belongs to a younger one.
+        debug_assert!(ctx
+            .inflight
+            .values()
+            .all(|fl| (fl.inst < frontier) == (fl.ckpt == committed.id)));
+        ctx.inflight.drain_below(frontier);
         ctx.drain_stores(frontier);
         // No rollback can target anything older than the oldest live
         // checkpoint, but instructions of the committed checkpoint may still

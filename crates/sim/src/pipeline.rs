@@ -75,26 +75,79 @@ struct CycleActivity {
     stall: Option<SkipStall>,
 }
 
-/// Completion events keyed by cycle, with the per-cycle `Vec`s recycled
-/// through a pool: the steady state allocates nothing.
-#[derive(Default)]
+/// Completion events in a calendar wheel: every schedulable delay is
+/// bounded by the memory hierarchy's worst-case latency, so slot
+/// `cycle & mask` is unambiguous within the horizon and push/take are O(1)
+/// array operations instead of tree-map node churn. Per-slot `Vec`s are
+/// recycled through a pool (the steady state allocates nothing), a
+/// two-level occupancy bitmap answers `next_cycle` for the fast-forward
+/// path in a handful of word scans, and anything past the horizon (never
+/// hit by the built-in backends) falls back to an ordered map.
 struct EventQueue {
-    due: BTreeMap<u64, Vec<(InstId, u64)>>,
+    wheel: Vec<Vec<(InstId, u64)>>,
+    mask: u64,
+    /// Bit per wheel slot; set iff the slot holds events.
+    occ: Vec<u64>,
     pool: Vec<Vec<(InstId, u64)>>,
+    overflow: BTreeMap<u64, Vec<(InstId, u64)>>,
+    /// The cycle of the last `take` — events are never scheduled below it.
+    cur: u64,
 }
 
 impl EventQueue {
+    /// A wheel able to schedule at least `max_delay` cycles ahead.
+    fn with_horizon(max_delay: u64) -> Self {
+        let slots = (max_delay + 66).next_power_of_two() as usize;
+        EventQueue {
+            wheel: (0..slots).map(|_| Vec::new()).collect(),
+            mask: slots as u64 - 1,
+            occ: vec![0; slots.div_ceil(64)],
+            pool: Vec::new(),
+            overflow: BTreeMap::new(),
+            cur: 0,
+        }
+    }
+
     fn push(&mut self, cycle: u64, event: (InstId, u64)) {
-        self.due
-            .entry(cycle)
-            .or_insert_with(|| self.pool.pop().unwrap_or_default())
-            .push(event);
+        debug_assert!(cycle >= self.cur, "event scheduled in the past");
+        if cycle - self.cur > self.mask {
+            self.overflow.entry(cycle).or_default().push(event);
+            return;
+        }
+        let slot = (cycle & self.mask) as usize;
+        if self.wheel[slot].is_empty() {
+            if let Some(pooled) = self.pool.pop() {
+                self.wheel[slot] = pooled;
+            }
+            self.occ[slot / 64] |= 1u64 << (slot % 64);
+        }
+        self.wheel[slot].push(event);
     }
 
     /// Removes and returns the batch due at `cycle`; return it with
-    /// [`recycle`](Self::recycle) after draining.
+    /// [`recycle`](Self::recycle) after draining. `cycle` must advance
+    /// monotonically (the shell takes once per simulated cycle and
+    /// fast-forward only skips provably event-free cycles).
     fn take(&mut self, cycle: u64) -> Option<Vec<(InstId, u64)>> {
-        self.due.remove(&cycle)
+        self.cur = cycle;
+        let mut due = None;
+        let slot = (cycle & self.mask) as usize;
+        if self.occ[slot / 64] & (1u64 << (slot % 64)) != 0 {
+            self.occ[slot / 64] &= !(1u64 << (slot % 64));
+            due = Some(std::mem::take(&mut self.wheel[slot]));
+        }
+        if self
+            .overflow
+            .first_key_value()
+            .is_some_and(|(&c, _)| c == cycle)
+        {
+            let mut extra = self.overflow.remove(&cycle).expect("checked key");
+            match &mut due {
+                Some(batch) => batch.append(&mut extra),
+                None => due = Some(extra),
+            }
+        }
+        due
     }
 
     fn recycle(&mut self, mut batch: Vec<(InstId, u64)>) {
@@ -102,9 +155,38 @@ impl EventQueue {
         self.pool.push(batch);
     }
 
-    /// The earliest cycle with a scheduled event.
+    /// The earliest cycle after `cur` with a scheduled event.
     fn next_cycle(&self) -> Option<u64> {
-        self.due.first_key_value().map(|(&cycle, _)| cycle)
+        let start_slot = (self.cur + 1) & self.mask;
+        let words = self.occ.len();
+        let mut next = None;
+        // Scan the occupancy bitmap cyclically from `start_slot`'s word; the
+        // first set bit in cyclic order is the soonest wheel event (every
+        // scheduled event lies within one horizon of `cur`, so the cyclic
+        // slot distance is exactly the cycle distance).
+        for step in 0..=words {
+            let wi = (start_slot as usize / 64 + step) % words;
+            let mut word = self.occ[wi];
+            if step == 0 {
+                // Bits below the start position belong to the wrapped end of
+                // the window; the final revisit of this word picks them up.
+                word &= !0u64 << (start_slot % 64);
+            } else if step == words {
+                word &= !(!0u64 << (start_slot % 64));
+            }
+            if word != 0 {
+                let slot = (wi * 64 + word.trailing_zeros() as usize) as u64;
+                let delta = slot.wrapping_sub(start_slot) & self.mask;
+                next = Some(self.cur + 1 + delta);
+                break;
+            }
+        }
+        match (next, self.overflow.first_key_value()) {
+            (Some(w), Some((&o, _))) => Some(w.min(o)),
+            (Some(w), None) => Some(w),
+            (None, Some((&o, _))) => Some(o),
+            (None, None) => None,
+        }
     }
 }
 
@@ -173,7 +255,7 @@ pub struct Processor<'a> {
     events: EventQueue,
     /// Loads waiting on the timed memory backend, by request token (the
     /// instance's `seq`). Completions surface from the hierarchy's tick.
-    mem_waiters: BTreeMap<u64, InstId>,
+    mem_waiters: koc_core::FlatMap<InstId>,
     /// Scratch buffer for completed memory tokens.
     mem_completed: Vec<u64>,
     /// Scratch buffer for issue selection.
@@ -250,8 +332,8 @@ impl<'a> Processor<'a> {
             engine,
             inflight: InFlightTable::new(),
             next_seq: 0,
-            events: EventQueue::default(),
-            mem_waiters: BTreeMap::new(),
+            events: EventQueue::with_horizon(config.memory.worst_case_latency() as u64),
+            mem_waiters: koc_core::FlatMap::default(),
             mem_completed: Vec::new(),
             issue_picked: Vec::new(),
             fetch_stall_until: 0,
@@ -460,7 +542,7 @@ impl<'a> Processor<'a> {
             // The token is the load instance's `seq`; stale tokens (the
             // instance was squashed) simply no longer map to a waiter, and
             // the write-back stage re-checks `seq` anyway.
-            if let Some(inst) = self.mem_waiters.remove(&token) {
+            if let Some(inst) = self.mem_waiters.remove(token as usize) {
                 self.events.push(self.cycle, (inst, token));
             }
         }
@@ -525,6 +607,7 @@ impl<'a> Processor<'a> {
                 dest_phys: fl.dest_phys,
             };
             let mispredicted = fl.mispredicted;
+            self.inflight.mark_done(inst);
             if let Some(p) = wb.dest_phys {
                 self.regs.set_ready(p);
                 self.int_iq.wakeup(p);
@@ -605,7 +688,7 @@ impl<'a> Processor<'a> {
                 match self.mem.access_data_timed(addr, seq, self.cycle) {
                     TimedAccess::Ready { level, latency } => (Some(latency), Some(level)),
                     TimedAccess::InFlight => {
-                        self.mem_waiters.insert(seq, inst);
+                        self.mem_waiters.insert(seq as usize, inst);
                         (None, Some(MemLevel::Memory))
                     }
                 }
@@ -625,6 +708,8 @@ impl<'a> Processor<'a> {
         };
         fl.state = InstState::Executing { done_cycle: done };
         fl.mem_level = level;
+        let long = trace_inst.kind == OpKind::Load && level == Some(MemLevel::Memory);
+        self.inflight.mark_issued(inst, long);
         self.live_count = self.live_count.saturating_sub(1);
         if completion.is_some() {
             self.events.push(done, (inst, seq));
@@ -836,49 +921,13 @@ impl<'a> Processor<'a> {
     /// Splits the live (not yet issued) instructions into blocked-long and
     /// blocked-short, following Figure 7's definition: blocked-long means the
     /// instruction is a load that missed in L2 or (transitively) depends on
-    /// one. Uses the epoch-stamped scratch marks, so sampling allocates
-    /// nothing.
+    /// one. Delegates to the in-flight table's compact sample mirror with
+    /// the epoch-stamped scratch marks, so sampling allocates nothing and
+    /// touches ~20 bytes per window slot.
     fn live_breakdown(&mut self) -> (usize, usize) {
         self.long_epoch += 1;
-        let epoch = self.long_epoch;
-        let mark = |marks: &mut Vec<u64>, p: PhysReg| {
-            let i = p.index();
-            if i >= marks.len() {
-                marks.resize(i + 1, 0);
-            }
-            marks[i] = epoch;
-        };
-        for fl in self.inflight.values() {
-            if fl.is_long_latency_load() && !fl.is_done() {
-                if let Some(p) = fl.dest_phys {
-                    mark(&mut self.long_marks, p);
-                }
-            }
-        }
-        let mut long = 0usize;
-        let mut short = 0usize;
-        for fl in self.inflight.values() {
-            if !fl.is_live() {
-                continue;
-            }
-            let blocked_long = fl
-                .src_phys
-                .iter()
-                .any(|p| self.long_marks.get(p.index()) == Some(&epoch));
-            if blocked_long {
-                long += 1;
-                if let Some(p) = fl.dest_phys {
-                    let i = p.index();
-                    if i >= self.long_marks.len() {
-                        self.long_marks.resize(i + 1, 0);
-                    }
-                    self.long_marks[i] = epoch;
-                }
-            } else {
-                short += 1;
-            }
-        }
-        (long, short)
+        self.inflight
+            .sample_breakdown(&mut self.long_marks, self.long_epoch)
     }
 }
 

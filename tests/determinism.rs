@@ -139,6 +139,61 @@ fn fast_forward_speeds_up_the_memory_bound_kernel() {
     );
 }
 
+/// The committed `bench/baseline.json` cycle counts for the checkpointed
+/// engine over the full quick suite, pinned in-source so any hot-path
+/// refactor is proved cycle-neutral by `cargo test` alone — before the CI
+/// bench gate even runs. Every combination of ingestion mode and
+/// fast-forward must land on exactly these numbers.
+#[test]
+fn cooo_quick_suite_cycles_are_pinned_in_all_modes() {
+    use koc_bench::harness::{engines, specs, QUICK_TRACE_LEN};
+    use koc_sim::Processor;
+
+    const PINNED: &[(&str, u64, u64)] = &[
+        ("stream_add", 4_183, 8_004),
+        ("stencil27", 4_460, 8_100),
+        ("dense_blocked", 3_623, 8_140),
+        ("reduction", 5_608, 8_008),
+        ("gather", 4_516, 8_070),
+        ("pointer_chase", 6_458_795, 8_000),
+        ("stream_mlp", 3_933, 8_024),
+    ];
+    let config = engines()
+        .iter()
+        .find(|(name, _)| *name == "cooo")
+        .expect("harness exposes the cooo engine")
+        .1;
+    let specs = specs(QUICK_TRACE_LEN);
+    assert_eq!(specs.len(), PINNED.len(), "quick suite changed shape");
+    for (spec, &(name, cycles, retired)) in specs.iter().zip(PINNED) {
+        assert_eq!(spec.name(), name, "quick suite changed order");
+        for fast_forward in [true, false] {
+            // Stepping pointer_chase's ~6.5M almost-all-idle cycles one by
+            // one is prohibitive under debug codegen; the release CI bench
+            // job runs the full matrix, and fast-forward equivalence is
+            // separately pinned above on every engine/backend combination.
+            if cfg!(debug_assertions) && name == "pointer_chase" && !fast_forward {
+                continue;
+            }
+            let config = config.with_fast_forward(fast_forward);
+            let materialized = spec.materialize();
+            for streamed in [false, true] {
+                let stats = if streamed {
+                    Processor::new(config, spec.source()).run()
+                } else {
+                    Processor::new(config, &materialized.trace).run()
+                };
+                assert_eq!(
+                    (stats.cycles, stats.committed_instructions),
+                    (cycles, retired),
+                    "{name}: cooo cycles must stay pinned \
+                     (streamed={streamed}, fast_forward={fast_forward})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn budgeted_runs_are_deterministic_and_bounded() {
     let run = || {
