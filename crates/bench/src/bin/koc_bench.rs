@@ -30,6 +30,7 @@ fn print_usage() {
     eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH] [--list]");
     eprintln!("                         [--only WORKLOAD] [--engine baseline|cooo]");
     eprintln!("                         [--source streamed|materialized]");
+    eprintln!("       koc-bench stats [--workload NAME] [--engine baseline|cooo] [--full]");
     eprintln!("       koc-bench compare --baseline PATH --current PATH");
     eprintln!("                         [--cycle-tolerance F] [--max-slowdown F]");
     eprintln!("                         [--min-mcps ENGINE:F]...");
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("harness") => run_harness(&args[1..]),
+        Some("stats") => run_stats(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("--help") | Some("-h") => {
             print_usage();
@@ -130,6 +132,78 @@ fn run_harness(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// `koc-bench stats`: run one (workload, engine) pair and print the full
+/// per-run statistics table — every public `SimStats` counter, one row
+/// each (see `report::stats_table`).
+fn run_stats(args: &[String]) -> ExitCode {
+    let mut workload: Option<String> = None;
+    let mut engine_name = "cooo".to_string();
+    let mut quick = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--workload requires a name (see harness --list)");
+                    return ExitCode::FAILURE;
+                };
+                workload = Some(name.clone());
+                i += 2;
+            }
+            "--engine" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--engine requires 'baseline' or 'cooo'");
+                    return ExitCode::FAILURE;
+                };
+                engine_name = name.clone();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--full" => {
+                quick = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown stats option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let trace_len = if quick {
+        harness::QUICK_TRACE_LEN
+    } else {
+        harness::FULL_TRACE_LEN
+    };
+    let mut specs = harness::specs(trace_len);
+    if let Some(only) = &workload {
+        specs.retain(|s| s.name() == only);
+    }
+    let Some(spec) = specs.first() else {
+        eprintln!(
+            "unknown workload {:?} (available: {})",
+            workload,
+            harness::workload_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some((engine, config)) = harness::engines()
+        .into_iter()
+        .find(|(n, _)| *n == engine_name)
+    else {
+        eprintln!("unknown engine '{engine_name}' (available: baseline, cooo)");
+        return ExitCode::FAILURE;
+    };
+    let w = spec.materialize();
+    let stats = koc_sim::Processor::new(config, &w.trace).run();
+    let title = format!("Run statistics — {} / {engine}", spec.name());
+    println!("{}", koc_bench::report::stats_table(title, &stats));
     ExitCode::SUCCESS
 }
 

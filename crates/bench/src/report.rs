@@ -1,4 +1,11 @@
-//! Plain-text tabular reports, one per experiment.
+//! Plain-text tabular reports, one per experiment, plus the full
+//! per-run statistics table ([`stats_table`]) that gives every public
+//! counter in [`SimStats`] a formatted row. `koc-lint`'s `stats-coverage`
+//! rule checks this file mentions every public stat field, so a newly
+//! added counter cannot silently stay invisible in bench output.
+
+use koc_core::RetireClass;
+use koc_sim::{Distribution, SimStats};
 
 /// A formatted experiment report: a title, column headers, data rows and
 /// free-form notes relating the result to the paper.
@@ -89,6 +96,122 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Formats one [`Distribution`] field as mean / p50 / p90 / max rows.
+fn distribution_rows(prefix: &str, d: &Distribution, rows: &mut Vec<(String, String)>) {
+    rows.push((format!("{prefix}.mean"), format!("{:.2}", d.mean())));
+    rows.push((format!("{prefix}.p50"), d.percentile(0.50).to_string()));
+    rows.push((format!("{prefix}.p90"), d.percentile(0.90).to_string()));
+    rows.push((format!("{prefix}.max"), d.max().to_string()));
+}
+
+/// Every public field of [`SimStats`] (including the nested recovery,
+/// stall, branch and memory statistics) as `(name, formatted value)` rows.
+///
+/// This is the exhaustive-coverage point the `stats-coverage` lint rule
+/// anchors on: adding a public field to a stats struct without formatting
+/// it here fails `koc-lint`.
+pub fn stats_rows(stats: &SimStats) -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut push = |name: &str, value: String| rows.push((name.to_string(), value));
+
+    push("cycles", stats.cycles.to_string());
+    push(
+        "committed_instructions",
+        stats.committed_instructions.to_string(),
+    );
+    push(
+        "dispatched_instructions",
+        stats.dispatched_instructions.to_string(),
+    );
+    push("ipc", format!("{:.4}", stats.ipc()));
+    push("checkpoints_taken", stats.checkpoints_taken.to_string());
+    push(
+        "checkpoints_committed",
+        stats.checkpoints_committed.to_string(),
+    );
+    push(
+        "checkpoints_squashed",
+        stats.checkpoints_squashed.to_string(),
+    );
+    push("sliq_moved", stats.sliq_moved.to_string());
+    push("sliq_high_water", stats.sliq_high_water.to_string());
+    push("replay_window_peak", stats.replay_window_peak.to_string());
+    push("budget_exhausted", stats.budget_exhausted.to_string());
+
+    distribution_rows("inflight", &stats.inflight, &mut rows);
+    distribution_rows("live", &stats.live, &mut rows);
+    distribution_rows("live_long", &stats.live_long, &mut rows);
+    distribution_rows("live_short", &stats.live_short, &mut rows);
+
+    let mut push = |name: &str, value: String| rows.push((name.to_string(), value));
+    for &class in RetireClass::all() {
+        push(
+            &format!("retire_breakdown.{class:?}"),
+            format!("{:.4}", stats.retire_breakdown.fraction(class)),
+        );
+    }
+
+    push("branches.predicted", stats.branches.predicted.to_string());
+    push(
+        "branches.mispredicted",
+        stats.branches.mispredicted.to_string(),
+    );
+
+    let r = &stats.recoveries;
+    push("recoveries.near_recoveries", r.near_recoveries.to_string());
+    push(
+        "recoveries.checkpoint_rollbacks",
+        r.checkpoint_rollbacks.to_string(),
+    );
+    push("recoveries.exceptions", r.exceptions.to_string());
+    push(
+        "recoveries.squashed_instructions",
+        r.squashed_instructions.to_string(),
+    );
+    push(
+        "recoveries.reexecuted_instructions",
+        r.reexecuted_instructions.to_string(),
+    );
+
+    let s = &stats.stalls;
+    push("stalls.iq_full", s.iq_full.to_string());
+    push("stalls.rob_full", s.rob_full.to_string());
+    push("stalls.lsq_full", s.lsq_full.to_string());
+    push("stalls.regs_full", s.regs_full.to_string());
+    push("stalls.redirect", s.redirect.to_string());
+    push("stalls.checkpoint_full", s.checkpoint_full.to_string());
+
+    let m = &stats.memory;
+    push("memory.data_accesses", m.data_accesses.to_string());
+    push("memory.store_accesses", m.store_accesses.to_string());
+    push("memory.inst_accesses", m.inst_accesses.to_string());
+    push("memory.dl1_hits", m.dl1_hits.to_string());
+    push("memory.dl1_misses", m.dl1_misses.to_string());
+    push("memory.l2_hits", m.l2_hits.to_string());
+    push("memory.l2_misses", m.l2_misses.to_string());
+    push("memory.mshr_full_stalls", m.mshr_full_stalls.to_string());
+    push("memory.row_buffer_hits", m.row_buffer_hits.to_string());
+    push("memory.row_buffer_misses", m.row_buffer_misses.to_string());
+    push(
+        "memory.row_buffer_conflicts",
+        m.row_buffer_conflicts.to_string(),
+    );
+    push("memory.prefetch_issued", m.prefetch_issued.to_string());
+    push("memory.prefetch_useful", m.prefetch_useful.to_string());
+
+    rows
+}
+
+/// The full per-run statistics as a rendered [`Report`].
+pub fn stats_table(title: impl Into<String>, stats: &SimStats) -> Report {
+    let mut report = Report::new(title, &["stat", "value"]);
+    for (name, value) in stats_rows(stats) {
+        report.push_row(vec![name, value]);
+    }
+    report.push_note("every public SimStats field has a row (enforced by koc-lint stats-coverage)");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +234,55 @@ mod tests {
     fn display_matches_render() {
         let r = Report::new("T", &["a"]);
         assert_eq!(r.to_string(), r.render());
+    }
+
+    #[test]
+    fn stats_rows_cover_every_top_level_field_and_nested_group() {
+        let rows = stats_rows(&SimStats::default());
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "cycles",
+            "committed_instructions",
+            "dispatched_instructions",
+            "checkpoints_taken",
+            "checkpoints_committed",
+            "checkpoints_squashed",
+            "sliq_moved",
+            "sliq_high_water",
+            "replay_window_peak",
+            "budget_exhausted",
+            "inflight.mean",
+            "live.mean",
+            "live_long.mean",
+            "live_short.mean",
+            "retire_breakdown.Moved",
+            "branches.predicted",
+            "branches.mispredicted",
+            "recoveries.near_recoveries",
+            "stalls.iq_full",
+            "memory.prefetch_useful",
+        ] {
+            assert!(names.contains(&expected), "missing row {expected}");
+        }
+        // One row per value: no duplicates that could mask a missing field.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn stats_table_renders_all_rows() {
+        let stats = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            ..Default::default()
+        };
+        let table = stats_table("Run stats", &stats);
+        let text = table.render();
+        assert!(text.contains("== Run stats =="));
+        assert!(text.contains("ipc"));
+        assert!(text.contains("2.5000"));
+        assert_eq!(table.rows.len(), stats_rows(&stats).len());
     }
 }

@@ -244,7 +244,7 @@ impl CheckpointTable {
         let c = self
             .entries
             .back_mut()
-            .expect("dispatch requires a live checkpoint");
+            .expect("dispatch requires a live checkpoint"); // koc-lint: allow(panic, "pipeline dispatches only with a live checkpoint")
         c.pending += 1;
         c.total_insts += 1;
         if is_store {
@@ -260,7 +260,7 @@ impl CheckpointTable {
     /// Panics if the checkpoint does not exist or its counter would
     /// underflow — both indicate a bookkeeping bug in the pipeline.
     pub fn on_complete(&mut self, id: CheckpointId) {
-        let c = self.get_mut(id).expect("completion for unknown checkpoint");
+        let c = self.get_mut(id).expect("completion for unknown checkpoint"); // koc-lint: allow(panic, "completion events come only from dispatched instructions")
         assert!(c.pending > 0, "checkpoint {id} pending counter underflow");
         c.pending -= 1;
     }
@@ -333,7 +333,7 @@ impl CheckpointTable {
     /// `false` with `trace_done == true` semantics disabled; callers are
     /// expected to check first.
     pub fn commit_oldest(&mut self) -> Checkpoint {
-        let c = self.entries.pop_front().expect("no checkpoint to commit");
+        let c = self.entries.pop_front().expect("no checkpoint to commit"); // koc-lint: allow(panic, "caller checks has_committable first")
         assert!(
             c.pending == 0,
             "committing a checkpoint with pending instructions"
@@ -353,9 +353,9 @@ impl CheckpointTable {
     pub fn rollback_to(&mut self, id: CheckpointId) -> (RenameCheckpoint, InstId) {
         let pos = self
             .position_of(id)
-            .expect("rollback target checkpoint not found");
+            .expect("rollback target checkpoint not found"); // koc-lint: allow(panic, "rollback targets a checkpoint this table handed out")
         self.entries.truncate(pos + 1);
-        let c = self.entries.back_mut().expect("target survives truncation");
+        let c = self.entries.back_mut().expect("target survives truncation"); // koc-lint: allow(panic, "truncate keeps the target as the back entry")
         c.pending = 0;
         c.total_insts = 0;
         c.stores = 0;

@@ -150,7 +150,7 @@ impl<V> FlatMap<V> {
             .iter()
             .zip(&self.vals)
             .filter(|(&k, _)| k != EMPTY)
-            .map(|(&k, v)| (k, v.as_ref().expect("occupied slot")))
+            .map(|(&k, v)| (k, v.as_ref().expect("occupied slot"))) // koc-lint: allow(panic, "non-EMPTY key implies an occupied slot")
     }
 
     /// Removes every entry.
@@ -173,7 +173,7 @@ impl<V> FlatMap<V> {
         self.len = 0;
         for (k, v) in old_keys.into_iter().zip(old_vals) {
             if k != EMPTY {
-                let v = v.expect("occupied slot");
+                let v = v.expect("occupied slot"); // koc-lint: allow(panic, "non-EMPTY key implies an occupied slot")
                 self.insert(k, v);
             }
         }

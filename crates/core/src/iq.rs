@@ -169,7 +169,7 @@ impl InstructionQueue {
             let live: Vec<_> = std::mem::take(heap)
                 .into_iter()
                 .filter(|&Reverse((i, t))| slots.get(i).is_some_and(|s| s.token == t))
-                .collect();
+                .collect(); // koc-lint: allow(hot-path-alloc, "amortized compaction; runs only when stale entries outnumber live 4:1")
             *heap = BinaryHeap::from(live);
         }
     }
@@ -260,7 +260,7 @@ impl InstructionQueue {
         self.capacity = usize::MAX;
         let result = self.insert(entry, is_ready);
         self.capacity = capacity;
-        result.expect("unbounded insert cannot fail");
+        result.expect("unbounded insert cannot fail"); // koc-lint: allow(panic, "capacity is lifted for this insert; it cannot be full")
     }
 
     /// Broadcasts that `reg` now holds its value, waking dependent entries.
@@ -297,7 +297,7 @@ impl InstructionQueue {
         fu_available: &mut [usize; FuClass::COUNT],
         max_total: usize,
     ) -> Vec<IqEntry> {
-        let mut picked = Vec::new();
+        let mut picked = Vec::new(); // koc-lint: allow(hot-path-alloc, "compat wrapper; the hot loop uses select_ready_into with a reused buffer")
         self.select_ready_into(fu_available, max_total, &mut picked);
         picked
     }
@@ -331,7 +331,7 @@ impl InstructionQueue {
             taken += 1;
             self.ready[k].pop();
             self.ready_total -= 1;
-            let slot = self.slots.remove(inst).expect("ready entry exists");
+            let slot = self.slots.remove(inst).expect("ready entry exists"); // koc-lint: allow(panic, "the ready heap only lists live slots after the stale check")
             picked.push(slot.entry);
         }
     }
@@ -354,10 +354,10 @@ impl InstructionQueue {
             .slots
             .iter()
             .filter_map(|(inst, _)| (inst >= from).then_some(inst))
-            .collect();
-        let mut out = Vec::with_capacity(doomed.len());
+            .collect(); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
+        let mut out = Vec::with_capacity(doomed.len()); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
         for inst in doomed {
-            let slot = self.slots.remove(inst).expect("listed entry exists");
+            let slot = self.slots.remove(inst).expect("listed entry exists"); // koc-lint: allow(panic, "doomed ids were just listed from the slots")
             if slot.outstanding == 0 {
                 self.ready_total -= 1;
             }
@@ -375,7 +375,7 @@ impl InstructionQueue {
     /// The queued entries in program order (collected; the queue itself is
     /// unordered flat storage).
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        let mut entries: Vec<&IqEntry> = self.slots.iter().map(|(_, s)| &s.entry).collect();
+        let mut entries: Vec<&IqEntry> = self.slots.iter().map(|(_, s)| &s.entry).collect(); // koc-lint: allow(hot-path-alloc, "diagnostic iteration for tests and dumps, not the cycle loop")
         entries.sort_unstable_by_key(|e| e.inst);
         entries.into_iter()
     }

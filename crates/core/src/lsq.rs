@@ -110,7 +110,7 @@ impl LoadStoreQueue {
         let mut drained_stores = Vec::new();
         while let Some(front) = self.entries.front() {
             if front.inst < frontier {
-                let e = self.entries.pop_front().expect("front exists");
+                let e = self.entries.pop_front().expect("front exists"); // koc-lint: allow(panic, "front was just peeked as Some")
                 if e.is_store {
                     self.stores_released += 1;
                     drained_stores.push(e);

@@ -176,10 +176,10 @@ impl PseudoRob {
     /// youngest first — the walk-back order required to undo renames.
     /// The entry for `inst` itself is retained.
     pub fn squash_younger_than(&mut self, inst: InstId) -> Vec<PseudoRobEntry> {
-        let mut squashed = Vec::new();
+        let mut squashed = Vec::new(); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
         while let Some(back) = self.entries.back() {
             if back.inst > inst {
-                squashed.push(self.entries.pop_back().expect("back exists"));
+                squashed.push(self.entries.pop_back().expect("back exists")); // koc-lint: allow(panic, "back was just peeked as Some")
             } else {
                 break;
             }
@@ -190,10 +190,10 @@ impl PseudoRob {
     /// Removes every entry at or after trace position `from`, youngest first
     /// (used on checkpoint rollback).
     pub fn squash_from(&mut self, from: InstId) -> Vec<PseudoRobEntry> {
-        let mut squashed = Vec::new();
+        let mut squashed = Vec::new(); // koc-lint: allow(hot-path-alloc, "checkpoint-rollback squash, not per cycle")
         while let Some(back) = self.entries.back() {
             if back.inst >= from {
-                squashed.push(self.entries.pop_back().expect("back exists"));
+                squashed.push(self.entries.pop_back().expect("back exists")); // koc-lint: allow(panic, "back was just peeked as Some")
             } else {
                 break;
             }

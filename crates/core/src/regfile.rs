@@ -135,7 +135,7 @@ impl PhysRegFile {
     pub fn free_list_snapshot(&self) -> Vec<bool> {
         (0..self.num_regs)
             .map(|i| self.free_words[i / 64] & (1u64 << (i % 64)) != 0)
-            .collect()
+            .collect() // koc-lint: allow(hot-path-alloc, "checkpoint snapshot, taken per checkpoint not per cycle")
     }
 
     /// Restores the free list from a snapshot taken by

@@ -159,7 +159,7 @@ impl CamRenameMap {
         self.future_free_list.clear();
         regs.restore_free_list(&snapshot.free_list);
         // Rebuild the logical→physical shadow map from the valid column.
-        self.map = vec![None; NUM_ARCH_REGS];
+        self.map = vec![None; NUM_ARCH_REGS]; // koc-lint: allow(hot-path-alloc, "checkpoint-rollback restore, not per cycle")
         for (i, &v) in self.valid.iter().enumerate() {
             if v {
                 self.map[self.logical[i] as usize] = Some(PhysReg(i as u32));

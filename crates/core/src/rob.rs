@@ -106,6 +106,7 @@ impl ReorderBuffer {
         while committed.len() < width {
             match self.entries.front() {
                 Some(e) if e.finished => {
+                    // koc-lint: allow(panic, "front was just matched as finished")
                     committed.push(self.entries.pop_front().expect("front exists"))
                 }
                 _ => break,
@@ -120,7 +121,7 @@ impl ReorderBuffer {
         let mut squashed = Vec::new();
         while let Some(back) = self.entries.back() {
             if back.inst > inst {
-                squashed.push(self.entries.pop_back().expect("back exists"));
+                squashed.push(self.entries.pop_back().expect("back exists")); // koc-lint: allow(panic, "back was just peeked as Some")
             } else {
                 break;
             }

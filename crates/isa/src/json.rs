@@ -194,7 +194,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         // Multi-byte UTF-8: copy the whole code point.
                         let rest = std::str::from_utf8(&bytes[*pos..])
                             .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                        let c = rest.chars().next().expect("non-empty");
+                        let c = rest.chars().next().expect("non-empty"); // koc-lint: allow(panic, "from_utf8 succeeded on a non-empty suffix")
                         s.push(c);
                         *pos += c.len_utf8();
                     }
@@ -220,8 +220,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }) {
                 *pos += 1;
             }
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII");
-            // Keep integers exact; only genuine floats go through f64.
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII"); // koc-lint: allow(panic, "the scanned range is ASCII digits and signs")
+                                                                                 // Keep integers exact; only genuine floats go through f64.
             if let Ok(i) = text.parse::<u64>() {
                 return Ok(Json::Int(i));
             }

@@ -275,6 +275,7 @@ impl<'a> ReplayWindow<'a> {
         );
         self.buf
             .get(id - self.base)
+            // koc-lint: allow(panic, "ReplayWindow contract: only fetched ids may be looked up")
             .unwrap_or_else(|| panic!("instruction {id} has not been fetched yet"))
     }
 

@@ -1,0 +1,466 @@
+//! A minimal hand-rolled Rust lexer, in the spirit of the workspace's JSON
+//! reader ([`koc_isa::json`]): just enough tokenization that the rules can
+//! pattern-match token sequences without false positives inside string
+//! literals or comments.
+//!
+//! The lexer is line-accurate (every token carries its 1-based source line)
+//! and understands the constructs that would otherwise confuse a textual
+//! scan: nested block comments, string/char/byte literals with escapes, raw
+//! strings with arbitrary `#` fencing, and the lifetime-vs-char-literal
+//! ambiguity after `'`.
+//!
+//! [`koc_isa::json`]: https://example.org/koc/koc_isa/json/
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`.` `:` `!` `{` …). Multi-character
+    /// operators are emitted as consecutive tokens (`::` is `:` `:`).
+    Punct,
+    /// Numeric literal (including suffixes, `0x…`, …).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — kept distinct so it is never mistaken for code.
+    Lifetime,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment (text includes the delimiters; nesting handled).
+    BlockComment,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The lexeme text, verbatim from the source.
+    pub text: String,
+    /// 1-based source line of the lexeme's first character.
+    pub line: u32,
+    /// Whether this token is the first token on its source line.
+    pub first_on_line: bool,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into tokens. The lexer never fails: malformed input
+/// degrades to punctuation tokens, which at worst makes a rule miss a
+/// pattern — acceptable for a linter that runs on code `rustc` already
+/// accepted.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_had_token: false,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a token has already been emitted for the current line.
+    line_had_token: bool,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_had_token = false;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ => {
+                    let start = self.pos;
+                    // Multi-byte UTF-8 only occurs inside literals/comments
+                    // in valid Rust; consume the whole code point anyway.
+                    self.pos += utf8_len(b);
+                    self.emit(TokKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize) {
+        // Truncated literals at EOF may have stepped past the end.
+        self.pos = self.pos.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind,
+            text,
+            line: self.line,
+            first_on_line: !self.line_had_token,
+        });
+        self.line_had_token = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.emit(TokKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::BlockComment,
+            text,
+            line: start_line,
+            first_on_line: !self.line_had_token,
+        });
+        self.line_had_token = true;
+    }
+
+    /// Consumes a `"…"` string starting at the current `"` (the token spans
+    /// from `start`, which may include a `b` prefix already consumed).
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Str,
+            text,
+            line: start_line,
+            first_on_line: !self.line_had_token,
+        });
+        self.line_had_token = true;
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'` and raw
+    /// identifiers (`r#ident`). Returns `false` when the current position
+    /// is a plain identifier starting with `r`/`b` (the caller then lexes
+    /// it as an identifier).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.pos;
+        let mut i = self.pos;
+        let first = self.bytes[i];
+        i += 1;
+        if first == b'b' && self.bytes.get(i) == Some(&b'r') {
+            i += 1;
+        }
+        // Count raw-string fencing.
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.bytes.get(i) {
+            Some(b'"') if first == b'r' || self.bytes[start + 1] == b'r' || hashes == 0 => {
+                if first == b'b' && self.bytes[start + 1] != b'r' && hashes > 0 {
+                    return false; // `b#` is not a literal
+                }
+                if first == b'r' || self.bytes[start + 1] == b'r' {
+                    self.raw_string(start, i, hashes);
+                    return true;
+                }
+                // b"…": plain string with a prefix.
+                self.pos = i;
+                self.string(start);
+                true
+            }
+            Some(b'\'') if first == b'b' && hashes == 0 => {
+                self.pos = i;
+                self.byte_char(start);
+                true
+            }
+            Some(c) if hashes == 1 && first == b'r' && is_ident_char(*c) => {
+                // Raw identifier r#ident.
+                self.pos = i;
+                while self.pos < self.bytes.len() && is_ident_char(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a raw string whose opening `"` is at `quote`, fenced by
+    /// `hashes` `#` characters.
+    fn raw_string(&mut self, start: usize, quote: usize, hashes: usize) {
+        let start_line = self.line;
+        self.pos = quote + 1;
+        'outer: while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'"' => {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.bytes.get(self.pos + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.pos += 1 + hashes;
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Str,
+            text,
+            line: start_line,
+            first_on_line: !self.line_had_token,
+        });
+        self.line_had_token = true;
+    }
+
+    /// Consumes a byte-char literal `b'…'` whose `'` is at the current
+    /// position (the token spans from `start`).
+    fn byte_char(&mut self, start: usize) {
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Char, start);
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // Escaped chars are always literals.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // ' and backslash
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.bytes.len());
+            self.emit(TokKind::Char, start);
+            return;
+        }
+        // `'x'` (any single code point followed by a quote) is a literal;
+        // `'ident` with no closing quote is a lifetime.
+        if let Some(c) = self.peek(1) {
+            let len = utf8_len(c);
+            if self.peek(1 + len) == Some(b'\'') {
+                self.pos += 2 + len;
+                self.emit(TokKind::Char, start);
+                return;
+            }
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() && is_ident_char(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Lifetime, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        // Digits, hex/bin/octal bodies, `_` separators, type suffixes and
+        // float forms are all ident-ish characters plus `.` when followed
+        // by a digit (so `0.5` is one token but `x.0` field access is not).
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if is_ident_char(b) || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit())) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.emit(TokKind::Num, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_char(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Ident, start);
+    }
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 code point starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn main() {\n    x.y\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        assert_eq!(toks[0].line, 1);
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+        assert!(x.first_on_line);
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert!(!y.first_on_line);
+    }
+
+    #[test]
+    fn strings_swallow_code_like_content() {
+        let toks = kinds(r#"let s = "Vec::new() // not a comment";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert!(!toks.iter().any(|(_, t)| t == "Vec"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_and_fencing() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; done"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("inside")));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("a // trailing note\n/* block\nspan */ b");
+        assert!(toks[1].text.contains("trailing note"));
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert_eq!(toks[3].line, 3, "line counting crosses block comments");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = kinds("let x = 0.5 + 1_000u64 + 0xFF; y.0");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0.5", "1_000u64", "0xFF", "0"]);
+    }
+
+    #[test]
+    fn byte_and_raw_ident_forms() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'\n'; let r#fn = 1;"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("b\"")));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+    }
+}

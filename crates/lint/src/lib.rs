@@ -1,0 +1,250 @@
+//! `koc-lint`: repo-native static analysis for the koc workspace.
+//!
+//! The simulator's correctness claims rest on properties `rustc` does not
+//! check: the per-cycle hot path must not allocate, cycle counts must be
+//! bit-exact across runs (so no hash-order iteration, no wall-clock, no
+//! unseeded randomness in the simulation crates), library code must not
+//! panic without a written justification, and no crate may contain
+//! `unsafe`. This crate turns each of those conventions into a named,
+//! machine-checked rule over a hand-rolled Rust lexer — in the same
+//! no-external-dependencies style as `koc_isa::json` — so CI fails when a
+//! change violates one, instead of a human noticing in review (or a
+//! nondeterministic benchmark noticing much later).
+//!
+//! Rules are suppressible per line with
+//! `// koc-lint: allow(<rule>, "reason")`; the reason is mandatory, and a
+//! marker that suppresses nothing is itself reported, so the set of waivers
+//! in the tree stays live and auditable. Findings are emitted both
+//! human-readable and as machine-readable JSON (the `koc-lint/1` schema)
+//! for CI artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lex;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use rules::Finding;
+
+use scan::FileScan;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a tree: what `koc-lint` prints and serializes.
+#[derive(Debug, Serialize)]
+pub struct LintReport {
+    /// Report format identifier.
+    pub schema: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings an `allow` marker silenced (they do not gate).
+    pub suppressed: usize,
+    /// Unsuppressed findings with severity `error`.
+    pub errors: usize,
+    /// Unsuppressed findings with severity `warning`.
+    pub warnings: usize,
+    /// The unsuppressed findings, sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether the tree is clean: any unsuppressed finding fails the run,
+    /// warnings included (severity is diagnostic detail, not a gate tier).
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints the workspace at `root` under `config`.
+///
+/// # Errors
+/// Returns a message when a configured scan root cannot be read. Rule
+/// violations are *not* errors — they come back inside the report.
+pub fn lint_root(root: &Path, config: &Config) -> Result<LintReport, String> {
+    let mut files = Vec::new();
+    for scan_root in &config.roots {
+        collect_rs_files(&root.join(scan_root), &mut files)?;
+    }
+    // Deterministic order regardless of directory enumeration order.
+    files.sort();
+
+    let mut scans = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if config.exclude.iter().any(|e| rel.starts_with(e.as_str())) {
+            continue;
+        }
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scans.push(FileScan::new(rel, &source));
+    }
+
+    let mut findings = Vec::new();
+    for scan in &scans {
+        rules::check_file(scan, config, &mut findings);
+        for (line, message) in &scan.bad_markers {
+            findings.push(Finding {
+                rule: "suppression".to_string(),
+                severity: "error".to_string(),
+                file: scan.path.clone(),
+                line: *line,
+                message: message.clone(),
+            });
+        }
+    }
+    rules::check_crate_roots(&scans, config, &mut findings);
+    rules::check_stats_coverage(&scans, config, &mut findings);
+
+    Ok(apply_suppressions(scans, findings))
+}
+
+/// Splits raw findings into suppressed and live, and reports unused
+/// markers so stale waivers cannot linger.
+fn apply_suppressions(scans: Vec<FileScan>, raw: Vec<Finding>) -> LintReport {
+    let mut suppressed = 0usize;
+    let mut live: Vec<Finding> = Vec::new();
+    // Marker usage is tracked per (file index, allow index).
+    let mut used: Vec<Vec<bool>> = scans.iter().map(|s| vec![false; s.allows.len()]).collect();
+
+    for finding in raw {
+        // Malformed-marker findings are themselves unsuppressable.
+        let covering = (finding.rule != "suppression")
+            .then(|| {
+                scans.iter().enumerate().find_map(|(si, s)| {
+                    if s.path != finding.file {
+                        return None;
+                    }
+                    s.allows
+                        .iter()
+                        .position(|a| {
+                            a.rule == finding.rule
+                                && (a.target_line == finding.line || a.line == finding.line)
+                        })
+                        .map(|ai| (si, ai))
+                })
+            })
+            .flatten();
+        match covering {
+            Some((si, ai)) => {
+                used[si][ai] = true;
+                suppressed += 1;
+            }
+            None => live.push(finding),
+        }
+    }
+
+    for (si, scan) in scans.iter().enumerate() {
+        for (ai, allow) in scan.allows.iter().enumerate() {
+            if !used[si][ai] {
+                live.push(Finding {
+                    rule: "suppression".to_string(),
+                    severity: "warning".to_string(),
+                    file: scan.path.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "allow({}) marker suppresses nothing — remove the \
+                         stale waiver",
+                        allow.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    live.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    let errors = live.iter().filter(|f| f.severity == "error").count();
+    let warnings = live.len() - errors;
+    LintReport {
+        schema: "koc-lint/1".to_string(),
+        files_scanned: scans.len(),
+        suppressed,
+        errors,
+        warnings,
+        findings: live,
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (which must exist).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+        if ty.is_dir() {
+            // `target/` never holds source we own.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_matching_rule_on_matching_line_only() {
+        let scans = vec![FileScan::new(
+            "crates/sim/src/x.rs".into(),
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // koc-lint: allow(panic, \"test invariant\")\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let raw = vec![
+            Finding {
+                rule: "panic".into(),
+                severity: "error".into(),
+                file: "crates/sim/src/x.rs".into(),
+                line: 1,
+                message: "m".into(),
+            },
+            Finding {
+                rule: "panic".into(),
+                severity: "error".into(),
+                file: "crates/sim/src/x.rs".into(),
+                line: 2,
+                message: "m".into(),
+            },
+        ];
+        let report = apply_suppressions(scans, raw);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn unused_markers_are_reported() {
+        let scans = vec![FileScan::new(
+            "crates/sim/src/x.rs".into(),
+            "// koc-lint: allow(panic, \"nothing here panics\")\nfn f() {}\n",
+        )];
+        let report = apply_suppressions(scans, Vec::new());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "suppression");
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = apply_suppressions(Vec::new(), Vec::new());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"koc-lint/1\""), "{json}");
+        assert!(json.contains("\"findings\":[]"), "{json}");
+    }
+}

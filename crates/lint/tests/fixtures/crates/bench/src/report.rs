@@ -1,0 +1,5 @@
+//! stats-coverage fixture consumer: mentions `covered` but not `orphaned`.
+
+pub fn rows(covered: u64) -> Vec<(String, String)> {
+    vec![("covered".to_string(), covered.to_string())]
+}

@@ -1,0 +1,6 @@
+//! Fixture crate root MISSING `#![forbid(unsafe_code)]` and containing an
+//! `unsafe` block: two unsafe-policy findings.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

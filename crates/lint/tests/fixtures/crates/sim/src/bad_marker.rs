@@ -1,0 +1,9 @@
+//! suppression fixture: a reasonless marker, an unknown rule, and a stale
+//! marker that suppresses nothing — three unsuppressable findings.
+
+pub fn nothing() -> u64 {
+    // koc-lint: allow(panic)
+    // koc-lint: allow(no-such-rule, "typo")
+    // koc-lint: allow(determinism, "stale: nothing here to suppress")
+    7
+}

@@ -1,0 +1,41 @@
+//! hot-path-alloc fixture: flagged allocations, a cold-fn exemption, a
+//! suppressed site, and a `#[cfg(test)]` false-positive case.
+
+pub struct Hot {
+    buf: Vec<u64>,
+}
+
+impl Hot {
+    /// `new` is in cold_fns: these allocations are exempt.
+    pub fn new() -> Hot {
+        Hot {
+            buf: Vec::with_capacity(64),
+        }
+    }
+
+    /// Flagged: Vec::new on the hot path.
+    pub fn tick(&mut self) {
+        let scratch: Vec<u64> = Vec::new();
+        drop(scratch);
+    }
+
+    /// Flagged: .collect() and format! on the hot path.
+    pub fn drain(&mut self) -> String {
+        let all: Vec<u64> = self.buf.iter().copied().collect();
+        format!("{all:?}")
+    }
+
+    /// Suppressed with a reason: does not gate.
+    pub fn rollback(&mut self) -> Vec<u64> {
+        self.buf.to_vec() // koc-lint: allow(hot-path-alloc, "recovery path, not per cycle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.len(), 3);
+    }
+}

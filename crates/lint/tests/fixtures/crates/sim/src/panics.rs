@@ -1,0 +1,32 @@
+//! panic fixture: flagged unwrap/expect/panic!, a justified suppression,
+//! non-panicking lookalikes, and test-code exemption.
+
+/// Flagged: unwrap in library code.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+/// Flagged: panic! in library code.
+pub fn boom() {
+    panic!("nope");
+}
+
+/// Suppressed with a written invariant.
+pub fn checked_first(v: &[u64]) -> u64 {
+    // koc-lint: allow(panic, "caller guarantees v is non-empty")
+    *v.first().expect("non-empty by contract")
+}
+
+/// Not flagged: unwrap_or is total.
+pub fn first_or_zero(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

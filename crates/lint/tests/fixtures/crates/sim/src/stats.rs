@@ -1,0 +1,12 @@
+//! stats-coverage fixture: `covered` appears in the consumer, `orphaned`
+//! does not (one finding).
+
+/// Fixture stats struct.
+pub struct FixtureStats {
+    /// Referenced by the consumer.
+    pub covered: u64,
+    /// Never referenced by the consumer: flagged.
+    pub orphaned: u64,
+    // Private fields are not part of the contract.
+    internal: u64,
+}

@@ -263,7 +263,7 @@ impl SelfSchedule {
             if cycle > now {
                 break;
             }
-            let (_, batch) = self.due.pop_first().expect("checked non-empty");
+            let (_, batch) = self.due.pop_first().expect("checked non-empty"); // koc-lint: allow(panic, "pop follows a non-empty check")
             out.extend(batch);
         }
     }

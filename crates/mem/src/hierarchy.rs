@@ -7,8 +7,9 @@ use crate::config::{BackendKind, MemoryConfig};
 use crate::dram::DramBackend;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemoryStats;
+use koc_core::FlatMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// The level that served a data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -77,7 +78,10 @@ pub struct MemoryHierarchy {
     /// answer to a retried request).
     self_scheduled: SelfSchedule,
     /// L2 lines filled by a completed prefetch, for usefulness accounting.
-    prefetched_lines: HashSet<u64>,
+    /// A set in spirit (`FlatMap<()>`): point inserts/removes only, keyed by
+    /// line number — never iterated, so it cannot leak hash order into
+    /// simulated timing.
+    prefetched_lines: FlatMap<()>,
     /// Demand L2 hits on prefetched lines.
     prefetched_hits: u64,
     /// Scratch buffer for backend completions.
@@ -110,7 +114,7 @@ impl MemoryHierarchy {
     /// Panics if the configuration fails [`MemoryConfig::validate`].
     pub fn new(config: MemoryConfig) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid memory configuration: {e}");
+            panic!("invalid memory configuration: {e}"); // koc-lint: allow(panic, "invalid configuration is a caller bug; validate() names the field")
         }
         MemoryHierarchy {
             il1: Cache::new(config.il1),
@@ -119,7 +123,7 @@ impl MemoryHierarchy {
             backend: backend_from_config(&config),
             waiting: VecDeque::new(),
             self_scheduled: SelfSchedule::default(),
-            prefetched_lines: HashSet::new(),
+            prefetched_lines: FlatMap::default(),
             prefetched_hits: 0,
             drained: Vec::new(),
             config,
@@ -256,7 +260,7 @@ impl MemoryHierarchy {
                     self.prefetched_lines.clear();
                 }
                 self.prefetched_lines
-                    .insert(c.addr / self.config.l2.line_bytes);
+                    .insert((c.addr / self.config.l2.line_bytes) as usize, ());
             } else {
                 completed.push(c.token);
             }
@@ -343,7 +347,7 @@ impl MemoryHierarchy {
         let l2 = self.l2.access(addr);
         if self.config.perfect_l2 || l2.is_hit() {
             self.stats.l2_hits += 1;
-            if self.prefetched_lines.remove(&line) {
+            if self.prefetched_lines.remove(line as usize).is_some() {
                 self.prefetched_hits += 1;
                 self.sync_backend_stats();
             }
@@ -355,7 +359,7 @@ impl MemoryHierarchy {
         self.stats.l2_misses += 1;
         // The line was re-fetched from memory: a stale prefetch marker must
         // not count a later hit as prefetch success.
-        self.prefetched_lines.remove(&line);
+        let _ = self.prefetched_lines.remove(line as usize);
         None
     }
 

@@ -13,8 +13,8 @@
 use crate::backend::{
     Admit, BackendStats, Completion, MemReq, MemoryBackend, SelfSchedule, INTERNAL_TOKEN_BIT,
 };
+use koc_core::FlatMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Prefetching configuration (a [`crate::MemoryConfig`] knob).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,10 +91,13 @@ pub struct StridePrefetcher {
     max_streams: usize,
     line_bytes: u64,
     streams: Vec<Stream>,
-    /// In-flight prefetches by line address.
-    in_flight: HashMap<u64, InFlightPrefetch>,
+    /// In-flight prefetches by line address. Point lookups only, keyed by
+    /// the line number as `usize` — a flat map keeps the steady state
+    /// allocation-free and, unlike `std::collections::HashMap`, can never
+    /// introduce iteration-order nondeterminism.
+    in_flight: FlatMap<InFlightPrefetch>,
     /// Inner internal token → line address, to translate inner completions.
-    token_to_line: HashMap<u64, u64>,
+    token_to_line: FlatMap<u64>,
     /// Self-scheduled completions for `Admit::At` inners.
     scheduled: SelfSchedule,
     next_token: u64,
@@ -111,7 +114,7 @@ impl StridePrefetcher {
     /// stream count, or if `line_bytes` is not a non-zero power of two.
     pub fn new(inner: Box<dyn MemoryBackend>, config: PrefetchConfig, line_bytes: u64) -> Self {
         let PrefetchConfig::Stride { degree, streams } = config else {
-            panic!("StridePrefetcher requires PrefetchConfig::Stride");
+            panic!("StridePrefetcher requires PrefetchConfig::Stride"); // koc-lint: allow(panic, "constructor contract: a stride prefetcher takes a Stride config")
         };
         assert!(
             degree > 0 && streams > 0,
@@ -127,8 +130,8 @@ impl StridePrefetcher {
             max_streams: streams,
             line_bytes,
             streams: Vec::new(),
-            in_flight: HashMap::new(),
-            token_to_line: HashMap::new(),
+            in_flight: FlatMap::default(),
+            token_to_line: FlatMap::default(),
             scheduled: SelfSchedule::default(),
             next_token: 0,
             clock: 0,
@@ -196,7 +199,7 @@ impl StridePrefetcher {
             let Some(target) = line.checked_add_signed(stride * i as i64) else {
                 break;
             };
-            if self.in_flight.contains_key(&target) {
+            if self.in_flight.contains_key(target as usize) {
                 continue;
             }
             if !self.inner.has_spare_slot() {
@@ -224,7 +227,7 @@ impl StridePrefetcher {
                         },
                     );
                     self.in_flight.insert(
-                        target,
+                        target as usize,
                         InFlightPrefetch {
                             token,
                             done_at: Some(done),
@@ -235,9 +238,9 @@ impl StridePrefetcher {
                 }
                 Admit::Queued => {
                     self.stats.prefetch_issued += 1;
-                    self.token_to_line.insert(token, target);
+                    self.token_to_line.insert(token as usize, target);
                     self.in_flight.insert(
-                        target,
+                        target as usize,
                         InFlightPrefetch {
                             token,
                             done_at: None,
@@ -266,7 +269,7 @@ impl MemoryBackend for StridePrefetcher {
         let confirmed = self.train(line);
         // Merge with an in-flight prefetch of the same line, if any: the
         // demand completes when the prefetch returns.
-        let admit = if let Some(pf) = self.in_flight.get_mut(&line) {
+        let admit = if let Some(pf) = self.in_flight.get_mut(line as usize) {
             if !pf.was_merged {
                 // Count each prefetch useful at most once.
                 self.stats.prefetch_useful += 1;
@@ -318,10 +321,10 @@ impl MemoryBackend for StridePrefetcher {
             }
             let line = self
                 .token_to_line
-                .remove(&c.token)
+                .remove(c.token as usize)
                 .unwrap_or_else(|| self.line_of(c.addr));
             let mut surface_fill = true;
-            if let Some(pf) = self.in_flight.remove(&line) {
+            if let Some(pf) = self.in_flight.remove(line as usize) {
                 debug_assert_eq!(pf.token, c.token);
                 for demand in pf.merged {
                     out.push(Completion {

@@ -188,7 +188,7 @@ impl ProcessorConfig {
                 checkpoint_entries, ..
             } => *checkpoint_entries = entries,
             CommitConfig::InOrderRob { .. } => {
-                panic!("checkpoint count applies to the checkpointed engine")
+                panic!("checkpoint count applies to the checkpointed engine") // koc-lint: allow(panic, "setter contract: applies only to the checkpointed engine")
             }
         }
         self
@@ -202,7 +202,7 @@ impl ProcessorConfig {
         match &mut self.commit {
             CommitConfig::Checkpointed { sliq, .. } => sliq.reinsert_delay = delay,
             CommitConfig::InOrderRob { .. } => {
-                panic!("re-insertion delay applies to the checkpointed engine")
+                panic!("re-insertion delay applies to the checkpointed engine") // koc-lint: allow(panic, "setter contract: applies only to the checkpointed engine")
             }
         }
         self

@@ -155,7 +155,7 @@ impl CheckpointedEngine {
             .squash_younger_than(boundary)
             .into_iter()
             .map(|e| (e.inst, e.rename))
-            .collect();
+            .collect(); // koc-lint: allow(hot-path-alloc, "checkpoint rollback, not per cycle")
         let squashed = ctx.undo_renames(&undo);
         for fl in &squashed {
             self.table.on_squash(fl.ckpt, !fl.is_done());
@@ -246,7 +246,7 @@ impl CommitEngine for CheckpointedEngine {
             let (snapshot, freed) = ctx.rename.take_checkpoint(ctx.regs);
             self.table
                 .take(id, snapshot, freed)
-                .expect("table was not full");
+                .expect("table was not full"); // koc-lint: allow(panic, "take follows the capacity check above")
             ctx.stats.checkpoints_taken += 1;
             if forced_here {
                 self.force_checkpoint_at = None;

@@ -28,7 +28,7 @@ impl InOrderEngine {
             .squash_younger_than(boundary)
             .into_iter()
             .map(|e| (e.inst, e.rename))
-            .collect();
+            .collect(); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
         ctx.undo_renames(&undo);
         ctx.squash_queues_from(boundary + 1);
         ctx.stats.recoveries.squashed_instructions += undo.len() as u64;
@@ -68,7 +68,7 @@ impl CommitEngine for InOrderEngine {
                 is_branch: d.is_branch,
                 ckpt: 0,
             })
-            .expect("ROB space was reserved");
+            .expect("ROB space was reserved"); // koc-lint: allow(panic, "dispatch reserved ROB space this cycle")
         0
     }
 

@@ -158,7 +158,7 @@ impl EngineCtx<'_, '_> {
     /// squashed in-flight records (for engine-side accounting; entries that
     /// were no longer in flight are skipped).
     pub fn undo_renames(&mut self, undo: &[(InstId, Option<RenameUndo>)]) -> Vec<InFlight> {
-        let mut squashed = Vec::with_capacity(undo.len());
+        let mut squashed = Vec::with_capacity(undo.len()); // koc-lint: allow(hot-path-alloc, "recovery path; sized once per squash, not per cycle")
         for (inst, rename) in undo {
             if let Some((arch, newp, prevp)) = rename {
                 self.rename.undo_rename(*arch, *newp, *prevp, self.regs);

@@ -312,23 +312,27 @@ impl InFlightTable {
     /// the compact mirror).
     #[cfg(debug_assertions)]
     fn reference_breakdown(&self) -> (usize, usize) {
-        let mut marked = std::collections::HashSet::new();
+        // A set in spirit (`FlatMap<()>` keyed by physical-register index):
+        // point membership only — even this debug-only verifier stays off
+        // `std::collections::HashSet` so the no-hash-iteration invariant
+        // holds tree-wide.
+        let mut marked = koc_core::FlatMap::default();
         let mut long = 0usize;
         let mut short = 0usize;
         for fl in self.values() {
             if fl.is_long_latency_load() && !fl.is_done() {
                 if let Some(p) = fl.dest_phys {
-                    marked.insert(p);
+                    marked.insert(p.index(), ());
                 }
                 continue;
             }
             if !fl.is_live() {
                 continue;
             }
-            if fl.src_phys.iter().any(|p| marked.contains(p)) {
+            if fl.src_phys.iter().any(|p| marked.contains_key(p.index())) {
                 long += 1;
                 if let Some(p) = fl.dest_phys {
-                    marked.insert(p);
+                    marked.insert(p.index(), ());
                 }
             } else {
                 short += 1;
@@ -366,7 +370,7 @@ impl InFlightTable {
             .enumerate()
             .skip(start)
             .filter_map(|(i, s)| s.as_ref().map(|_| self.base + i))
-            .collect()
+            .collect() // koc-lint: allow(hot-path-alloc, "recovery path; collects the squash set, not per cycle")
     }
 
     /// Removes every record with trace position below `frontier` and returns
@@ -415,7 +419,7 @@ impl std::ops::Index<InstId> for InFlightTable {
     type Output = InFlight;
 
     fn index(&self, inst: InstId) -> &InFlight {
-        self.get(inst).expect("instruction is in flight")
+        self.get(inst).expect("instruction is in flight") // koc-lint: allow(panic, "Index contract: untracked ids panic like slice indexing")
     }
 }
 

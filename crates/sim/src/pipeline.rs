@@ -38,7 +38,7 @@ use koc_isa::{
     ArchReg, InstId, Instruction, IntoInstructionSource, OpKind, PhysReg, RegList, ReplayWindow,
 };
 use koc_mem::{MemLevel, MemoryHierarchy, TimedAccess};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Interval (in cycles) at which the expensive live-instruction breakdown
 /// (Figure 7) is sampled.
@@ -141,7 +141,7 @@ impl EventQueue {
             .first_key_value()
             .is_some_and(|(&c, _)| c == cycle)
         {
-            let mut extra = self.overflow.remove(&cycle).expect("checked key");
+            let mut extra = self.overflow.remove(&cycle).expect("checked key"); // koc-lint: allow(panic, "key was just matched by first_key_value")
             match &mut due {
                 Some(batch) => batch.append(&mut extra),
                 None => due = Some(extra),
@@ -265,7 +265,10 @@ pub struct Processor<'a> {
     /// Number of dispatched-but-not-issued instructions (incremental).
     live_count: usize,
     /// Exceptions already delivered (so re-execution does not re-raise).
-    handled_exceptions: HashSet<InstId>,
+    /// A set in spirit (`FlatMap<()>` keyed by [`InstId`]): point
+    /// membership tests only, never iterated (hash order must not reach
+    /// simulated timing).
+    handled_exceptions: koc_core::FlatMap<()>,
     /// Scratch for the Figure-7 breakdown: `long_marks[p] == long_epoch`
     /// means physical register `p` carries a long-latency dependence in the
     /// current sample (epoch stamping avoids clearing between samples).
@@ -302,7 +305,7 @@ impl<'a> Processor<'a> {
         engine: Box<dyn CommitEngine>,
     ) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid processor configuration: {e}");
+            panic!("invalid processor configuration: {e}"); // koc-lint: allow(panic, "invalid configuration is a caller bug; validate() names the field")
         }
         let rename_pool = config.registers.rename_pool_size();
         let vregs = match config.registers {
@@ -338,7 +341,7 @@ impl<'a> Processor<'a> {
             issue_picked: Vec::new(),
             fetch_stall_until: 0,
             live_count: 0,
-            handled_exceptions: HashSet::new(),
+            handled_exceptions: koc_core::FlatMap::default(),
             long_marks: vec![0; rename_pool],
             long_epoch: 0,
             stats: SimStats::default(),
@@ -372,7 +375,7 @@ impl<'a> Processor<'a> {
     /// engine-independent — the conformance invariant for out-of-order
     /// commit.
     pub fn arch_mapping(&self) -> Vec<Option<PhysReg>> {
-        ArchReg::all().map(|r| self.rename.lookup(r)).collect()
+        ArchReg::all().map(|r| self.rename.lookup(r)).collect() // koc-lint: allow(hot-path-alloc, "conformance snapshot for tests, not the cycle loop")
     }
 
     /// Whether the run is complete: the whole stream has been fetched,
@@ -568,7 +571,7 @@ impl<'a> Processor<'a> {
                 continue;
             }
             // Exceptions are delivered at completion.
-            if fl.raises_exception && !self.handled_exceptions.contains(&inst) {
+            if fl.raises_exception && !self.handled_exceptions.contains_key(inst) {
                 progressed = true;
                 let squashed = self.handle_exception(inst);
                 if squashed {
@@ -628,7 +631,7 @@ impl<'a> Processor<'a> {
     /// a recovery point) and `false` if it survives and should complete
     /// normally.
     fn handle_exception(&mut self, inst: InstId) -> bool {
-        self.handled_exceptions.insert(inst);
+        self.handled_exceptions.insert(inst, ());
         self.stats.recoveries.exceptions += 1;
         self.fetch_stall_until = self.cycle + self.config.mispredict_penalty as u64;
         self.engine.recover_exception(inst, &mut engine_ctx!(self))
@@ -678,13 +681,13 @@ impl<'a> Processor<'a> {
         let seq = self
             .inflight
             .get(inst)
-            .expect("issued instruction is in flight")
+            .expect("issued instruction is in flight") // koc-lint: allow(panic, "issue operates on in-flight instructions")
             .seq;
         // `completion` is the known finish latency, or None when the load
         // went to the timed backend and will complete via `memory_stage`.
         let (completion, level) = match trace_inst.kind {
             OpKind::Load => {
-                let addr = trace_inst.mem.expect("load has address").addr;
+                let addr = trace_inst.mem.expect("load has address").addr; // koc-lint: allow(panic, "loads always carry a memory operand")
                 match self.mem.access_data_timed(addr, seq, self.cycle) {
                     TimedAccess::Ready { level, latency } => (Some(latency), Some(level)),
                     TimedAccess::InFlight => {
@@ -699,7 +702,7 @@ impl<'a> Processor<'a> {
         let fl = self
             .inflight
             .get_mut(inst)
-            .expect("issued instruction is in flight");
+            .expect("issued instruction is in flight"); // koc-lint: allow(panic, "issue operates on in-flight instructions")
         debug_assert!(fl.is_live(), "issuing an instruction that is not waiting");
         let done = match completion {
             Some(latency) => self.cycle + latency as u64,
@@ -813,12 +816,12 @@ impl<'a> Processor<'a> {
         let src_phys: RegList = inst
             .sources()
             .filter_map(|s| self.rename.lookup(s))
-            .collect();
+            .collect(); // koc-lint: allow(hot-path-alloc, "RegList is a fixed inline array; this collect does not heap-allocate")
         let renamed = match inst.dest {
             Some(dest) => Some(
                 self.rename
                     .rename_dest(dest, &mut self.regs)
-                    .expect("free register was checked"),
+                    .expect("free register was checked"), // koc-lint: allow(panic, "dispatch checked a free register above")
             ),
             None => None,
         };
@@ -849,14 +852,14 @@ impl<'a> Processor<'a> {
                     is_store: inst.is_store(),
                     addr: mem.addr,
                 })
-                .expect("LSQ space was checked");
+                .expect("LSQ space was checked"); // koc-lint: allow(panic, "dispatch checked LSQ space above")
         }
         let d = Dispatched {
             id,
             kind: inst.kind,
             rename: inst
                 .dest
-                .map(|a| (a, dest_phys.expect("dest renamed"), prev_phys)),
+                .map(|a| (a, dest_phys.expect("dest renamed"), prev_phys)), // koc-lint: allow(panic, "a dest implies rename_dest succeeded above")
             is_store: inst.is_store(),
             is_branch: inst.is_branch(),
         };
@@ -877,7 +880,7 @@ impl<'a> Processor<'a> {
             };
             queue
                 .insert(iq_entry, |p| regs.is_ready(p))
-                .expect("queue space was checked");
+                .expect("queue space was checked"); // koc-lint: allow(panic, "dispatch checked queue space above")
         }
         self.engine.dispatched(&d, ckpt, &mut engine_ctx!(self));
         self.inflight.insert(
@@ -896,7 +899,8 @@ impl<'a> Processor<'a> {
                 mem_level: None,
                 predicted_taken: predicted,
                 mispredicted,
-                raises_exception: inst.raises_exception && !self.handled_exceptions.contains(&id),
+                raises_exception: inst.raises_exception
+                    && !self.handled_exceptions.contains_key(id),
             },
         );
         self.live_count += 1;

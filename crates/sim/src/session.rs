@@ -151,7 +151,7 @@ impl SimBuilder {
                 pseudo_rob_size, ..
             } => *pseudo_rob_size = entries,
             CommitConfig::InOrderRob { .. } => {
-                panic!("pseudo-ROB size applies to the checkpointed engine")
+                panic!("pseudo-ROB size applies to the checkpointed engine") // koc-lint: allow(panic, "setter contract: applies only to the checkpointed engine")
             }
         }
         self.config.iq_size = entries;
@@ -166,7 +166,7 @@ impl SimBuilder {
         match &mut self.config.commit {
             CommitConfig::Checkpointed { sliq, .. } => sliq.capacity = entries,
             CommitConfig::InOrderRob { .. } => {
-                panic!("SLIQ capacity applies to the checkpointed engine")
+                panic!("SLIQ capacity applies to the checkpointed engine") // koc-lint: allow(panic, "setter contract: applies only to the checkpointed engine")
             }
         }
         self
@@ -189,7 +189,7 @@ impl SimBuilder {
         match &mut self.config.commit {
             CommitConfig::Checkpointed { policy: p, .. } => *p = policy,
             CommitConfig::InOrderRob { .. } => {
-                panic!("checkpoint policy applies to the checkpointed engine")
+                panic!("checkpoint policy applies to the checkpointed engine") // koc-lint: allow(panic, "setter contract: applies only to the checkpointed engine")
             }
         }
         self
@@ -340,7 +340,7 @@ impl SimBuilder {
     /// Panics if the configuration fails [`ProcessorConfig::validate`].
     pub fn build(self) -> Session {
         if let Err(e) = self.config.validate() {
-            panic!("invalid processor configuration: {e}");
+            panic!("invalid processor configuration: {e}"); // koc-lint: allow(panic, "invalid configuration is a caller bug; validate() names the field")
         }
         Session {
             config: self.config,
@@ -388,7 +388,7 @@ impl Session {
         sweep
             .run()
             .pop()
-            .expect("a sweep returns one result per configuration")
+            .expect("a sweep returns one result per configuration") // koc-lint: allow(panic, "a sweep returns one result per configuration")
     }
 
     /// Runs the session's configuration over pre-generated workloads (in
@@ -402,7 +402,7 @@ impl Session {
         sweep
             .run_on(workloads)
             .pop()
-            .expect("a sweep returns one result per configuration")
+            .expect("a sweep returns one result per configuration") // koc-lint: allow(panic, "a sweep returns one result per configuration")
     }
 
     /// Runs the session's configuration over one externally supplied trace.

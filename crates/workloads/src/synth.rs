@@ -77,7 +77,7 @@ impl KernelSource {
     /// configs from the vetted constructors in [`crate::kernels`].
     pub fn new(name: impl Into<String>, config: KernelConfig) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid kernel configuration: {e}");
+            panic!("invalid kernel configuration: {e}"); // koc-lint: allow(panic, "invalid kernel configuration is a caller bug; validate() names the field")
         }
         KernelSource {
             name: name.into(),
