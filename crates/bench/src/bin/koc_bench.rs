@@ -8,6 +8,8 @@
 //! koc-bench harness --only gather             # one workload only
 //! koc-bench harness --engine cooo             # one commit engine only
 //! koc-bench harness --source streamed         # lazy O(window) ingestion
+//! koc-bench trace --workload gather --format kanata   # pipeline event trace
+//! koc-bench timeline --workload gather --interval 256  # interval time-series
 //! koc-bench compare --baseline bench/baseline.json --current fresh.json
 //! koc-bench compare ... --max-slowdown 0.5    # also gate wall-clock speed
 //! koc-bench compare ... --cycle-tolerance 0.001
@@ -21,7 +23,9 @@
 //! CI cross-compares one against the other.
 
 use koc_bench::harness::{self, CompareThresholds, HarnessOptions};
-use koc_sim::SourceMode;
+use koc_isa::json::{parse_json, Json};
+use koc_obs::{timeline_json, CycleAccounting, PipelineTracer, TimelineRecorder};
+use koc_sim::{Processor, SourceMode};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +35,10 @@ fn print_usage() {
     eprintln!("                         [--only WORKLOAD] [--engine baseline|cooo]");
     eprintln!("                         [--source streamed|materialized]");
     eprintln!("       koc-bench stats [--workload NAME] [--engine baseline|cooo] [--full]");
+    eprintln!("       koc-bench trace [--workload NAME] [--engine baseline|cooo] [--len N]");
+    eprintln!("                       [--format ptrace|kanata] [--out PATH]");
+    eprintln!("       koc-bench timeline [--workload NAME] [--engine baseline|cooo] [--len N]");
+    eprintln!("                          [--interval N] [--out PATH]");
     eprintln!("       koc-bench compare --baseline PATH --current PATH");
     eprintln!("                         [--cycle-tolerance F] [--max-slowdown F]");
     eprintln!("                         [--min-mcps ENGINE:F]...");
@@ -41,6 +49,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("harness") => run_harness(&args[1..]),
         Some("stats") => run_stats(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
+        Some("timeline") => run_timeline(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("--help") | Some("-h") => {
             print_usage();
@@ -205,6 +215,255 @@ fn run_stats(args: &[String]) -> ExitCode {
     let title = format!("Run statistics — {} / {engine}", spec.name());
     println!("{}", koc_bench::report::stats_table(title, &stats));
     ExitCode::SUCCESS
+}
+
+/// Resolves a `(workload, engine)` selection shared by the observability
+/// subcommands. Errors are printed; `None` means exit with failure.
+fn resolve_run(
+    workload: &Option<String>,
+    engine_name: &str,
+    trace_len: usize,
+) -> Option<(koc_workloads::WorkloadSpec, koc_sim::ProcessorConfig)> {
+    let mut specs = harness::specs(trace_len);
+    if let Some(only) = workload {
+        specs.retain(|s| s.name() == only);
+    }
+    let Some(spec) = specs.into_iter().next() else {
+        eprintln!(
+            "unknown workload {:?} (available: {})",
+            workload,
+            harness::workload_names().join(", ")
+        );
+        return None;
+    };
+    let Some((_, config)) = harness::engines()
+        .into_iter()
+        .find(|(n, _)| *n == engine_name)
+    else {
+        eprintln!("unknown engine '{engine_name}' (available: baseline, cooo)");
+        return None;
+    };
+    Some((spec, config))
+}
+
+/// Writes `text` to `out` if given, otherwise prints it.
+fn emit(out: Option<PathBuf>, text: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `koc-bench trace`: run one (workload, engine) pair with the pipeline
+/// event tracer attached and emit the stream as `koc-ptrace/1` JSON or
+/// Kanata/Konata text. Attaching the tracer never perturbs simulated time.
+fn run_trace(args: &[String]) -> ExitCode {
+    let mut workload: Option<String> = None;
+    let mut engine_name = "cooo".to_string();
+    let mut trace_len = 2_000usize;
+    let mut format = "ptrace".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--workload requires a name (see harness --list)");
+                    return ExitCode::FAILURE;
+                };
+                workload = Some(name.clone());
+                i += 2;
+            }
+            "--engine" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--engine requires 'baseline' or 'cooo'");
+                    return ExitCode::FAILURE;
+                };
+                engine_name = name.clone();
+                i += 2;
+            }
+            "--len" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--len requires an instruction count");
+                    return ExitCode::FAILURE;
+                };
+                trace_len = n;
+                i += 2;
+            }
+            "--format" => {
+                let Some(f) = args.get(i + 1).filter(|f| *f == "ptrace" || *f == "kanata") else {
+                    eprintln!("--format requires 'ptrace' or 'kanata'");
+                    return ExitCode::FAILURE;
+                };
+                format = f.clone();
+                i += 2;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(path));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown trace option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some((spec, config)) = resolve_run(&workload, &engine_name, trace_len) else {
+        return ExitCode::FAILURE;
+    };
+    let w = spec.materialize();
+    let (stats, tracer) =
+        Processor::with_observer(config, &w.trace, PipelineTracer::new()).run_observed();
+    eprintln!(
+        "traced {} / {engine_name}: {} events over {} cycles",
+        spec.name(),
+        tracer.len(),
+        stats.cycles
+    );
+    let text = if format == "kanata" {
+        tracer.to_kanata()
+    } else {
+        let json = tracer.to_ptrace_json();
+        // Self-validation: the emitted document must round-trip through the
+        // workspace JSON parser before anything downstream consumes it.
+        if let Err(e) = parse_json(&json) {
+            eprintln!("internal error: emitted koc-ptrace JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+        json
+    };
+    emit(out, &text)
+}
+
+/// `koc-bench timeline`: run one (workload, engine) pair with the interval
+/// time-series recorder and the top-down cycle-accounting observer attached.
+/// Prints both tables, emits the `koc-timeline/1` JSON, and hard-checks the
+/// accounting invariant (bucket sum == total cycles) before exiting.
+fn run_timeline(args: &[String]) -> ExitCode {
+    let mut workload: Option<String> = None;
+    let mut engine_name = "cooo".to_string();
+    let mut trace_len = harness::QUICK_TRACE_LEN;
+    let mut interval = 256u64;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--workload requires a name (see harness --list)");
+                    return ExitCode::FAILURE;
+                };
+                workload = Some(name.clone());
+                i += 2;
+            }
+            "--engine" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("--engine requires 'baseline' or 'cooo'");
+                    return ExitCode::FAILURE;
+                };
+                engine_name = name.clone();
+                i += 2;
+            }
+            "--len" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--len requires an instruction count");
+                    return ExitCode::FAILURE;
+                };
+                trace_len = n;
+                i += 2;
+            }
+            "--interval" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--interval requires a cycle count");
+                    return ExitCode::FAILURE;
+                };
+                interval = n;
+                i += 2;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(path));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown timeline option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some((spec, config)) = resolve_run(&workload, &engine_name, trace_len) else {
+        return ExitCode::FAILURE;
+    };
+    let w = spec.materialize();
+    let obs = (TimelineRecorder::new(interval), CycleAccounting::new());
+    let (stats, (timeline, accounting)) =
+        Processor::with_observer(config, &w.trace, obs).run_observed();
+    let buckets = accounting.into_buckets();
+    // The accounting invariant is hard: every cycle lands in exactly one
+    // bucket, so the sum must equal the run's cycle count.
+    if buckets.total() != stats.cycles {
+        eprintln!(
+            "internal error: cycle-accounting buckets sum to {} but the run took {} cycles",
+            buckets.total(),
+            stats.cycles
+        );
+        return ExitCode::FAILURE;
+    }
+    let title = format!("{} / {engine_name}", spec.name());
+    println!(
+        "{}",
+        koc_bench::report::accounting_table(format!("Cycle accounting — {title}"), &buckets)
+    );
+    let records = timeline.into_records();
+    println!(
+        "{}",
+        koc_bench::report::timeline_table(
+            format!("Timeline — {title} (interval {interval})"),
+            &records
+        )
+    );
+    let json = timeline_json(interval, &records);
+    // Self-validation: the emitted document must parse and carry the
+    // interval structure it claims.
+    match parse_json(&json) {
+        Ok(doc) => {
+            let records_len = match doc.get("records") {
+                Some(Json::Arr(items)) => items.len(),
+                _ => {
+                    eprintln!("internal error: koc-timeline JSON has no records array");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if records_len != records.len() {
+                eprintln!("internal error: koc-timeline JSON dropped records");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("internal error: emitted koc-timeline JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    emit(out, &json)
 }
 
 fn run_compare(args: &[String]) -> ExitCode {

@@ -303,6 +303,17 @@ pub fn run_with(options: &HarnessOptions) -> Result<BenchReport, String> {
                     start.elapsed().as_secs_f64()
                 }
             };
+            // Release-mode guard for the checkpoint-lifecycle invariant
+            // (debug builds assert it at engine teardown): every checkpoint
+            // a completed run took must have committed or been squashed.
+            if *engine == "cooo" {
+                assert_eq!(
+                    stats.checkpoints_taken,
+                    stats.checkpoints_committed + stats.checkpoints_squashed,
+                    "{}: checkpoint lifecycle must balance",
+                    spec.name()
+                );
+            }
             results.push(BenchEntry {
                 workload: spec.name().to_string(),
                 engine: engine.to_string(),

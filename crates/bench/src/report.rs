@@ -5,7 +5,7 @@
 //! added counter cannot silently stay invisible in bench output.
 
 use koc_core::RetireClass;
-use koc_sim::{Distribution, SimStats};
+use koc_sim::{CycleBuckets, Distribution, IntervalRecord, SimStats};
 
 /// A formatted experiment report: a title, column headers, data rows and
 /// free-form notes relating the result to the paper.
@@ -212,6 +212,96 @@ pub fn stats_table(title: impl Into<String>, stats: &SimStats) -> Report {
     report
 }
 
+/// Every public field of [`CycleBuckets`] — the top-down cycle-accounting
+/// result — as `(bucket, formatted value)` rows, each with its share of the
+/// total. Anchored by the `stats-coverage` lint rule exactly like
+/// [`stats_rows`]: a new bucket cannot stay invisible in bench output.
+pub fn accounting_rows(buckets: &CycleBuckets) -> Vec<(String, String)> {
+    let total = buckets.total();
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut push = |name: &str, value: u64| {
+        let pct = if total == 0 {
+            0.0
+        } else {
+            value as f64 * 100.0 / total as f64
+        };
+        rows.push((name.to_string(), format!("{value} ({pct:.1}%)")));
+    };
+    push("committing", buckets.committing);
+    push("window_full", buckets.window_full);
+    push("iq_full", buckets.iq_full);
+    push("regfile_exhausted", buckets.regfile_exhausted);
+    push("checkpoint_table_full", buckets.checkpoint_table_full);
+    push("mshr_full", buckets.mshr_full);
+    push("memory_wait", buckets.memory_wait);
+    push("fetch_starved", buckets.fetch_starved);
+    push("execute_wait", buckets.execute_wait);
+    rows
+}
+
+/// The top-down cycle-accounting result as a rendered [`Report`], one row
+/// per bucket plus the total (which equals the run's cycle count — every
+/// cycle lands in exactly one bucket).
+pub fn accounting_table(title: impl Into<String>, buckets: &CycleBuckets) -> Report {
+    let mut report = Report::new(title, &["bucket", "cycles"]);
+    for (name, value) in accounting_rows(buckets) {
+        report.push_row(vec![name, value]);
+    }
+    report.push_row(vec!["total".to_string(), buckets.total().to_string()]);
+    report.push_note("buckets partition the run: their sum equals total cycles exactly");
+    report
+}
+
+/// An interval time-series (see `koc_obs::TimelineRecorder`) as a rendered
+/// [`Report`]: one row per interval with per-cycle rates derived from each
+/// [`IntervalRecord`]'s sums, plus the interval's dominant stall bucket.
+pub fn timeline_table(title: impl Into<String>, records: &[IntervalRecord]) -> Report {
+    let mut report = Report::new(
+        title,
+        &[
+            "start",
+            "cycles",
+            "IPC",
+            "disp/cyc",
+            "inflight",
+            "live",
+            "ckpts",
+            "mshr",
+            "replay",
+            "top-stall",
+        ],
+    );
+    for r in records {
+        let per_cycle = |sum: u64| sum as f64 / r.cycles.max(1) as f64;
+        let (top_name, top_cycles) = r
+            .stall
+            .named()
+            .into_iter()
+            .max_by_key(|&(_, v)| v)
+            .unwrap_or(("-", 0));
+        report.push_row(vec![
+            r.start_cycle.to_string(),
+            r.cycles.to_string(),
+            format!("{:.3}", per_cycle(r.committed)),
+            format!("{:.3}", per_cycle(r.dispatched)),
+            format!("{:.1}", per_cycle(r.inflight_sum)),
+            format!("{:.1}", per_cycle(r.live_sum)),
+            format!("{:.2}", per_cycle(r.live_checkpoints_sum)),
+            format!("{:.2}", per_cycle(r.mshr_sum)),
+            format!("{:.1}", per_cycle(r.replay_window_sum)),
+            if top_cycles == 0 {
+                "-".to_string()
+            } else {
+                top_name.to_string()
+            },
+        ]);
+    }
+    report.push_note(
+        "occupancy columns are interval means (sums / cycles); IPC is committed / cycles",
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +359,48 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn accounting_rows_cover_every_bucket_and_sum_to_total() {
+        let buckets = CycleBuckets {
+            committing: 10,
+            window_full: 2,
+            iq_full: 3,
+            regfile_exhausted: 1,
+            checkpoint_table_full: 4,
+            mshr_full: 5,
+            memory_wait: 6,
+            fetch_starved: 7,
+            execute_wait: 8,
+        };
+        let rows = accounting_rows(&buckets);
+        assert_eq!(rows.len(), 9, "one row per bucket");
+        let table = accounting_table("Cycle accounting", &buckets).render();
+        assert!(table.contains("committing"));
+        assert!(table.contains("execute_wait"));
+        assert!(table.contains("46"), "total row: {table}");
+    }
+
+    #[test]
+    fn timeline_table_reports_interval_rates() {
+        let mut r = IntervalRecord {
+            start_cycle: 1,
+            cycles: 100,
+            committed: 50,
+            dispatched: 60,
+            inflight_sum: 1000,
+            live_sum: 500,
+            live_checkpoints_sum: 200,
+            mshr_sum: 100,
+            replay_window_sum: 3000,
+            ..Default::default()
+        };
+        r.stall.memory_wait = 40;
+        let text = timeline_table("Timeline", &[r]).render();
+        assert!(text.contains("0.500"), "IPC column: {text}");
+        assert!(text.contains("10.0"), "inflight mean: {text}");
+        assert!(text.contains("memory_wait"), "dominant stall: {text}");
     }
 
     #[test]

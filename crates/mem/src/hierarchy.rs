@@ -8,6 +8,7 @@ use crate::dram::DramBackend;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemoryStats;
 use koc_core::FlatMap;
+use koc_obs::{Event, NullObserver, Observer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -146,6 +147,13 @@ impl MemoryHierarchy {
         self.backend.in_flight()
     }
 
+    /// Number of demand misses queued because the backend refused admission
+    /// (waiting for a free MSHR). The cycle-accounting observer reads this
+    /// to attribute otherwise-idle cycles to MSHR pressure.
+    pub fn pending_demand_misses(&self) -> usize {
+        self.waiting.len()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
@@ -208,6 +216,20 @@ impl MemoryHierarchy {
     /// after waiting for a free MSHR, which is the back-pressure the
     /// `mshr_full_stalls` counter measures.
     pub fn access_data_timed(&mut self, addr: u64, token: u64, now: u64) -> TimedAccess {
+        self.access_data_timed_obs(addr, token, now, &mut NullObserver)
+    }
+
+    /// [`access_data_timed`](Self::access_data_timed) with an [`Observer`]:
+    /// emits [`Event::MshrAlloc`] when the backend accepts the miss into its
+    /// MSHR-like in-flight tracking. Timing is identical to the unobserved
+    /// call.
+    pub fn access_data_timed_obs<O: Observer>(
+        &mut self,
+        addr: u64,
+        token: u64,
+        now: u64,
+        obs: &mut O,
+    ) -> TimedAccess {
         if let Some(result) = self.lookup_caches(addr, false) {
             return TimedAccess::Ready {
                 level: result.level,
@@ -228,7 +250,12 @@ impl MemoryHierarchy {
                 level: MemLevel::Memory,
                 latency: (done - now) as u32,
             },
-            Admit::Queued => TimedAccess::InFlight,
+            Admit::Queued => {
+                if O::ENABLED {
+                    obs.event(now, Event::MshrAlloc { token, addr });
+                }
+                TimedAccess::InFlight
+            }
             Admit::Reject => {
                 self.waiting.push_back((req, arrival));
                 TimedAccess::InFlight
@@ -240,6 +267,14 @@ impl MemoryHierarchy {
     /// and appends the tokens of completed demand reads to `completed`.
     /// Call once per cycle, before issuing new accesses for that cycle.
     pub fn tick(&mut self, now: u64, completed: &mut Vec<u64>) {
+        self.tick_obs(now, completed, &mut NullObserver);
+    }
+
+    /// [`tick`](Self::tick) with an [`Observer`]: emits [`Event::MshrFill`]
+    /// for every completed demand read delivered to the pipeline and
+    /// [`Event::MshrAlloc`] when a queued miss finally wins an MSHR on
+    /// retry. Timing is identical to the unobserved call.
+    pub fn tick_obs<O: Observer>(&mut self, now: u64, completed: &mut Vec<u64>, obs: &mut O) {
         self.backend.tick(now);
         self.drained.clear();
         let mut drained = std::mem::take(&mut self.drained);
@@ -262,6 +297,9 @@ impl MemoryHierarchy {
                 self.prefetched_lines
                     .insert((c.addr / self.config.l2.line_bytes) as usize, ());
             } else {
+                if O::ENABLED {
+                    obs.event(now, Event::MshrFill { token: c.token });
+                }
                 completed.push(c.token);
             }
         }
@@ -283,6 +321,15 @@ impl MemoryHierarchy {
                     );
                 }
                 Admit::Queued => {
+                    if O::ENABLED {
+                        obs.event(
+                            now,
+                            Event::MshrAlloc {
+                                token: req.token,
+                                addr: req.addr,
+                            },
+                        );
+                    }
                     self.waiting.pop_front();
                 }
                 Admit::Reject => break,

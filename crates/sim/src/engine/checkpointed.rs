@@ -10,6 +10,7 @@ use koc_core::{
     RetireClass, SliqBuffer, SliqConfig,
 };
 use koc_isa::{FuClass, InstId, Instruction, OpKind, PhysReg};
+use koc_obs::{Event, Observer};
 
 /// Membership marks for the physical registers currently armed as SLIQ
 /// wake-up triggers: a dense flag vector keyed by [`PhysReg::index`], so
@@ -78,7 +79,11 @@ impl CheckpointedEngine {
 
     /// Classifies an instruction retiring from the pseudo-ROB (Figure 12)
     /// and moves still-waiting long-latency dependents into the SLIQ.
-    fn classify_retired(&mut self, entry: PseudoRobEntry, ctx: &mut EngineCtx<'_, '_>) {
+    fn classify_retired<O: Observer>(
+        &mut self,
+        entry: PseudoRobEntry,
+        ctx: &mut EngineCtx<'_, '_, O>,
+    ) {
         // Pseudo-ROB entries bound the replay-window release frontier (see
         // `commit`), so the instruction is still resident; copy it out to
         // keep the context borrow free.
@@ -132,6 +137,10 @@ impl CheckpointedEngine {
                     if let Some(iq_entry) = queue.remove(entry.inst) {
                         if self.sliq.insert(iq_entry, trigger) {
                             fl.state = InstState::InSliq;
+                            if O::ENABLED {
+                                ctx.obs
+                                    .event(ctx.cycle, Event::SliqMove { inst: entry.inst });
+                            }
                             self.sliq_triggers.insert(trigger);
                             if !entry.is_store && trace_inst.kind != OpKind::Load {
                                 final_class = RetireClass::Moved;
@@ -149,7 +158,7 @@ impl CheckpointedEngine {
     /// Squashes everything younger than `boundary` (exclusive) by walking
     /// the pseudo-ROB's rename undo records, and rewinds fetch after
     /// `boundary`.
-    fn squash_younger(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_>) {
+    fn squash_younger<O: Observer>(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_, O>) {
         let undo: Vec<_> = self
             .pseudo_rob
             .squash_younger_than(boundary)
@@ -167,6 +176,14 @@ impl CheckpointedEngine {
         self.sliq.squash_from(boundary + 1);
         let dropped = self.table.drop_taken_at_or_after(boundary + 1);
         ctx.stats.checkpoints_squashed += dropped as u64;
+        if O::ENABLED && dropped > 0 {
+            ctx.obs.event(
+                ctx.cycle,
+                Event::CheckpointSquash {
+                    count: dropped as u64,
+                },
+            );
+        }
         // Registers that became valid mappings again must not be freed by an
         // older checkpoint's commit.
         let rename = &*ctx.rename;
@@ -178,10 +195,15 @@ impl CheckpointedEngine {
     /// Rolls back to checkpoint `ckpt`: restores the rename snapshot, drops
     /// younger checkpoints, squashes every instruction from the checkpoint's
     /// trace position onwards and rewinds fetch there.
-    fn rollback(&mut self, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>) {
+    fn rollback<O: Observer>(&mut self, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_, O>) {
         let before = self.table.len();
         let (snapshot, trace_index) = self.table.rollback_to(ckpt);
-        ctx.stats.checkpoints_squashed += (before - self.table.len()) as u64;
+        let dropped = (before - self.table.len()) as u64;
+        ctx.stats.checkpoints_squashed += dropped;
+        if O::ENABLED && dropped > 0 {
+            ctx.obs
+                .event(ctx.cycle, Event::CheckpointSquash { count: dropped });
+        }
         ctx.rename.restore(&snapshot, ctx.regs);
         self.pseudo_rob.squash_from(trace_index);
         self.sliq.squash_from(trace_index);
@@ -193,6 +215,9 @@ impl CheckpointedEngine {
         let mut squashed = 0u64;
         for inst in doomed {
             if ctx.forget_inflight(inst).is_some() {
+                if O::ENABLED {
+                    ctx.obs.event(ctx.cycle, Event::Squash { inst });
+                }
                 squashed += 1;
             }
         }
@@ -203,7 +228,7 @@ impl CheckpointedEngine {
     }
 }
 
-impl CommitEngine for CheckpointedEngine {
+impl<O: Observer> CommitEngine<O> for CheckpointedEngine {
     fn name(&self) -> &'static str {
         "checkpointed-out-of-order"
     }
@@ -212,11 +237,15 @@ impl CommitEngine for CheckpointedEngine {
         self.table.is_empty()
     }
 
+    fn live_checkpoints(&self) -> usize {
+        self.table.len()
+    }
+
     fn reserve(
         &mut self,
         id: InstId,
         inst: &Instruction,
-        ctx: &mut EngineCtx<'_, '_>,
+        ctx: &mut EngineCtx<'_, '_, O>,
     ) -> Result<(), DispatchStall> {
         let forced_here = self.force_checkpoint_at == Some(id);
         let wants_checkpoint = self.table.is_empty()
@@ -248,6 +277,12 @@ impl CommitEngine for CheckpointedEngine {
                 .take(id, snapshot, freed)
                 .expect("table was not full"); // koc-lint: allow(panic, "take follows the capacity check above")
             ctx.stats.checkpoints_taken += 1;
+            if O::ENABLED {
+                if let Some(n) = self.table.newest() {
+                    ctx.obs
+                        .event(ctx.cycle, Event::CheckpointTake { id: n.id, at: id });
+                }
+            }
             if forced_here {
                 self.force_checkpoint_at = None;
             }
@@ -259,7 +294,7 @@ impl CommitEngine for CheckpointedEngine {
         self.table.on_dispatch(d.is_store)
     }
 
-    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>) {
+    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_, O>) {
         let retired = self.pseudo_rob.push(PseudoRobEntry {
             inst: d.id,
             ckpt,
@@ -272,7 +307,7 @@ impl CommitEngine for CheckpointedEngine {
         }
     }
 
-    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) -> usize {
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_, O>) -> usize {
         for drained in 0..budget {
             let Some(entry) = self.pseudo_rob.pop_oldest() else {
                 return drained;
@@ -282,7 +317,7 @@ impl CommitEngine for CheckpointedEngine {
         budget
     }
 
-    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) -> usize {
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_, O>) -> usize {
         // Wake-ups are never blocked by queue occupancy: a re-inserted
         // instruction may transiently push a queue above its capacity
         // (bounded by the wake width). Blocking here can create a circular
@@ -327,7 +362,7 @@ impl CommitEngine for CheckpointedEngine {
         self.sliq.next_pending_ready_at()
     }
 
-    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>) {
+    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_, O>) {
         self.table.on_complete(wb.ckpt);
         if let Some(p) = wb.dest_phys {
             if self.sliq_triggers.remove(p) {
@@ -341,7 +376,7 @@ impl CommitEngine for CheckpointedEngine {
         }
     }
 
-    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_, O>) {
         let trace_done = ctx.fetch.at_end();
         if !self.table.can_commit_oldest(trace_done) {
             return;
@@ -364,6 +399,20 @@ impl CommitEngine for CheckpointedEngine {
             .inflight
             .values()
             .all(|fl| (fl.inst < frontier) == (fl.ckpt == committed.id)));
+        if O::ENABLED {
+            for fl in ctx.inflight.values() {
+                if fl.inst < frontier {
+                    ctx.obs.event(ctx.cycle, Event::Commit { inst: fl.inst });
+                }
+            }
+            ctx.obs.event(
+                ctx.cycle,
+                Event::CheckpointCommit {
+                    id: committed.id,
+                    insts: committed.total_insts as u64,
+                },
+            );
+        }
         ctx.inflight.drain_below(frontier);
         ctx.drain_stores(frontier);
         // No rollback can target anything older than the oldest live
@@ -377,7 +426,7 @@ impl CommitEngine for CheckpointedEngine {
         ctx.release_fetch_to(release);
     }
 
-    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_, O>) {
         if self.pseudo_rob.contains(branch) {
             ctx.stats.recoveries.near_recoveries += 1;
             self.squash_younger(branch, ctx);
@@ -388,7 +437,7 @@ impl CommitEngine for CheckpointedEngine {
         }
     }
 
-    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool {
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_, O>) -> bool {
         // Roll back to the owning checkpoint and re-execute in "strict"
         // mode: a checkpoint is forced right at the excepting instruction so
         // the architectural state there is precise.
@@ -401,5 +450,14 @@ impl CommitEngine for CheckpointedEngine {
     fn finalize(&mut self, stats: &mut SimStats) {
         stats.sliq_moved = self.sliq.total_moved();
         stats.sliq_high_water = self.sliq.high_water();
+        // The documented checkpoint-lifecycle invariant, asserted at
+        // teardown: every checkpoint ever taken either committed, was
+        // squashed, or (only when a cycle budget cut the run short) is
+        // still live in the table.
+        debug_assert_eq!(
+            stats.checkpoints_taken,
+            stats.checkpoints_committed + stats.checkpoints_squashed + self.table.len() as u64,
+            "checkpoint lifecycle must balance at end of run"
+        );
     }
 }

@@ -5,6 +5,7 @@ use super::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
 use crate::stats::SimStats;
 use koc_core::{CheckpointId, ReorderBuffer, RobEntry};
 use koc_isa::{InstId, Instruction};
+use koc_obs::{Event, Observer};
 
 /// In-order ROB commit: instructions retire strictly in program order, up to
 /// the commit width per cycle, once finished.
@@ -22,7 +23,7 @@ impl InOrderEngine {
 
     /// Squashes everything younger than `boundary` (exclusive) by walking
     /// the ROB's rename undo records, and rewinds fetch after `boundary`.
-    fn squash_younger(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_>) {
+    fn squash_younger<O: Observer>(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_, O>) {
         let undo: Vec<_> = self
             .rob
             .squash_younger_than(boundary)
@@ -36,7 +37,7 @@ impl InOrderEngine {
     }
 }
 
-impl CommitEngine for InOrderEngine {
+impl<O: Observer> CommitEngine<O> for InOrderEngine {
     fn name(&self) -> &'static str {
         "in-order-rob"
     }
@@ -49,7 +50,7 @@ impl CommitEngine for InOrderEngine {
         &mut self,
         _id: InstId,
         _inst: &Instruction,
-        _ctx: &mut EngineCtx<'_, '_>,
+        _ctx: &mut EngineCtx<'_, '_, O>,
     ) -> Result<(), DispatchStall> {
         if self.rob.has_space() {
             Ok(())
@@ -72,21 +73,27 @@ impl CommitEngine for InOrderEngine {
         0
     }
 
-    fn dispatched(&mut self, _d: &Dispatched, _ckpt: CheckpointId, _ctx: &mut EngineCtx<'_, '_>) {}
+    fn dispatched(
+        &mut self,
+        _d: &Dispatched,
+        _ckpt: CheckpointId,
+        _ctx: &mut EngineCtx<'_, '_, O>,
+    ) {
+    }
 
-    fn frontend_drain(&mut self, _budget: usize, _ctx: &mut EngineCtx<'_, '_>) -> usize {
+    fn frontend_drain(&mut self, _budget: usize, _ctx: &mut EngineCtx<'_, '_, O>) -> usize {
         0
     }
 
-    fn wake(&mut self, _ctx: &mut EngineCtx<'_, '_>) -> usize {
+    fn wake(&mut self, _ctx: &mut EngineCtx<'_, '_, O>) -> usize {
         0
     }
 
-    fn completed(&mut self, wb: &Writeback, _ctx: &mut EngineCtx<'_, '_>) {
+    fn completed(&mut self, wb: &Writeback, _ctx: &mut EngineCtx<'_, '_, O>) {
         self.rob.mark_finished(wb.inst);
     }
 
-    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>) {
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_, O>) {
         let committed = self.rob.commit(ctx.config.commit_width);
         if committed.is_empty() {
             return;
@@ -97,6 +104,9 @@ impl CommitEngine for InOrderEngine {
                 ctx.regs.free(prev);
             }
             ctx.inflight.remove(e.inst);
+            if O::ENABLED {
+                ctx.obs.event(ctx.cycle, Event::Commit { inst: e.inst });
+            }
             frontier = e.inst + 1;
         }
         ctx.stats.committed_instructions += committed.len() as u64;
@@ -106,12 +116,12 @@ impl CommitEngine for InOrderEngine {
         ctx.release_fetch_to(frontier);
     }
 
-    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>) {
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_, O>) {
         ctx.stats.recoveries.near_recoveries += 1;
         self.squash_younger(branch, ctx);
     }
 
-    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool {
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_, O>) -> bool {
         // The baseline delivers the exception precisely by squashing
         // everything younger; the excepting instruction completes.
         self.squash_younger(inst, ctx);

@@ -32,6 +32,7 @@ use crate::stats::SimStats;
 use koc_core::{CamRenameMap, CheckpointId, InstructionQueue, LoadStoreQueue, PhysRegFile};
 use koc_isa::{ArchReg, InstId, Instruction, OpKind, PhysReg, ReplayWindow};
 use koc_mem::MemoryHierarchy;
+use koc_obs::{Event, NullObserver, Observer};
 
 /// Why the engine refused to accept the next instruction this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +81,12 @@ pub struct Writeback {
 /// Mutable views of the shared pipeline resources, passed to every engine
 /// hook. The engine and the shell never alias: the shell constructs the
 /// context fresh per call from its own fields.
-pub struct EngineCtx<'c, 'a> {
+///
+/// The observer seam rides along as the generic parameter `O`
+/// (monomorphized to [`NullObserver`] by default, which compiles every
+/// observation away): engines report commit/squash/checkpoint lifecycle
+/// through `ctx.obs`, always guarded by `O::ENABLED`.
+pub struct EngineCtx<'c, 'a, O: Observer = NullObserver> {
     /// The run's configuration.
     pub config: &'c ProcessorConfig,
     /// Current cycle.
@@ -108,9 +114,11 @@ pub struct EngineCtx<'c, 'a> {
     pub live_count: &'c mut usize,
     /// Run statistics.
     pub stats: &'c mut SimStats,
+    /// The run's observer (a no-op unless the pipeline was built with one).
+    pub obs: &'c mut O,
 }
 
-impl EngineCtx<'_, '_> {
+impl<O: Observer> EngineCtx<'_, '_, O> {
     /// Releases committed stores older than `frontier` to the memory
     /// hierarchy (L2 misses post to the timed backend as bank writes).
     pub fn drain_stores(&mut self, frontier: InstId) {
@@ -164,6 +172,9 @@ impl EngineCtx<'_, '_> {
                 self.rename.undo_rename(*arch, *newp, *prevp, self.regs);
             }
             if let Some(fl) = self.forget_inflight(*inst) {
+                if O::ENABLED {
+                    self.obs.event(self.cycle, Event::Squash { inst: *inst });
+                }
                 squashed.push(fl);
             }
         }
@@ -174,12 +185,22 @@ impl EngineCtx<'_, '_> {
 /// A commit engine: owns retirement order, recovery strategy and the
 /// reclamation of renamed registers. Driven by the pipeline shell through
 /// the hooks below, in pipeline-stage order.
-pub trait CommitEngine {
+///
+/// `O` is the run's observer type; engines implement the trait for every
+/// `O: Observer` so the same engine code serves observed and unobserved
+/// runs (the default, [`NullObserver`], compiles all reporting away).
+pub trait CommitEngine<O: Observer = NullObserver> {
     /// Short engine name, used in diagnostics.
     fn name(&self) -> &'static str;
 
     /// Whether the engine holds no uncommitted work (end-of-run condition).
     fn is_empty(&self) -> bool;
+
+    /// Number of live checkpoints the engine currently holds (0 for
+    /// engines without checkpoints). Read by the per-cycle observer sample.
+    fn live_checkpoints(&self) -> usize {
+        0
+    }
 
     /// Admission control for the next instruction in fetch order, called
     /// after the shell's own resource checks (queues, LSQ, registers) pass.
@@ -189,7 +210,7 @@ pub trait CommitEngine {
         &mut self,
         id: InstId,
         inst: &Instruction,
-        ctx: &mut EngineCtx<'_, '_>,
+        ctx: &mut EngineCtx<'_, '_, O>,
     ) -> Result<(), DispatchStall>;
 
     /// Allocates retirement tracking for an accepted instruction and returns
@@ -199,19 +220,19 @@ pub trait CommitEngine {
     /// Called after the accepted instruction entered its issue queue; the
     /// checkpointed engine advances its pseudo-ROB (and may retire/classify
     /// an older entry) here.
-    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_>);
+    fn dispatched(&mut self, d: &Dispatched, ckpt: CheckpointId, ctx: &mut EngineCtx<'_, '_, O>);
 
     /// Frontend-side retirement work when dispatch cannot make progress
     /// (fetch drained or the issue queues are full): lets the checkpointed
     /// engine keep classifying pseudo-ROB entries. `budget` bounds the work
     /// to the fetch width. Returns the number of entries retired, so the
     /// shell can tell a dead cycle from a draining one (fast-forward).
-    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_>) -> usize;
+    fn frontend_drain(&mut self, budget: usize, ctx: &mut EngineCtx<'_, '_, O>) -> usize;
 
     /// Per-cycle wake-up of any secondary buffer (the SLIQ), before issue
     /// selection. Returns the number of instructions re-inserted, so the
     /// shell can tell a dead cycle from a waking one (fast-forward).
-    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_>) -> usize;
+    fn wake(&mut self, ctx: &mut EngineCtx<'_, '_, O>) -> usize;
 
     /// The earliest future cycle at which the engine has self-scheduled
     /// work (a pending SLIQ wake-up walker), or `None` if it only reacts to
@@ -223,21 +244,21 @@ pub trait CommitEngine {
 
     /// Execution of `wb.inst` completed this cycle (its result, if any, is
     /// already broadcast to the issue queues).
-    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_>);
+    fn completed(&mut self, wb: &Writeback, ctx: &mut EngineCtx<'_, '_, O>);
 
     /// Retires as much as the engine's commit rules allow this cycle.
-    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_>);
+    fn commit(&mut self, ctx: &mut EngineCtx<'_, '_, O>);
 
     /// Recovers from a mispredicted branch that resolved at write-back. The
     /// engine squashes younger work, restores rename state and rewinds fetch
     /// (through `ctx`); the shell applies the redirect penalty afterwards.
-    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_>);
+    fn recover_branch(&mut self, branch: InstId, ctx: &mut EngineCtx<'_, '_, O>);
 
     /// Delivers an exception raised by `inst` at completion. Returns `true`
     /// if the excepting instruction itself was squashed (it will re-execute
     /// from an engine-internal recovery point), `false` if it survives and
     /// completes normally.
-    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_>) -> bool;
+    fn recover_exception(&mut self, inst: InstId, ctx: &mut EngineCtx<'_, '_, O>) -> bool;
 
     /// End-of-run statistics owned by the engine (SLIQ counters and the
     /// like).
@@ -248,7 +269,7 @@ pub trait CommitEngine {
 ///
 /// This is the only place that maps configuration variants to engine types;
 /// the pipeline shell never matches on the variant.
-pub fn from_config(commit: &CommitConfig) -> Box<dyn CommitEngine> {
+pub fn from_config<O: Observer>(commit: &CommitConfig) -> Box<dyn CommitEngine<O>> {
     match *commit {
         CommitConfig::InOrderRob { rob_size } => Box::new(InOrderEngine::new(rob_size)),
         CommitConfig::Checkpointed {

@@ -64,6 +64,14 @@ pub use koc_workloads::Suite;
 // over a generator) can be written without importing `koc_isa` directly.
 pub use koc_isa::{InstructionSource, IntoInstructionSource, ReplayWindow, SourceExt};
 
+// Re-exported so observers — the fourth seam, next to the configuration,
+// the instruction source and the commit engine — can be attached without
+// importing `koc_obs` directly.
+pub use koc_obs::{
+    CycleAccounting, CycleBucket, CycleBuckets, CycleSample, Event, IntervalRecord, NullObserver,
+    Observer, PipelineTracer, TimelineRecorder,
+};
+
 // Re-exported so the memory-backend knobs (`SimBuilder::dram`,
 // `mshr_entries`, `prefetch`, …) can be used without importing `koc_mem`.
 pub use koc_mem::{BackendKind, DramConfig, MemoryConfig, PrefetchConfig};

@@ -38,6 +38,7 @@ use koc_isa::{
     ArchReg, InstId, Instruction, IntoInstructionSource, OpKind, PhysReg, RegList, ReplayWindow,
 };
 use koc_mem::{MemLevel, MemoryHierarchy, TimedAccess};
+use koc_obs::{CycleBucket, CycleSample, Event, NullObserver, Observer};
 use std::collections::BTreeMap;
 
 /// Interval (in cycles) at which the expensive live-instruction breakdown
@@ -226,6 +227,7 @@ macro_rules! engine_ctx {
             inflight: &mut $self.inflight,
             live_count: &mut $self.live_count,
             stats: &mut $self.stats,
+            obs: &mut $self.obs,
         }
     };
 }
@@ -233,7 +235,7 @@ macro_rules! engine_ctx {
 /// The processor: the pipeline shell plus all shared microarchitectural
 /// state for one simulation run. The commit engine plugs in behind the
 /// [`CommitEngine`] trait.
-pub struct Processor<'a> {
+pub struct Processor<'a, O: Observer = NullObserver> {
     config: ProcessorConfig,
     /// The fetch stream: a replay window over the run's instruction source.
     fetch: ReplayWindow<'a>,
@@ -247,7 +249,10 @@ pub struct Processor<'a> {
     lsq: LoadStoreQueue,
     mem: MemoryHierarchy,
     predictor: PredictorImpl,
-    engine: Box<dyn CommitEngine>,
+    engine: Box<dyn CommitEngine<O>>,
+    /// The run's observer — [`NullObserver`] by default, in which case every
+    /// hook monomorphizes to nothing (`O::ENABLED` is `false`).
+    obs: O,
 
     inflight: InFlightTable,
     next_seq: u64,
@@ -304,6 +309,38 @@ impl<'a> Processor<'a> {
         source: impl IntoInstructionSource<'a>,
         engine: Box<dyn CommitEngine>,
     ) -> Self {
+        Self::with_parts(config, source, engine, NullObserver)
+    }
+}
+
+impl<'a, O: Observer> Processor<'a, O> {
+    /// Builds a processor that reports pipeline activity to `obs` — the
+    /// observability seam. The observer's hooks are monomorphized into the
+    /// hot loop, so a [`NullObserver`] build is bit- and cycle-identical to
+    /// (and as fast as) an unobserved one.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`ProcessorConfig::validate`].
+    pub fn with_observer(
+        config: ProcessorConfig,
+        source: impl IntoInstructionSource<'a>,
+        obs: O,
+    ) -> Self {
+        let engine = engine::from_config(&config.commit);
+        Self::with_parts(config, source, engine, obs)
+    }
+
+    /// Builds a processor from all four seams: configuration, instruction
+    /// source, commit engine and observer.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`ProcessorConfig::validate`].
+    pub fn with_parts(
+        config: ProcessorConfig,
+        source: impl IntoInstructionSource<'a>,
+        engine: Box<dyn CommitEngine<O>>,
+        obs: O,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid processor configuration: {e}"); // koc-lint: allow(panic, "invalid configuration is a caller bug; validate() names the field")
         }
@@ -346,6 +383,7 @@ impl<'a> Processor<'a> {
             long_epoch: 0,
             stats: SimStats::default(),
             config,
+            obs,
         }
     }
 
@@ -394,6 +432,26 @@ impl<'a> Processor<'a> {
         self.run_capped(None)
     }
 
+    /// Runs until completion and returns the statistics together with the
+    /// observer, which now holds whatever it recorded.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn run_observed(self) -> (SimStats, O) {
+        self.run_capped_observed(None)
+    }
+
+    /// [`run_capped`](Self::run_capped), returning the observer as well.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn run_capped_observed(mut self, max_cycles: Option<u64>) -> (SimStats, O) {
+        let stats = self.run_to_end(max_cycles);
+        (stats, self.obs)
+    }
+
     /// Runs until completion or until the simulated cycle count reaches
     /// `max_cycles`, whichever comes first. A capped run that stops early
     /// returns partial statistics with
@@ -404,6 +462,10 @@ impl<'a> Processor<'a> {
     /// Panics if the simulation exceeds a generous cycle bound (indicating a
     /// pipeline deadlock, which is a bug).
     pub fn run_capped(mut self, max_cycles: Option<u64>) -> SimStats {
+        self.run_to_end(max_cycles)
+    }
+
+    fn run_to_end(&mut self, max_cycles: Option<u64>) -> SimStats {
         let cap = max_cycles.unwrap_or(u64::MAX);
         while !self.is_done() {
             if self.cycle >= cap {
@@ -425,7 +487,7 @@ impl<'a> Processor<'a> {
             }
         }
         self.finalize();
-        self.stats
+        std::mem::take(&mut self.stats)
     }
 
     fn cycle_bound(&self) -> u64 {
@@ -472,7 +534,64 @@ impl<'a> Processor<'a> {
         let (front_progress, stall) = self.frontend_stage();
         progressed |= front_progress;
         self.sample_stats();
+        if O::ENABLED {
+            let committed_delta = self.stats.committed_instructions - committed_before;
+            let sample = self.cycle_sample(self.cycle, committed_delta, stall);
+            self.obs.sample(&sample);
+        }
         CycleActivity { progressed, stall }
+    }
+
+    /// Builds the per-cycle observer sample, attributing the cycle to
+    /// exactly one [`CycleBucket`]. Only called when an observer is attached
+    /// (`O::ENABLED`); a quiescent cycle classifies identically whether it is
+    /// stepped or replayed by fast-forward, because every input below is
+    /// frozen while the machine is quiescent.
+    fn cycle_sample(
+        &mut self,
+        cycle: u64,
+        committed_delta: u64,
+        stall: Option<SkipStall>,
+    ) -> CycleSample {
+        let bucket = if committed_delta > 0 {
+            CycleBucket::Committing
+        } else {
+            match stall {
+                Some(SkipStall::Dispatch(StallReason::Engine(DispatchStall::RobFull))) => {
+                    CycleBucket::WindowFull
+                }
+                Some(SkipStall::Dispatch(StallReason::Engine(DispatchStall::CheckpointFull))) => {
+                    CycleBucket::CheckpointTableFull
+                }
+                Some(SkipStall::Dispatch(StallReason::IqFull))
+                | Some(SkipStall::Dispatch(StallReason::LsqFull)) => CycleBucket::IqFull,
+                Some(SkipStall::Dispatch(StallReason::RegsFull)) => CycleBucket::RegfileExhausted,
+                Some(SkipStall::Redirect) => CycleBucket::FetchStarved,
+                None => {
+                    if self.mem.pending_demand_misses() > 0 {
+                        CycleBucket::MshrFull
+                    } else if self.mem.backend_in_flight() > 0 {
+                        CycleBucket::MemoryWait
+                    } else if self.fetch.at_end() {
+                        CycleBucket::FetchStarved
+                    } else {
+                        CycleBucket::ExecuteWait
+                    }
+                }
+            }
+        };
+        CycleSample {
+            cycle,
+            committed: self.stats.committed_instructions,
+            dispatched: self.stats.dispatched_instructions,
+            inflight: self.inflight.len(),
+            live: self.live_count,
+            live_checkpoints: self.engine.live_checkpoints(),
+            mshr_inflight: self.mem.backend_in_flight(),
+            pending_misses: self.mem.pending_demand_misses(),
+            replay_window: self.fetch.occupancy(),
+            bucket,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -529,6 +648,12 @@ impl<'a> Processor<'a> {
             self.stats.live_long.record_n(long, samples);
             self.stats.live_short.record_n(short, samples);
         }
+        if O::ENABLED {
+            // The machine is frozen across the gap, so one sample describes
+            // every skipped cycle; observers replay it `skipped` times.
+            let sample = self.cycle_sample(self.cycle + 1, 0, stall);
+            self.obs.skip(&sample, skipped);
+        }
         self.cycle = target;
         self.stats.cycles = target;
     }
@@ -540,7 +665,7 @@ impl<'a> Processor<'a> {
     fn memory_stage(&mut self) {
         let mut completed = std::mem::take(&mut self.mem_completed);
         completed.clear();
-        self.mem.tick(self.cycle, &mut completed);
+        self.mem.tick_obs(self.cycle, &mut completed, &mut self.obs);
         for token in completed.drain(..) {
             // The token is the load instance's `seq`; stale tokens (the
             // instance was squashed) simply no longer map to a waiter, and
@@ -602,6 +727,9 @@ impl<'a> Processor<'a> {
             };
             progressed = true;
             fl.state = InstState::Done;
+            if O::ENABLED {
+                self.obs.event(self.cycle, Event::Complete { inst });
+            }
             let wb = Writeback {
                 inst,
                 ckpt: fl.ckpt,
@@ -688,7 +816,10 @@ impl<'a> Processor<'a> {
         let (completion, level) = match trace_inst.kind {
             OpKind::Load => {
                 let addr = trace_inst.mem.expect("load has address").addr; // koc-lint: allow(panic, "loads always carry a memory operand")
-                match self.mem.access_data_timed(addr, seq, self.cycle) {
+                match self
+                    .mem
+                    .access_data_timed_obs(addr, seq, self.cycle, &mut self.obs)
+                {
                     TimedAccess::Ready { level, latency } => (Some(latency), Some(level)),
                     TimedAccess::InFlight => {
                         self.mem_waiters.insert(seq as usize, inst);
@@ -711,6 +842,9 @@ impl<'a> Processor<'a> {
         };
         fl.state = InstState::Executing { done_cycle: done };
         fl.mem_level = level;
+        if O::ENABLED {
+            self.obs.event(self.cycle, Event::Issue { inst });
+        }
         let long = trace_inst.kind == OpKind::Load && level == Some(MemLevel::Memory);
         self.inflight.mark_issued(inst, long);
         self.live_count = self.live_count.saturating_sub(1);
@@ -905,6 +1039,20 @@ impl<'a> Processor<'a> {
         );
         self.live_count += 1;
         self.stats.dispatched_instructions += 1;
+        if O::ENABLED {
+            self.obs.event(
+                self.cycle,
+                Event::Fetch {
+                    inst: id,
+                    kind: inst.kind,
+                },
+            );
+            if renamed.is_some() {
+                self.obs.event(self.cycle, Event::Rename { inst: id });
+            }
+            self.obs
+                .event(self.cycle, Event::Dispatch { inst: id, ckpt });
+        }
         Ok(())
     }
 

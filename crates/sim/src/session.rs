@@ -22,6 +22,7 @@ use crate::stats::SimStats;
 use koc_core::CheckpointPolicy;
 use koc_isa::{IntoInstructionSource, Trace};
 use koc_mem::{BackendKind, DramConfig, PrefetchConfig};
+use koc_obs::Observer;
 use koc_workloads::{suite::suite_average, Suite, Workload};
 use rayon::prelude::*;
 
@@ -408,6 +409,26 @@ impl Session {
     /// Runs the session's configuration over one externally supplied trace.
     pub fn run_trace(&self, trace: &Trace) -> SimStats {
         Processor::new(self.config, trace).run_capped(self.cycle_budget)
+    }
+
+    /// Runs the session's configuration over one externally supplied trace
+    /// with an observer attached, returning the statistics and the observer
+    /// (now holding whatever it recorded). Attaching an observer never
+    /// changes simulated timing — cycle counts are bit-identical to
+    /// [`run_trace`](Self::run_trace).
+    pub fn run_trace_observed<O: Observer>(&self, trace: &Trace, obs: O) -> (SimStats, O) {
+        Processor::with_observer(self.config, trace, obs).run_capped_observed(self.cycle_budget)
+    }
+
+    /// Runs the session's configuration over one externally supplied
+    /// instruction source with an observer attached (see
+    /// [`run_trace_observed`](Self::run_trace_observed)).
+    pub fn run_source_observed<'s, O: Observer>(
+        &self,
+        source: impl IntoInstructionSource<'s>,
+        obs: O,
+    ) -> (SimStats, O) {
+        Processor::with_observer(self.config, source, obs).run_capped_observed(self.cycle_budget)
     }
 
     /// Runs the session's configuration over one externally supplied

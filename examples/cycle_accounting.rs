@@ -1,0 +1,52 @@
+//! Top-down cycle accounting: attribute every cycle of a run to exactly one
+//! cause bucket, and record an interval time-series alongside it — the
+//! observer analogue of the paper's "where did the time go" analysis.
+//!
+//! ```text
+//! cargo run --release --example cycle_accounting
+//! ```
+//!
+//! Observers compose as tuples, so one run feeds both the
+//! [`CycleAccounting`] bucket counters and the [`TimelineRecorder`]
+//! interval series. Attaching them never changes simulated timing.
+
+use koc_bench::report::{accounting_table, timeline_table};
+use koc_sim::{CycleAccounting, Processor, ProcessorConfig, TimelineRecorder};
+use koc_workloads::{kernels, Workload};
+
+fn main() {
+    let workload = Workload::generate("pointer_chase", kernels::pointer_chase(), 4_000);
+    for (name, config) in [
+        ("baseline 128", ProcessorConfig::baseline(128, 1000)),
+        ("cooo 128/2048", ProcessorConfig::cooo(128, 2048, 1000)),
+    ] {
+        let obs = (TimelineRecorder::new(4_096), CycleAccounting::new());
+        let (stats, (timeline, accounting)) =
+            Processor::with_observer(config, &workload.trace, obs).run_observed();
+        let buckets = accounting.into_buckets();
+        // The hard invariant: buckets partition the run.
+        assert_eq!(buckets.total(), stats.cycles);
+        println!(
+            "{}",
+            accounting_table(
+                format!(
+                    "Cycle accounting — {} / {name} (IPC {:.3})",
+                    workload.name,
+                    stats.ipc()
+                ),
+                &buckets
+            )
+        );
+        println!(
+            "{}",
+            timeline_table(
+                format!("Timeline — {} / {name}", workload.name),
+                &timeline.into_records()
+            )
+        );
+    }
+    println!("pointer chasing exposes the contrast: the baseline spends its");
+    println!("cycles stalled with the window full, while checkpointed commit");
+    println!("shifts the same cycles to the memory-wait bucket (the paper's");
+    println!("motivation: the window is no longer the limiter, memory is).");
+}

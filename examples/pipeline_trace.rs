@@ -1,0 +1,47 @@
+//! Pipeline event tracing: attach the [`PipelineTracer`] observer to a run
+//! and render the per-instruction lifecycle as Kanata text (loadable in the
+//! Konata pipeline viewer) and as `koc-ptrace/1` JSON.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+//!
+//! The observer is the simulator's fourth seam, next to the configuration,
+//! the instruction source and the commit engine: it is a generic parameter
+//! of the pipeline, so a run built without one (`Processor::new`) compiles
+//! the hooks away entirely and remains bit- and cycle-identical.
+
+use koc_sim::{PipelineTracer, Processor, ProcessorConfig};
+use koc_workloads::{kernels, Workload};
+
+fn main() {
+    let workload = Workload::generate("gather", kernels::gather(), 300);
+    let config = ProcessorConfig::cooo(32, 512, 200);
+    let (stats, tracer) =
+        Processor::with_observer(config, &workload.trace, PipelineTracer::new()).run_observed();
+    println!(
+        "traced {} instructions over {} cycles: {} pipeline events\n",
+        stats.committed_instructions,
+        stats.cycles,
+        tracer.len()
+    );
+
+    // Kanata text: save it and open with Konata
+    // (https://github.com/shioyadan/Konata) to scroll the pipeline visually.
+    let kanata = tracer.to_kanata();
+    println!("--- first lines of the Kanata rendering ---");
+    for line in kanata.lines().take(12) {
+        println!("{line}");
+    }
+    let path = std::env::temp_dir().join("koc_pipeline_trace.kanata");
+    std::fs::write(&path, &kanata).expect("write kanata file");
+    println!("\nfull Kanata trace written to {}", path.display());
+
+    // koc-ptrace/1 JSON: one flat object per event, for ad-hoc analysis.
+    let json = tracer.to_ptrace_json();
+    println!(
+        "koc-ptrace/1 JSON is {} bytes; first 200: {}…",
+        json.len(),
+        &json[..200.min(json.len())]
+    );
+}

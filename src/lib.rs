@@ -11,7 +11,10 @@
 //!   SLIQ) and the conventional window structures,
 //! * [`workloads`] — the synthetic SPEC2000fp-like suite,
 //! * [`sim`] — the pipeline, the pluggable [`sim::CommitEngine`] and the
-//!   fluent [`sim::SimBuilder`] / [`sim::Session`] / [`sim::Sweep`] API.
+//!   fluent [`sim::SimBuilder`] / [`sim::Session`] / [`sim::Sweep`] API,
+//! * [`obs`] — the zero-perturbation observability layer: the
+//!   [`obs::Observer`] seam plus the pipeline event tracer, the interval
+//!   time-series recorder and top-down cycle accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +23,6 @@ pub use koc_core as core;
 pub use koc_frontend as frontend;
 pub use koc_isa as isa;
 pub use koc_mem as mem;
+pub use koc_obs as obs;
 pub use koc_sim as sim;
 pub use koc_workloads as workloads;
