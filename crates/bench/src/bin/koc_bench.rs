@@ -8,6 +8,7 @@
 //! koc-bench harness --only gather             # one workload only
 //! koc-bench harness --engine cooo             # one commit engine only
 //! koc-bench harness --source streamed         # lazy O(window) ingestion
+//! koc-bench harness --quick --grid 16         # lockstep vs per-config sweep
 //! koc-bench trace --workload gather --format kanata   # pipeline event trace
 //! koc-bench timeline --workload gather --interval 256  # interval time-series
 //! koc-bench compare --baseline bench/baseline.json --current fresh.json
@@ -34,6 +35,7 @@ fn print_usage() {
     eprintln!("usage: koc-bench harness [--quick|--full] [--out PATH] [--list]");
     eprintln!("                         [--only WORKLOAD] [--engine baseline|cooo]");
     eprintln!("                         [--source streamed|materialized]");
+    eprintln!("                         [--grid N]   (lockstep vs per-config over N configs)");
     eprintln!("       koc-bench stats [--workload NAME] [--engine baseline|cooo] [--full]");
     eprintln!("       koc-bench trace [--workload NAME] [--engine baseline|cooo] [--len N]");
     eprintln!("                       [--format ptrace|kanata] [--out PATH]");
@@ -69,12 +71,21 @@ fn run_harness(args: &[String]) -> ExitCode {
         ..HarnessOptions::default()
     };
     let mut out: Option<PathBuf> = None;
+    let mut grid: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 options.quick = true;
                 i += 1;
+            }
+            "--grid" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--grid requires a lane count (e.g. --grid 16)");
+                    return ExitCode::FAILURE;
+                };
+                grid = Some(n);
+                i += 2;
             }
             "--full" => {
                 options.quick = false;
@@ -128,12 +139,27 @@ fn run_harness(args: &[String]) -> ExitCode {
             }
         }
     }
-    let report = match harness::run_with(&options) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("harness: {e}");
-            return ExitCode::FAILURE;
-        }
+    let report = match grid {
+        // Grid runs hard-check lockstep-vs-per-config identity in-process:
+        // any statistics drift between the modes comes back as Err here
+        // and exits non-zero (CI's batching-correctness gate).
+        Some(lanes) => match harness::run_grid_with(&options, lanes) {
+            Ok((report, summary)) => {
+                println!("{}", koc_bench::report::grid_table(&summary));
+                report
+            }
+            Err(e) => {
+                eprintln!("harness: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match harness::run_with(&options) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("harness: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     println!("{}", report.to_table());
     let path = out.unwrap_or_else(|| harness::next_bench_path(std::path::Path::new(".")));

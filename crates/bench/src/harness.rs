@@ -53,7 +53,7 @@
 
 use crate::report::Report;
 use koc_isa::json::{parse_json, Json};
-use koc_sim::{Processor, ProcessorConfig, SimStats, SourceMode};
+use koc_sim::{run_lockstep, Processor, ProcessorConfig, SimStats, SourceMode};
 use koc_workloads::{Suite, Workload, WorkloadSpec};
 use serde::Serialize;
 use std::time::Instant;
@@ -114,6 +114,12 @@ pub struct BenchReport {
     /// The `--engine` filter this report was produced with, if any
     /// (`null` = both engines).
     pub engine_filter: Option<String>,
+    /// Lane count of a `--grid <n>` run (`null` for plain harness runs;
+    /// absent in older reports, defaulted by the parser).
+    pub grid_lanes: Option<usize>,
+    /// Aggregate lockstep-over-per-config speedup of a grid run (`null`
+    /// for plain harness runs).
+    pub grid_speedup: Option<f64>,
     /// One entry per (workload, engine), in suite-then-engine order.
     pub results: Vec<BenchEntry>,
 }
@@ -338,8 +344,216 @@ pub fn run_with(options: &HarnessOptions) -> Result<BenchReport, String> {
         .to_string(),
         filter: options.only.clone(),
         engine_filter: options.engine.clone(),
+        grid_lanes: None,
+        grid_speedup: None,
         results,
     })
+}
+
+// ---------------------------------------------------------------------
+// Grid mode: lockstep batched sweeps vs the per-config fan-out
+// ---------------------------------------------------------------------
+
+/// The canonical lane ladder for `--grid <n>`: lane 0 is the paper's
+/// headline checkpointed machine, every further lane varies the checkpoint
+/// count, window size and SLIQ depth so the grid exercises genuinely
+/// different configurations (a sweep, not `n` copies of one machine).
+pub fn grid_configs(lanes: usize) -> Vec<ProcessorConfig> {
+    (0..lanes)
+        .map(|k| {
+            if k == 0 {
+                ProcessorConfig::cooo(128, 2048, 1000)
+            } else {
+                let checkpoints = [8, 4, 16, 32][k % 4];
+                let window = [128, 64][(k / 4) % 2];
+                let sliq = [2048, 1024][(k / 8) % 2];
+                ProcessorConfig::cooo(window, sliq, 1000).with_checkpoints(checkpoints)
+            }
+        })
+        .collect()
+}
+
+/// Aggregate figures of one grid run, for the human-readable summary
+/// (`crate::report::grid_table`) — every public field here is covered by
+/// the `stats-coverage` lint rule, like [`SimStats`] itself.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridSummary {
+    /// Number of configurations (lanes) in the grid.
+    pub lanes: usize,
+    /// Number of workloads the grid ran over.
+    pub workloads: usize,
+    /// Total wall-clock seconds of the per-config fan-out (sum over
+    /// workloads; each lane times its own run, including its own source
+    /// in streamed mode).
+    pub per_config_wall_seconds: f64,
+    /// Total wall-clock seconds of the lockstep executor (sum over
+    /// workloads; one timed region per workload covers all lanes and the
+    /// single shared source).
+    pub lockstep_wall_seconds: f64,
+    /// Aggregate simulated-cycle throughput of the per-config fan-out,
+    /// in millions of cycles per second across all lanes and workloads.
+    pub per_config_mcycles_per_sec: f64,
+    /// Aggregate simulated-cycle throughput of the lockstep executor.
+    pub lockstep_mcycles_per_sec: f64,
+    /// `lockstep_mcycles_per_sec / per_config_mcycles_per_sec` — how much
+    /// faster decode-once batching is than the fan-out on this host.
+    pub speedup: f64,
+}
+
+/// Runs the canonical suite over a `lanes`-configuration grid in **both**
+/// execution modes — the per-config fan-out and the lockstep batched
+/// executor — timing each, and hard-checks that every lane's statistics
+/// are bit-identical between the modes before reporting anything.
+///
+/// Report shape (schema unchanged): one row per (workload, lane, mode)
+/// with `workload` = `"<name>#<lane>"` and `engine` = `"per-config"` or
+/// `"lockstep"`, plus one `"aggregate"` row per mode (`engine` =
+/// `"per-config-aggregate"` / `"lockstep-aggregate"`) carrying the
+/// whole-grid throughput — the row `compare --min-mcps
+/// lockstep-aggregate:<floor>` gates on. Lane rows are the accuracy
+/// fingerprint; their wall clock is the per-workload mode wall (lanes of
+/// one batch are not separately timeable), so per-lane `mcycles_per_sec`
+/// is only meaningful in aggregate.
+///
+/// # Errors
+/// Returns a message on an unknown `--only` filter, on a zero-lane grid,
+/// and — the hard gate — on any statistics drift between the two modes.
+pub fn run_grid_with(
+    options: &HarnessOptions,
+    lanes: usize,
+) -> Result<(BenchReport, GridSummary), String> {
+    if lanes == 0 {
+        return Err("--grid requires at least one lane".into());
+    }
+    if options.engine.is_some() {
+        return Err("--engine does not apply to --grid (the lane ladder fixes the configs)".into());
+    }
+    let trace_len = if options.quick {
+        QUICK_TRACE_LEN
+    } else {
+        FULL_TRACE_LEN
+    };
+    let mut specs = specs(trace_len);
+    if let Some(only) = &options.only {
+        specs.retain(|s| s.name() == only);
+        if specs.is_empty() {
+            return Err(format!(
+                "unknown workload '{only}' (available: {})",
+                workload_names().join(", ")
+            ));
+        }
+    }
+    let configs = grid_configs(lanes);
+    // Same warm-up rationale as `run_with`: prime the process so the first
+    // timed region is measured like the rest.
+    {
+        let warmup = specs[0].materialize();
+        let _ = Processor::new(configs[0], &warmup.trace).run_capped(Some(2_000));
+    }
+    let mut results = Vec::new();
+    let mut totals = [(0u64, 0u64, 0f64, 0usize); 2]; // (cycles, retired, wall, peak) per mode
+    for spec in &specs {
+        let materialized = match options.source {
+            SourceMode::Materialized => Some(spec.materialize()),
+            SourceMode::Streamed => None,
+        };
+        // Per-config fan-out: every lane pays for its own ingestion (in
+        // streamed mode, its own full generation pass).
+        let mut per_config = Vec::with_capacity(lanes);
+        let start = Instant::now();
+        for config in &configs {
+            per_config.push(match &materialized {
+                Some(w) => Processor::new(*config, &w.trace).run(),
+                None => Processor::new(*config, spec.source()).run(),
+            });
+        }
+        let per_config_wall = start.elapsed().as_secs_f64();
+        // Lockstep: one shared stream forked across all lanes.
+        let start = Instant::now();
+        let lockstep = match &materialized {
+            Some(w) => run_lockstep(&configs, &w.trace, None),
+            None => run_lockstep(&configs, spec.source(), None),
+        };
+        let lockstep_wall = start.elapsed().as_secs_f64();
+        // The zero-tolerance identity gate: lockstep is a scheduling
+        // change, so any drift at all is a bug — refuse to report.
+        for (lane, (p, l)) in per_config.iter().zip(&lockstep).enumerate() {
+            if p != l {
+                return Err(format!(
+                    "{}#{lane:02}: lockstep drifted from per-config \
+                     (cycles {} vs {}, retired {} vs {})",
+                    spec.name(),
+                    l.cycles,
+                    p.cycles,
+                    l.committed_instructions,
+                    p.committed_instructions
+                ));
+            }
+        }
+        for (mode, stats, wall) in [
+            ("per-config", &per_config, per_config_wall),
+            ("lockstep", &lockstep, lockstep_wall),
+        ] {
+            let totals = &mut totals[usize::from(mode == "lockstep")];
+            for (lane, s) in stats.iter().enumerate() {
+                totals.0 += s.cycles;
+                totals.1 += s.committed_instructions;
+                totals.3 = totals.3.max(s.inflight.max());
+                results.push(BenchEntry {
+                    workload: format!("{}#{lane:02}", spec.name()),
+                    engine: mode.to_string(),
+                    cycles: s.cycles,
+                    retired: s.committed_instructions,
+                    ipc: s.ipc(),
+                    wall_seconds: wall,
+                    mcycles_per_sec: s.cycles as f64 / 1e6 / wall.max(1e-9),
+                    mips: s.committed_instructions as f64 / 1e6 / wall.max(1e-9),
+                    peak_inflight: s.inflight.max(),
+                });
+            }
+            totals.2 += wall;
+        }
+    }
+    let mcps = |t: &(u64, u64, f64, usize)| t.0 as f64 / 1e6 / t.2.max(1e-9);
+    let summary = GridSummary {
+        lanes,
+        workloads: specs.len(),
+        per_config_wall_seconds: totals[0].2,
+        lockstep_wall_seconds: totals[1].2,
+        per_config_mcycles_per_sec: mcps(&totals[0]),
+        lockstep_mcycles_per_sec: mcps(&totals[1]),
+        speedup: mcps(&totals[1]) / mcps(&totals[0]).max(1e-9),
+    };
+    for (i, mode) in ["per-config", "lockstep"].iter().enumerate() {
+        let (cycles, retired, wall, peak) = totals[i];
+        results.push(BenchEntry {
+            workload: "aggregate".to_string(),
+            engine: format!("{mode}-aggregate"),
+            cycles,
+            retired,
+            ipc: retired as f64 / cycles.max(1) as f64,
+            wall_seconds: wall,
+            mcycles_per_sec: cycles as f64 / 1e6 / wall.max(1e-9),
+            mips: retired as f64 / 1e6 / wall.max(1e-9),
+            peak_inflight: peak,
+        });
+    }
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        suite: format!("grid{lanes}"),
+        trace_len,
+        source: match options.source {
+            SourceMode::Materialized => "materialized",
+            SourceMode::Streamed => "streamed",
+        }
+        .to_string(),
+        filter: options.only.clone(),
+        engine_filter: None,
+        grid_lanes: Some(lanes),
+        grid_speedup: Some(summary.speedup),
+        results,
+    };
+    Ok((report, summary))
 }
 
 /// Picks the default output name `BENCH_<n>.json`: one past the highest
@@ -576,6 +790,12 @@ fn parse_report(text: &str) -> Result<BenchReport, String> {
             .get("engine_filter")
             .and_then(Json::as_str)
             .map(str::to_string),
+        // Reports predating the grid mode carry neither field.
+        grid_lanes: json
+            .get("grid_lanes")
+            .and_then(Json::as_u64)
+            .map(|n| n as usize),
+        grid_speedup: json.get("grid_speedup").and_then(Json::as_f64),
         results,
     })
 }
@@ -652,6 +872,8 @@ mod tests {
             source: "materialized".to_string(),
             filter: None,
             engine_filter: None,
+            grid_lanes: None,
+            grid_speedup: None,
             results: vec![BenchEntry {
                 workload: "stream_add".to_string(),
                 engine: "baseline".to_string(),
@@ -931,6 +1153,73 @@ mod tests {
             assert_eq!((m.cycles, m.retired), (s.cycles, s.retired), "{}", m.engine);
             assert_eq!(m.peak_inflight, s.peak_inflight);
         }
+    }
+
+    #[test]
+    fn grid_configs_ladder_is_distinct_and_anchored() {
+        let configs = grid_configs(16);
+        assert_eq!(configs.len(), 16);
+        assert_eq!(configs[0], ProcessorConfig::cooo(128, 2048, 1000));
+        // Every lane must be a genuinely different machine — a grid of
+        // clones would make the identity gate vacuous.
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                assert_ne!(a, b, "duplicate lane in the grid ladder");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_run_reports_lanes_aggregates_and_speedup() {
+        let (report, summary) = run_grid_with(
+            &HarnessOptions {
+                quick: true,
+                only: Some("stream_add".to_string()),
+                source: SourceMode::Streamed,
+                ..HarnessOptions::default()
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(report.suite, "grid3");
+        assert_eq!(report.grid_lanes, Some(3));
+        assert_eq!(report.grid_speedup, Some(summary.speedup));
+        // 3 lanes x 2 modes + 2 aggregate rows.
+        assert_eq!(report.results.len(), 8);
+        for lane in 0..3 {
+            let w = format!("stream_add#{lane:02}");
+            let p = report.entry(&w, "per-config").unwrap();
+            let l = report.entry(&w, "lockstep").unwrap();
+            assert_eq!((p.cycles, p.retired), (l.cycles, l.retired));
+        }
+        let p = report.entry("aggregate", "per-config-aggregate").unwrap();
+        let l = report.entry("aggregate", "lockstep-aggregate").unwrap();
+        assert_eq!((p.cycles, p.retired), (l.cycles, l.retired));
+        assert!(summary.speedup > 0.0);
+        assert_eq!(summary.lanes, 3);
+        assert_eq!(summary.workloads, 1);
+        // The report round-trips with the new fields intact.
+        let parsed = parse_report(&report.to_json()).unwrap();
+        assert_eq!(parsed.grid_lanes, Some(3));
+        assert!(parsed.grid_speedup.is_some());
+    }
+
+    #[test]
+    fn grid_rejects_zero_lanes_and_engine_filters() {
+        let options = HarnessOptions {
+            quick: true,
+            ..HarnessOptions::default()
+        };
+        assert!(run_grid_with(&options, 0)
+            .unwrap_err()
+            .contains("at least one lane"));
+        let filtered = HarnessOptions {
+            engine: Some("cooo".to_string()),
+            ..options
+        };
+        assert!(run_grid_with(&filtered, 2)
+            .unwrap_err()
+            .contains("does not apply"));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use inst::{BranchInfo, Instruction, MemAccess};
 pub use op::{FuClass, OpKind, OpLatency};
 pub use reg::{ArchReg, PhysReg, RegClass, RegList, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
 pub use source::{
-    InstructionSource, IntoInstructionSource, MaterializedTrace, ReplayWindow, SourceExt,
+    ForkMonitor, InstructionSource, IntoInstructionSource, LaneSource, MaterializedTrace,
+    ReplayWindow, SourceExt, StreamFork,
 };
 pub use trace::{InstId, Trace, TraceCursor};

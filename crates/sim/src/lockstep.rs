@@ -1,0 +1,251 @@
+//! Decode-once, simulate-many: the lockstep sweep executor.
+//!
+//! A parameter sweep runs the *same* workload under N processor
+//! configurations. The per-config fan-out pays N× for source generation
+//! and keeps N full ingestion pipelines alive across rayon workers; this
+//! module instead forks one fetch stream ([`koc_isa::StreamFork`]) into N
+//! per-lane readers and drives N [`Processor`]s round-robin on one thread:
+//!
+//! ```text
+//!   source ──decode once──▶ StreamFork ──lane 0──▶ Processor(config 0)
+//!                           (shared buf) ──lane 1──▶ Processor(config 1)
+//!                            frontier =   …
+//!                            min(lanes)  ──lane N──▶ Processor(config N)
+//! ```
+//!
+//! Lanes advance in bounded fetch chunks: each scheduling round moves every
+//! live lane until its replay window has pulled `chunk` more instructions
+//! than the previous round's target ([`Processor::advance_until`]). The
+//! shared buffer releases below the minimum lane position (the fork
+//! frontier), so its occupancy is bounded by the fetch skew between the
+//! slowest and fastest lane — O(chunk + in-flight window), never
+//! O(stream). Lane state lives in parallel arrays (processors, budgets,
+//! finished statistics), so the scheduler's own bookkeeping stays
+//! cache-resident no matter how many lanes run.
+//!
+//! Two properties make lockstep safe to substitute for the fan-out:
+//!
+//! * **Identity** — every lane sees exactly the instruction sequence the
+//!   undivided source would produce, and slicing via `advance_until` is
+//!   invisible to the simulated machine, so per-lane statistics are
+//!   bit-identical to solo runs (gated by `tests/lockstep.rs` at zero
+//!   tolerance).
+//! * **Decoupled time** — lanes keep independent cycle clocks; each lane
+//!   fast-forwards through its own idle gaps to its own next event, and
+//!   per-lane cycle budgets cap lanes individually. A lane that exhausts
+//!   its budget or finishes simply leaves the rotation; the frontier then
+//!   follows the remaining lanes.
+
+use crate::config::ProcessorConfig;
+use crate::pipeline::Processor;
+use crate::stats::SimStats;
+use koc_isa::{ForkMonitor, IntoInstructionSource, StreamFork};
+
+/// Default per-round fetch chunk, in instructions. Lanes batch their
+/// shared-stream reads (see [`koc_isa::StreamFork`]), so the chunk's job
+/// is to balance scheduling granularity against locality: every lane
+/// switch drags one processor's working set back into cache, so larger
+/// chunks amortize that, while the shared buffer stays bounded by
+/// chunk + the widest lane's in-flight window. 4096 measured fastest on
+/// the quick suite without giving up the O(chunk) memory bound.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// A batched run of one instruction stream under N configurations in
+/// lockstep — built by [`LockstepSweep::new`], driven by
+/// [`run`](LockstepSweep::run).
+pub struct LockstepSweep<'a> {
+    /// Lane state, structure-of-arrays: `procs[i]` / `budgets[i]` /
+    /// `finished[i]` describe lane `i`. A `None` processor marks a lane
+    /// whose run completed (its statistics moved to `finished`).
+    procs: Vec<Option<Processor<'a>>>,
+    budgets: Vec<Option<u64>>,
+    finished: Vec<Option<SimStats>>,
+    chunk: usize,
+    monitor: Option<ForkMonitor<'a>>,
+}
+
+impl<'a> LockstepSweep<'a> {
+    /// Forks `source` once and builds one lane per configuration. All
+    /// allocation happens here; the scheduling loop is allocation-free.
+    pub fn new(configs: &[ProcessorConfig], source: impl IntoInstructionSource<'a>) -> Self {
+        let lanes = StreamFork::split(source, configs.len());
+        let monitor = lanes.first().map(|l| l.monitor());
+        let procs: Vec<Option<Processor<'a>>> = configs
+            .iter()
+            .zip(lanes)
+            .map(|(config, lane)| Some(Processor::new(*config, lane)))
+            .collect();
+        let n = procs.len();
+        LockstepSweep {
+            procs,
+            budgets: vec![None; n],
+            finished: vec![None; n],
+            chunk: DEFAULT_CHUNK,
+            monitor,
+        }
+    }
+
+    /// Applies one cycle budget to every lane (the [`crate::Session`]
+    /// `cycle_budget` semantics, per lane).
+    pub fn budget(mut self, budget: Option<u64>) -> Self {
+        for b in &mut self.budgets {
+            *b = budget;
+        }
+        self
+    }
+
+    /// Staggered per-lane cycle budgets.
+    ///
+    /// # Panics
+    /// Panics if `budgets.len()` differs from the lane count.
+    pub fn budgets(mut self, budgets: &[Option<u64>]) -> Self {
+        assert_eq!(
+            budgets.len(),
+            self.budgets.len(),
+            "one budget per lane required"
+        );
+        self.budgets.copy_from_slice(budgets);
+        self
+    }
+
+    /// Overrides the per-round fetch chunk (clamped to at least 1).
+    /// Smaller chunks shrink the shared buffer; larger chunks amortize
+    /// scheduling. The choice cannot affect simulated results.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// A passive handle onto the shared fork buffer (for memory
+    /// reporting); `None` when there are no lanes.
+    pub fn monitor(&self) -> Option<ForkMonitor<'a>> {
+        self.monitor.clone()
+    }
+
+    /// Drives all lanes to completion and returns per-lane statistics in
+    /// configuration order — bit-identical to running each configuration
+    /// solo via [`Processor::run_capped`] with the same budget.
+    pub fn run(mut self) -> Vec<SimStats> {
+        let n = self.procs.len();
+        let mut live = n;
+        let mut target = self.chunk;
+        while live > 0 {
+            for i in 0..n {
+                let Some(proc) = self.procs[i].as_mut() else {
+                    continue;
+                };
+                if proc.advance_until(target, self.budgets[i]) {
+                    // koc-lint: allow(panic, "the lane was just borrowed as live two lines up")
+                    let done = self.procs[i].take().expect("lane vanished mid-round");
+                    self.finished[i] = Some(done.into_stats());
+                    live -= 1;
+                }
+            }
+            // Lanes that outlive the stream keep draining in-flight work
+            // even though their windows stop fetching; the growing target
+            // never blocks them (advance_until runs to completion once the
+            // source ends).
+            target = target.saturating_add(self.chunk);
+        }
+        self.finished
+            .into_iter()
+            .map(|s| {
+                // koc-lint: allow(panic, "the scheduling loop above fills every slot before live reaches 0")
+                s.expect("lane finished without statistics")
+            })
+            .collect() // koc-lint: allow(hot-path-alloc, "per-sweep result collection, not the cycle loop")
+    }
+}
+
+/// Convenience wrapper: fork `source` across `configs` with a uniform
+/// cycle budget and return per-config statistics in input order.
+pub fn run_lockstep<'a>(
+    configs: &[ProcessorConfig],
+    source: impl IntoInstructionSource<'a>,
+    budget: Option<u64>,
+) -> Vec<SimStats> {
+    LockstepSweep::new(configs, source).budget(budget).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koc_isa::Trace;
+    use koc_workloads::{generate_kernel, kernels};
+
+    fn trace(name: &str, target_len: usize) -> Trace {
+        let config = match name {
+            "stream_add" => kernels::stream_add(),
+            _ => kernels::pointer_chase(),
+        }
+        .with_target_len(target_len);
+        generate_kernel(name, &config)
+    }
+
+    fn grid() -> Vec<ProcessorConfig> {
+        vec![
+            ProcessorConfig::baseline(64, 400),
+            ProcessorConfig::cooo(32, 512, 400),
+            ProcessorConfig::cooo(16, 256, 400),
+        ]
+    }
+
+    fn solo(config: ProcessorConfig, budget: Option<u64>) -> SimStats {
+        let trace = trace("stream_add", 1_500);
+        Processor::new(config, &trace).run_capped(budget)
+    }
+
+    #[test]
+    fn lockstep_matches_solo_runs_bit_for_bit() {
+        let trace = trace("stream_add", 1_500);
+        let configs = grid();
+        let batched = run_lockstep(&configs, &trace, None);
+        assert_eq!(batched.len(), configs.len());
+        for (config, got) in configs.iter().zip(&batched) {
+            assert_eq!(*got, solo(*config, None), "lane for {config:?} drifted");
+        }
+    }
+
+    #[test]
+    fn per_lane_budgets_cap_lanes_individually() {
+        let trace = trace("stream_add", 1_500);
+        let configs = grid();
+        let budgets = [Some(200), None, Some(900)];
+        let batched = LockstepSweep::new(&configs, &trace).budgets(&budgets).run();
+        for ((config, budget), got) in configs.iter().zip(budgets).zip(&batched) {
+            assert_eq!(*got, solo(*config, budget));
+        }
+        assert!(batched[0].budget_exhausted);
+        assert!(!batched[1].budget_exhausted);
+    }
+
+    #[test]
+    fn chunk_size_cannot_change_results() {
+        let trace = trace("pointer_chase", 800);
+        let configs = grid();
+        let coarse = LockstepSweep::new(&configs, &trace).chunk(4_096).run();
+        let fine = LockstepSweep::new(&configs, &trace).chunk(16).run();
+        assert_eq!(coarse, fine);
+    }
+
+    #[test]
+    fn shared_buffer_tracks_lane_skew_not_stream_length() {
+        let trace = trace("stream_add", 6_000);
+        let configs = grid();
+        let sweep = LockstepSweep::new(&configs, &trace).chunk(256);
+        let monitor = sweep.monitor().expect("lanes exist");
+        sweep.run();
+        let peak = monitor.peak();
+        assert!(
+            peak < 3_000,
+            "shared fork peak {peak} should be far below the 6000-instruction stream"
+        );
+        assert_eq!(monitor.occupancy(), 0, "drained fork releases everything");
+    }
+
+    #[test]
+    fn empty_grid_returns_no_lanes() {
+        let trace = trace("stream_add", 100);
+        assert!(run_lockstep(&[], &trace, None).is_empty());
+    }
+}

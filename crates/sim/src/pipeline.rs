@@ -466,11 +466,36 @@ impl<'a, O: Observer> Processor<'a, O> {
     }
 
     fn run_to_end(&mut self, max_cycles: Option<u64>) -> SimStats {
+        self.advance_until(usize::MAX, max_cycles);
+        self.finalize();
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Advances the machine until its replay window has pulled at least
+    /// `fetch_target` instructions from the source, the run completes, or
+    /// the cycle budget is exhausted — the resumable slice the lockstep
+    /// executor drives lanes with (`fetch_target == usize::MAX` runs to
+    /// completion). Returns `true` when the run is over (complete or budget
+    /// exhausted) and the caller should collect the statistics via
+    /// [`into_stats`](Self::into_stats); `false` means the fetch target was
+    /// reached and the lane can be resumed later.
+    ///
+    /// Slicing is invisible to the simulated machine: state evolves exactly
+    /// as in an unsliced run, so statistics are bit-identical regardless of
+    /// how callers interleave `advance_until` across processors.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn advance_until(&mut self, fetch_target: usize, max_cycles: Option<u64>) -> bool {
         let cap = max_cycles.unwrap_or(u64::MAX);
         while !self.is_done() {
             if self.cycle >= cap {
                 self.stats.budget_exhausted = true;
-                break;
+                return true;
+            }
+            if self.fetch.fetched() >= fetch_target {
+                return false;
             }
             let activity = self.step_cycle();
             // The deadlock bound scales with the stream as it is fetched
@@ -486,6 +511,13 @@ impl<'a, O: Observer> Processor<'a, O> {
                 self.fast_forward(activity.stall, cap);
             }
         }
+        true
+    }
+
+    /// Finalizes a run driven through [`advance_until`](Self::advance_until)
+    /// and returns the statistics (the counterpart of
+    /// [`run_capped`](Self::run_capped) for externally sliced runs).
+    pub fn into_stats(mut self) -> SimStats {
         self.finalize();
         std::mem::take(&mut self.stats)
     }

@@ -17,17 +17,70 @@
 //! ```
 
 use crate::config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterModel};
+use crate::lockstep::run_lockstep;
 use crate::pipeline::Processor;
 use crate::stats::SimStats;
 use koc_core::CheckpointPolicy;
-use koc_isa::{IntoInstructionSource, Trace};
+use koc_isa::{InstructionSource, IntoInstructionSource, Trace};
 use koc_mem::{BackendKind, DramConfig, PrefetchConfig};
 use koc_obs::Observer;
-use koc_workloads::{suite::suite_average, Suite, Workload};
+use koc_workloads::{suite::suite_average, Suite, Workload, WorkloadSpec};
 use rayon::prelude::*;
 
 /// Default minimum dynamic trace length per workload when none is given.
 pub const DEFAULT_TRACE_LEN: usize = 10_000;
+
+/// How a [`Sweep`] executes its (configuration × workload) grid.
+///
+/// Execution mode is a scheduling decision only: per-config cycle counts
+/// are **bit-identical** across modes (gated by `tests/lockstep.rs` at
+/// zero tolerance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Decode once, simulate many: each workload's instruction stream is
+    /// fetched a single time and forked across all configurations, which
+    /// advance in lockstep under a shared fetch frontier
+    /// (see [`crate::lockstep`]). The default whenever the configurations
+    /// share a workload spec — which every grid built through [`Sweep`]
+    /// does; single-configuration sweeps fall back to the per-config path
+    /// (with one lane, there is nothing to share).
+    #[default]
+    Lockstep,
+    /// The classic fan-out: every (configuration × workload) pair runs as
+    /// an independent job across rayon workers, each re-instantiating its
+    /// own source.
+    PerConfig,
+}
+
+/// A workload a [`Sweep`] grid can run: something with a name that can
+/// mint a fresh instruction stream per run (or per lockstep group). The
+/// single abstraction [`Sweep::run_grid`] — the one execution seam both
+/// [`ExecMode`]s implement — is generic over.
+pub trait GridWorkload: Sync {
+    /// The workload's report name.
+    fn name(&self) -> &str;
+    /// A fresh source producing this workload's instruction stream from
+    /// the beginning.
+    fn source(&self) -> Box<dyn InstructionSource + Send + '_>;
+}
+
+impl GridWorkload for Workload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn source(&self) -> Box<dyn InstructionSource + Send + '_> {
+        Box::new(Workload::source(self))
+    }
+}
+
+impl GridWorkload for WorkloadSpec {
+    fn name(&self) -> &str {
+        WorkloadSpec::name(self)
+    }
+    fn source(&self) -> Box<dyn InstructionSource + Send + '_> {
+        WorkloadSpec::source(self)
+    }
+}
 
 /// How a session's workloads are fed to the pipeline.
 ///
@@ -406,24 +459,19 @@ impl Session {
             .expect("a sweep returns one result per configuration") // koc-lint: allow(panic, "a sweep returns one result per configuration")
     }
 
-    /// Runs the session's configuration over one externally supplied trace.
-    pub fn run_trace(&self, trace: &Trace) -> SimStats {
-        Processor::new(self.config, trace).run_capped(self.cycle_budget)
-    }
-
-    /// Runs the session's configuration over one externally supplied trace
-    /// with an observer attached, returning the statistics and the observer
-    /// (now holding whatever it recorded). Attaching an observer never
-    /// changes simulated timing — cycle counts are bit-identical to
-    /// [`run_trace`](Self::run_trace).
-    pub fn run_trace_observed<O: Observer>(&self, trace: &Trace, obs: O) -> (SimStats, O) {
-        Processor::with_observer(self.config, trace, obs).run_capped_observed(self.cycle_budget)
-    }
-
     /// Runs the session's configuration over one externally supplied
-    /// instruction source with an observer attached (see
-    /// [`run_trace_observed`](Self::run_trace_observed)).
-    pub fn run_source_observed<'s, O: Observer>(
+    /// instruction stream — the single one-off entry point, generic over
+    /// both the ingestion side ([`IntoInstructionSource`]: a `&Trace`, a
+    /// streaming generator, a combinator pipeline…) and the observation
+    /// side ([`Observer`]: pass [`koc_obs::NullObserver`] for an unobserved
+    /// run, or any recording observer to get it back filled in). Replaces
+    /// the former `run_trace` / `run_trace_observed` / `run_source` /
+    /// `run_source_observed` quartet, which forward here.
+    ///
+    /// Attaching an observer never changes simulated timing, and memory
+    /// stays O(in-flight window) regardless of how many instructions the
+    /// source produces.
+    pub fn run_one<'s, O: Observer>(
         &self,
         source: impl IntoInstructionSource<'s>,
         obs: O,
@@ -431,14 +479,35 @@ impl Session {
         Processor::with_observer(self.config, source, obs).run_capped_observed(self.cycle_budget)
     }
 
+    /// Runs the session's configuration over one externally supplied trace.
+    #[deprecated(since = "0.2.0", note = "use `run_one(trace, NullObserver)` instead")]
+    pub fn run_trace(&self, trace: &Trace) -> SimStats {
+        self.run_one(trace, koc_obs::NullObserver).0
+    }
+
+    /// Runs the session's configuration over one externally supplied trace
+    /// with an observer attached.
+    #[deprecated(since = "0.2.0", note = "use `run_one(trace, obs)` instead")]
+    pub fn run_trace_observed<O: Observer>(&self, trace: &Trace, obs: O) -> (SimStats, O) {
+        self.run_one(trace, obs)
+    }
+
     /// Runs the session's configuration over one externally supplied
-    /// instruction source — a streaming generator, a combinator pipeline, a
-    /// `&Trace`, anything implementing
-    /// [`InstructionSource`](koc_isa::InstructionSource). This is the entry
-    /// point for unbounded-length runs: memory stays O(in-flight window)
-    /// regardless of how many instructions the source produces.
+    /// instruction source with an observer attached.
+    #[deprecated(since = "0.2.0", note = "use `run_one(source, obs)` instead")]
+    pub fn run_source_observed<'s, O: Observer>(
+        &self,
+        source: impl IntoInstructionSource<'s>,
+        obs: O,
+    ) -> (SimStats, O) {
+        self.run_one(source, obs)
+    }
+
+    /// Runs the session's configuration over one externally supplied
+    /// instruction source.
+    #[deprecated(since = "0.2.0", note = "use `run_one(source, NullObserver)` instead")]
     pub fn run_source<'s>(&self, source: impl IntoInstructionSource<'s>) -> SimStats {
-        Processor::new(self.config, source).run_capped(self.cycle_budget)
+        self.run_one(source, koc_obs::NullObserver).0
     }
 
     /// A fresh processor over `source`, for callers that want to drive the
@@ -471,6 +540,7 @@ pub struct Sweep {
     trace_len: usize,
     cycle_budget: Option<u64>,
     source_mode: SourceMode,
+    exec_mode: ExecMode,
 }
 
 impl Sweep {
@@ -482,6 +552,7 @@ impl Sweep {
             trace_len: DEFAULT_TRACE_LEN,
             cycle_budget: None,
             source_mode: SourceMode::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -513,29 +584,33 @@ impl Sweep {
         self
     }
 
+    /// Selects how the grid executes (see [`ExecMode`]); the default is
+    /// [`ExecMode::Lockstep`]. Cycle counts are bit-identical either way —
+    /// this knob trades scheduling shape (decode-once lanes vs independent
+    /// rayon jobs), never results.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
     /// The configurations in the sweep, in run order.
     pub fn configs(&self) -> &[ProcessorConfig] {
         &self.configs
     }
 
-    /// Runs the whole grid, fanning the (configuration × workload) pairs
-    /// out over all cores. In [`SourceMode::Materialized`] the suite is
-    /// generated once and shared; in [`SourceMode::Streamed`] every run
-    /// pulls a fresh lazy source. Returns one result per configuration, in
-    /// input order.
+    /// Runs the whole grid. In [`SourceMode::Materialized`] the suite is
+    /// generated once and shared; in [`SourceMode::Streamed`] nothing is
+    /// materialized and streams are pulled on demand. Returns one result
+    /// per configuration, in input order.
     pub fn run(&self) -> Vec<SuiteResult> {
         match self.source_mode {
             SourceMode::Materialized => {
                 let workloads = self.suite.generate(self.trace_len);
-                self.run_on(&workloads)
+                self.run_grid(&workloads)
             }
             SourceMode::Streamed => {
                 let specs = self.suite.specs(self.trace_len);
-                let budget = self.cycle_budget;
-                self.run_grid(&specs, |config, spec| WorkloadResult {
-                    workload: spec.name().to_string(),
-                    stats: Processor::new(*config, spec.source()).run_capped(budget),
-                })
+                self.run_grid(&specs)
             }
         }
     }
@@ -544,21 +619,23 @@ impl Sweep {
     /// nothing is cloned per configuration). Returns one result per
     /// configuration, in input order.
     pub fn run_on(&self, workloads: &[Workload]) -> Vec<SuiteResult> {
-        let budget = self.cycle_budget;
-        self.run_grid(workloads, |config, w| WorkloadResult {
-            workload: w.name.clone(),
-            stats: Processor::new(*config, &w.trace).run_capped(budget),
-        })
+        self.run_grid(workloads)
     }
 
-    /// Flattens the (configuration × workload) grid, runs every pair in
-    /// parallel with `run_one`, and groups the results back per
-    /// configuration in input order.
-    fn run_grid<W: Sync>(
-        &self,
-        workloads: &[W],
-        run_one: impl Fn(&ProcessorConfig, &W) -> WorkloadResult + Sync,
-    ) -> Vec<SuiteResult> {
+    /// The single execution seam: runs the (configuration × `workloads`)
+    /// grid under the sweep's [`ExecMode`] and returns one result per
+    /// configuration, in input order.
+    ///
+    /// * [`ExecMode::Lockstep`] instantiates each workload's source
+    ///   **once**, forks it across all configurations and advances the
+    ///   lanes under a shared fetch frontier (see [`crate::lockstep`]);
+    ///   workload groups fan out over rayon workers.
+    /// * [`ExecMode::PerConfig`] flattens to (configuration × workload)
+    ///   pairs and fans every pair out as an independent job, each minting
+    ///   its own source.
+    ///
+    /// Both modes produce bit-identical per-configuration statistics.
+    pub fn run_grid<W: GridWorkload>(&self, workloads: &[W]) -> Vec<SuiteResult> {
         if workloads.is_empty() {
             return self
                 .configs
@@ -569,8 +646,48 @@ impl Sweep {
                 })
                 .collect();
         }
-        // Flatten to (config × workload) pairs so parallelism covers the
-        // whole grid, not just the configuration axis.
+        // A single-configuration "grid" has nothing to share; the pair
+        // fan-out keeps its parallelism across workloads without paying
+        // for the fork.
+        if self.exec_mode == ExecMode::Lockstep && self.configs.len() > 1 {
+            self.run_grid_lockstep(workloads)
+        } else {
+            self.run_grid_per_config(workloads)
+        }
+    }
+
+    /// [`ExecMode::Lockstep`]: one decode pass and one lane per
+    /// configuration for each workload, workloads in parallel.
+    fn run_grid_lockstep<W: GridWorkload>(&self, workloads: &[W]) -> Vec<SuiteResult> {
+        let budget = self.cycle_budget;
+        // Per-workload lane results: lanes[w][c] is workload w under
+        // configuration c.
+        let lanes: Vec<Vec<SimStats>> = workloads
+            .par_iter()
+            .map(|w| run_lockstep(&self.configs, w.source(), budget))
+            .collect();
+        self.configs
+            .iter()
+            .enumerate()
+            .map(|(ci, config)| SuiteResult {
+                config: *config,
+                per_workload: workloads
+                    .iter()
+                    .zip(&lanes)
+                    .map(|(w, per_config)| WorkloadResult {
+                        workload: w.name().to_string(),
+                        stats: per_config[ci].clone(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// [`ExecMode::PerConfig`]: flattens to (configuration × workload)
+    /// pairs so parallelism covers the whole grid, not just the
+    /// configuration axis.
+    fn run_grid_per_config<W: GridWorkload>(&self, workloads: &[W]) -> Vec<SuiteResult> {
+        let budget = self.cycle_budget;
         let pairs: Vec<(&ProcessorConfig, &W)> = self
             .configs
             .iter()
@@ -578,7 +695,10 @@ impl Sweep {
             .collect();
         let runs: Vec<WorkloadResult> = pairs
             .par_iter()
-            .map(|(config, w)| run_one(config, w))
+            .map(|(config, w)| WorkloadResult {
+                workload: w.name().to_string(),
+                stats: Processor::new(**config, w.source()).run_capped(budget),
+            })
             .collect();
         self.configs
             .iter()

@@ -15,7 +15,7 @@
 //! from combinators.
 
 use koc::isa::{InstructionSource, SourceExt};
-use koc::sim::{SimBuilder, Suite};
+use koc::sim::{NullObserver, SimBuilder, Suite};
 use koc::workloads::{kernels, KernelSource};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         source.len_hint().expect("stream_add length is exact")
     );
     let start = std::time::Instant::now();
-    let stats = session.run_source(source);
+    let stats = session.run_one(source, NullObserver).0;
     println!(
         "  {} retired, {} cycles, IPC {:.2}, {:.1}s wall",
         stats.committed_instructions,
@@ -53,7 +53,7 @@ fn main() {
     );
     let hot = KernelSource::new("gather", kernels::gather().with_target_len(20_000));
     let scenario = warm.then(hot.repeat_n(2)).warmup_measure(5_000, 30_000);
-    let stats = session.run_source(scenario);
+    let stats = session.run_one(scenario, NullObserver).0;
     println!(
         "combinator scenario (warmup+measure): {} retired, IPC {:.2}",
         stats.committed_instructions,

@@ -1,7 +1,7 @@
 //! Repository-level tests for the fluent `SimBuilder`/`Session`/`Sweep` API,
 //! including the property that sweeps preserve input order.
 
-use koc_sim::{CommitConfig, ProcessorConfig, SimBuilder, Suite, Sweep};
+use koc_sim::{CommitConfig, NullObserver, ProcessorConfig, SimBuilder, Suite, Sweep};
 use koc_workloads::kernels;
 use proptest::prelude::*;
 
@@ -50,7 +50,7 @@ fn sessions_cover_the_former_free_function_entry_points() {
     // the single way in.
     let w = koc_workloads::Workload::generate("gather", kernels::gather(), 1_000);
     let session = SimBuilder::baseline(64).memory_latency(100).build();
-    let stats = session.run_trace(&w.trace);
+    let stats = session.run_one(&w.trace, NullObserver).0;
     assert_eq!(stats.committed_instructions as usize, w.trace.len());
     let suite = SimBuilder::baseline(64)
         .memory_latency(100)

@@ -14,7 +14,7 @@
 //!    `warmup_measure`) and reloaded trace files run end to end.
 
 use koc::isa::{InstructionSource, SourceExt, Trace};
-use koc::sim::{ProcessorConfig, SimBuilder, SourceMode, Suite};
+use koc::sim::{NullObserver, ProcessorConfig, SimBuilder, SourceMode, Suite};
 use koc::workloads::{generate_kernel, kernels, KernelSource, Workload};
 
 /// Stream length for the long-run memory guard: ten million instructions
@@ -65,7 +65,8 @@ fn long_streaming_run_keeps_the_replay_window_at_rob_depth() {
     let config = kernels::stream_add().with_target_len(GUARD_LEN);
     let stats = SimBuilder::baseline(window)
         .build()
-        .run_source(KernelSource::new("stream_add", config));
+        .run_one(KernelSource::new("stream_add", config), NullObserver)
+        .0;
     assert!(stats.committed_instructions as usize >= GUARD_LEN);
     assert!(
         stats.replay_window_peak <= window + 2,
@@ -81,7 +82,9 @@ fn checkpointed_replay_window_is_bounded_by_checkpoint_depth_not_length() {
     let session = SimBuilder::cooo().build();
     let run = |len: usize| {
         let config = kernels::stream_add().with_target_len(len);
-        session.run_source(KernelSource::new("stream_add", config))
+        session
+            .run_one(KernelSource::new("stream_add", config), NullObserver)
+            .0
     };
     let short = run(GUARD_LEN / 5);
     let long = run(GUARD_LEN / 2);
@@ -115,7 +118,8 @@ fn combinator_streams_run_end_to_end() {
     let stats = SimBuilder::baseline(64)
         .memory_latency(200)
         .build()
-        .run_source(stream);
+        .run_one(stream, NullObserver)
+        .0;
     assert_eq!(stats.committed_instructions as usize, 2_500);
     assert!(stats.cycles > 0);
 }
@@ -130,8 +134,8 @@ fn saved_traces_reload_and_replay_identically() {
     assert_eq!(reloaded, trace);
     let session = SimBuilder::cooo().build();
     assert_eq!(
-        session.run_trace(&trace),
-        session.run_trace(&reloaded),
+        session.run_one(&trace, NullObserver).0,
+        session.run_one(&reloaded, NullObserver).0,
         "a reloaded trace must time identically"
     );
 }
