@@ -297,7 +297,7 @@ impl InstructionQueue {
         fu_available: &mut [usize; FuClass::COUNT],
         max_total: usize,
     ) -> Vec<IqEntry> {
-        let mut picked = Vec::new(); // koc-lint: allow(hot-path-alloc, "compat wrapper; the hot loop uses select_ready_into with a reused buffer")
+        let mut picked = Vec::new();
         self.select_ready_into(fu_available, max_total, &mut picked);
         picked
     }

@@ -102,24 +102,34 @@ impl LoadStoreQueue {
         Ok(())
     }
 
-    /// Releases every entry older than `frontier` (exclusive): loads simply
-    /// free their slot, stores are returned so the caller can drain them to
-    /// the data cache. Called when the commit frontier advances (ROB commit
-    /// or checkpoint commit).
+    /// Releases entries older than `frontier` (exclusive) from the front:
+    /// loads simply free their slot, and the first released *store* is
+    /// returned so the caller can drain it to the data cache; `None` once
+    /// the frontier is reached. The per-cycle commit path loops on this —
+    /// one store at a time, no intermediate collection.
+    pub fn pop_store_older_than(&mut self, frontier: InstId) -> Option<LsqEntry> {
+        while let Some(front) = self.entries.front() {
+            if front.inst >= frontier {
+                return None;
+            }
+            let e = self.entries.pop_front().expect("front exists"); // koc-lint: allow(panic, "front was just peeked as Some")
+            if e.is_store {
+                self.stores_released += 1;
+                return Some(e);
+            }
+            self.loads_released += 1;
+        }
+        None
+    }
+
+    /// Releases every entry older than `frontier` (exclusive) and collects
+    /// the released stores. Convenience wrapper over
+    /// [`pop_store_older_than`](Self::pop_store_older_than) for tests and
+    /// tools; the cycle loop uses the allocation-free pop directly.
     pub fn release_older_than(&mut self, frontier: InstId) -> Vec<LsqEntry> {
         let mut drained_stores = Vec::new();
-        while let Some(front) = self.entries.front() {
-            if front.inst < frontier {
-                let e = self.entries.pop_front().expect("front exists"); // koc-lint: allow(panic, "front was just peeked as Some")
-                if e.is_store {
-                    self.stores_released += 1;
-                    drained_stores.push(e);
-                } else {
-                    self.loads_released += 1;
-                }
-            } else {
-                break;
-            }
+        while let Some(e) = self.pop_store_older_than(frontier) {
+            drained_stores.push(e);
         }
         drained_stores
     }

@@ -100,31 +100,47 @@ impl ReorderBuffer {
         }
     }
 
+    /// Pops the head entry if it has finished — one in-order commit step.
+    /// The per-cycle commit loop calls this up to the commit width; no
+    /// intermediate collection.
+    pub fn pop_finished(&mut self) -> Option<RobEntry> {
+        match self.entries.front() {
+            Some(e) if e.finished => self.entries.pop_front(),
+            _ => None,
+        }
+    }
+
     /// Commits up to `width` finished instructions from the head, in order.
+    /// Convenience wrapper over [`pop_finished`](Self::pop_finished) for
+    /// tests and tools; the cycle loop uses the allocation-free pop.
     pub fn commit(&mut self, width: usize) -> Vec<RobEntry> {
         let mut committed = Vec::new();
         while committed.len() < width {
-            match self.entries.front() {
-                Some(e) if e.finished => {
-                    // koc-lint: allow(panic, "front was just matched as finished")
-                    committed.push(self.entries.pop_front().expect("front exists"))
-                }
-                _ => break,
+            match self.pop_finished() {
+                Some(e) => committed.push(e),
+                None => break,
             }
         }
         committed
     }
 
+    /// Pops the youngest entry if it is younger than `inst` (exclusive) —
+    /// one step of the rename walk-back on a branch misprediction. The
+    /// recovery path loops on this, youngest first.
+    pub fn pop_younger_than(&mut self, inst: InstId) -> Option<RobEntry> {
+        match self.entries.back() {
+            Some(back) if back.inst > inst => self.entries.pop_back(),
+            _ => None,
+        }
+    }
+
     /// Removes and returns every entry younger than `inst` (exclusive),
-    /// youngest first, for rename walk-back on a branch misprediction.
+    /// youngest first. Convenience wrapper over
+    /// [`pop_younger_than`](Self::pop_younger_than) for tests and tools.
     pub fn squash_younger_than(&mut self, inst: InstId) -> Vec<RobEntry> {
         let mut squashed = Vec::new();
-        while let Some(back) = self.entries.back() {
-            if back.inst > inst {
-                squashed.push(self.entries.pop_back().expect("back exists")); // koc-lint: allow(panic, "back was just peeked as Some")
-            } else {
-                break;
-            }
+        while let Some(e) = self.pop_younger_than(inst) {
+            squashed.push(e);
         }
         squashed
     }

@@ -319,7 +319,7 @@ impl SliqBuffer {
     /// entries). Entries of one trigger re-insert oldest first; re-insertion
     /// stops at the first entry whose queue is full to preserve order.
     pub fn step(&mut self, now: u64, int_space: usize, fp_space: usize) -> Vec<IqEntry> {
-        let mut out = Vec::new(); // koc-lint: allow(hot-path-alloc, "compat wrapper; the hot loop uses step_into with a reused buffer")
+        let mut out = Vec::new();
         self.step_into(now, int_space, fp_space, &mut out);
         out
     }

@@ -18,11 +18,18 @@ pub struct Config {
     pub roots: Vec<String>,
     /// Path prefixes excluded from the scan (fixture trees).
     pub exclude: Vec<String>,
-    /// Files whose functions must stay allocation-free (the per-cycle hot
-    /// path), relative to the workspace root.
-    pub hot_path_files: Vec<String>,
-    /// Function names exempt from `hot-path-alloc`: constructors and other
-    /// cold entry points that legitimately allocate (warm-up, reset).
+    /// Per-cycle entry points seeding the call-graph reachability pass:
+    /// `Type::method`, `Trait::method` (fans out to every impl), or a bare
+    /// free-function name.
+    pub entry_points: Vec<String>,
+    /// The pre-reachability hand-listed hot-path files, kept as a
+    /// regression guard: the derived hot set must still cover every file
+    /// here (each must contain at least one hot function).
+    pub legacy_files: Vec<String>,
+    /// Reachability cut points: when the hot walk reaches a function whose
+    /// name (or `Type::name`) is listed here, it is neither enforced nor
+    /// traversed — constructors and other cold code that legitimately
+    /// allocates.
     pub cold_fns: Vec<String>,
     /// Crate directories where `std::time` and `rand` are forbidden.
     pub determinism_crates: Vec<String>,
@@ -104,7 +111,8 @@ impl Config {
             match (section.as_str(), key) {
                 ("workspace", "roots") => config.roots = place(&value)?,
                 ("workspace", "exclude") => config.exclude = place(&value)?,
-                ("hot-path-alloc", "files") => config.hot_path_files = place(&value)?,
+                ("hot-path-alloc", "entry_points") => config.entry_points = place(&value)?,
+                ("hot-path-alloc", "legacy_files") => config.legacy_files = place(&value)?,
                 ("hot-path-alloc", "cold_fns") => config.cold_fns = place(&value)?,
                 ("determinism", "crates") => config.determinism_crates = place(&value)?,
                 ("determinism", "map_crates") => config.map_crates = place(&value)?,
@@ -176,7 +184,8 @@ roots = ["src", "crates"]
 exclude = ["crates/lint/tests/fixtures"]
 
 [hot-path-alloc]
-files = [
+entry_points = ["Processor::advance_until", "CommitEngine::wake"]
+legacy_files = [
     "crates/core/src/sliq.rs",  # per-line comment
     "crates/core/src/iq.rs",
 ]
@@ -200,7 +209,11 @@ consumer = "crates/bench/src/report.rs"
         .unwrap();
         assert_eq!(c.roots, ["src", "crates"]);
         assert_eq!(
-            c.hot_path_files,
+            c.entry_points,
+            ["Processor::advance_until", "CommitEngine::wake"]
+        );
+        assert_eq!(
+            c.legacy_files,
             ["crates/core/src/sliq.rs", "crates/core/src/iq.rs"]
         );
         assert_eq!(c.stats_consumer, "crates/bench/src/report.rs");

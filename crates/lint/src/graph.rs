@@ -1,0 +1,899 @@
+//! Workspace call-graph construction: a lightweight item parser on top of
+//! [`crate::lex`] that recovers `fn` / `impl` / `trait` boundaries, receiver
+//! types and call sites, and a builder that resolves those call sites into a
+//! conservative (over-approximating) call graph.
+//!
+//! The parser is *not* a Rust parser — it is a single forward pass over the
+//! comment-filtered token stream of each file, tracking brace depth and a
+//! scope stack. That is enough to attribute every token to its innermost
+//! enclosing function, to know which `impl` (and which trait, for trait
+//! impls) that function belongs to, and to collect the file's call sites:
+//!
+//! * free calls — `helper(…)`,
+//! * path calls — `Type::method(…)`, `Trait::method(…)`, `Self::m(…)`,
+//!   `module::helper(…)`, including turbofish (`f::<T>(…)`),
+//! * method calls — `x.method(…)`, with the receiver type recovered when it
+//!   is literally `self`,
+//! * path-expression function references — `Type::method` passed as a value
+//!   (higher-order fallback).
+//!
+//! Calls made *inside a closure* body are attributed to the enclosing
+//! function (the closure-capture fallback: a closure is only callable
+//! through the function that created it, so for reachability purposes its
+//! body belongs to that function).
+//!
+//! Resolution is deliberately conservative — where the receiver type is
+//! unknown, a call to `x.cycle()` marks **every** `cycle` method in the
+//! workspace (in particular, every impl of a trait that declares `cycle`).
+//! Precision is recovered where it is cheap: `self.m()` and `Self::m()`
+//! resolve against the enclosing impl's type first, `Type::m()` against the
+//! named type's impls (falling through to trait-default bodies), and
+//! `Trait::m()` fans out to every impl of that trait. A qualifier that
+//! names no workspace type or trait (e.g. `Vec::new`, `mem::take`) falls
+//! back to free functions of that name, and resolves to nothing when the
+//! workspace defines none — calls into `std` cannot reach workspace code
+//! except through a trait impl, which the method-name fan-out already
+//! covers.
+//!
+//! Known (documented) approximation gaps: qualified-path calls
+//! (`<T as Trait>::m(…)`) and *bare-identifier* function references passed
+//! as values (`iter.map(helper)`) are not resolved. Neither form appears on
+//! the simulator's hot path; `koc-lint`'s job is to make the common,
+//! idiomatic call forms visible to the reachability pass.
+
+use crate::lex::TokKind;
+use crate::scan::FileScan;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` with no path qualifier or receiver.
+    Free,
+    /// `Qual::name(…)` or a `Qual::name` function reference.
+    Path {
+        /// The last path segment before the method name (`Type`, `Trait`,
+        /// `Self`, or a module name).
+        qual: String,
+    },
+    /// `x.name(…)` where the receiver expression is not `self`.
+    Method,
+    /// `self.name(…)` — resolvable against the enclosing impl's type.
+    SelfMethod,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// The call form (drives resolution).
+    pub kind: CallKind,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+}
+
+/// One `fn` item recovered from a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any.
+    pub self_ty: Option<String>,
+    /// Trait name: for `impl Trait for Type` methods the implemented trait,
+    /// for default bodies inside `trait Trait { … }` the declaring trait.
+    pub trait_ty: Option<String>,
+    /// Whether this is a default body inside a `trait` declaration.
+    pub in_trait_decl: bool,
+    /// Whether the item is a bodyless declaration (`fn f(…);` in a trait).
+    pub is_decl: bool,
+    /// Whether the declaration sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// 1-based source line of the `fn` name.
+    pub line: u32,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Display name: `Type::name`, `Trait::name`, or bare `name`.
+    pub fn qualified(&self) -> String {
+        match (&self.self_ty, &self.trait_ty) {
+            (Some(ty), _) => format!("{ty}::{}", self.name),
+            (None, Some(tr)) => format!("{tr}::{}", self.name),
+            (None, None) => self.name.clone(),
+        }
+    }
+}
+
+/// The items of one file: functions plus a per-code-token attribution map.
+#[derive(Debug)]
+pub struct FileItems {
+    /// Functions in declaration order.
+    pub fns: Vec<FnItem>,
+    /// Per *code* index (parallel to [`FileScan::code`]): the innermost
+    /// enclosing function, as an index into `fns`.
+    pub node_at: Vec<Option<u32>>,
+}
+
+/// Scope-stack entry for the item parser.
+enum Scope {
+    /// `impl` block: `(self type, implemented trait)`.
+    Impl(String, Option<String>),
+    /// `trait` declaration body.
+    Trait(String),
+    /// Function body, as an index into the file's `fns`.
+    Fn(u32),
+    /// Any other brace pair (block, struct/enum/match body, …).
+    Block,
+}
+
+/// Keywords that look like `ident (` call sites but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "move", "fn", "let",
+    "mut", "ref", "pub", "where", "use", "mod", "impl", "trait", "struct", "enum", "type", "const",
+    "static", "dyn", "break", "continue",
+];
+
+/// Parses one file's items. Never fails: constructs the parser can't follow
+/// degrade to missing items or missing call edges, never to a panic.
+pub fn parse_items(scan: &FileScan) -> FileItems {
+    Parser {
+        scan,
+        fns: Vec::new(),
+        node_at: vec![None; scan.code.len()],
+        scopes: Vec::new(),
+        depth: 0,
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    scan: &'a FileScan,
+    fns: Vec<FnItem>,
+    node_at: Vec<Option<u32>>,
+    /// `(scope, brace depth at which its `{` opened)`.
+    scopes: Vec<(Scope, usize)>,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn run(mut self) -> FileItems {
+        // Pending item headers: seen the keyword, waiting for the `{`.
+        let mut pending_impl: Option<(String, Option<String>)> = None;
+        let mut pending_trait: Option<String> = None;
+        let mut pending_fn: Option<u32> = None;
+
+        let n = self.scan.code.len();
+        let mut i = 0usize;
+        while i < n {
+            let t = self.scan.tok(i);
+            match t.kind {
+                TokKind::Ident if t.text == "impl" && self.at_item_position(i) => {
+                    if let Some((self_ty, trait_ty, next)) = self.parse_impl_header(i) {
+                        pending_impl = Some((self_ty, trait_ty));
+                        self.attribute(i, next);
+                        i = next;
+                        continue;
+                    }
+                }
+                TokKind::Ident if t.text == "trait" => {
+                    if let Some(name) = self.ident_at(i + 1) {
+                        pending_trait = Some(name);
+                    }
+                }
+                TokKind::Ident if t.text == "fn" => {
+                    if let Some(name) = self.ident_at(i + 1) {
+                        let (self_ty, trait_ty, in_trait_decl) = self.enclosing_item();
+                        let node = self.fns.len() as u32;
+                        self.fns.push(FnItem {
+                            name,
+                            self_ty,
+                            trait_ty,
+                            in_trait_decl,
+                            is_decl: false, // patched to true on `;`
+                            in_test: self.scan.in_test[i],
+                            line: self.scan.tok(i + 1).line,
+                            calls: Vec::new(),
+                        });
+                        pending_fn = Some(node);
+                        // Skip the name so `name (` is not read as a call.
+                        self.attribute(i, i + 2);
+                        i += 2;
+                        continue;
+                    }
+                }
+                TokKind::Punct if t.text == "{" => {
+                    if let Some((self_ty, trait_ty)) = pending_impl.take() {
+                        self.scopes
+                            .push((Scope::Impl(self_ty, trait_ty), self.depth));
+                    } else if let Some(name) = pending_trait.take() {
+                        self.scopes.push((Scope::Trait(name), self.depth));
+                    } else if let Some(node) = pending_fn.take() {
+                        self.scopes.push((Scope::Fn(node), self.depth));
+                    } else {
+                        self.scopes.push((Scope::Block, self.depth));
+                    }
+                    self.depth += 1;
+                }
+                TokKind::Punct if t.text == "}" => {
+                    self.depth = self.depth.saturating_sub(1);
+                    while self.scopes.last().is_some_and(|&(_, d)| d >= self.depth) {
+                        self.scopes.pop();
+                    }
+                }
+                TokKind::Punct if t.text == ";" => {
+                    // A pending fn that hits `;` before `{` is a bodyless
+                    // trait-method declaration.
+                    if let Some(node) = pending_fn.take() {
+                        self.fns[node as usize].is_decl = true;
+                    }
+                    pending_impl = None;
+                    pending_trait = None;
+                }
+                _ => {}
+            }
+
+            self.attribute(i, i + 1);
+            if let Some(node) = self.current_fn() {
+                self.collect_call(i, node);
+            }
+            i += 1;
+        }
+
+        FileItems {
+            fns: self.fns,
+            node_at: self.node_at,
+        }
+    }
+
+    /// Records the enclosing-fn attribution for code indices `[from, to)`.
+    fn attribute(&mut self, from: usize, to: usize) {
+        let node = self.current_fn();
+        for k in from..to.min(self.node_at.len()) {
+            self.node_at[k] = node;
+        }
+    }
+
+    /// Innermost enclosing function, if any.
+    fn current_fn(&self) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|(s, _)| match s {
+            Scope::Fn(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The impl/trait context a new `fn` declaration belongs to:
+    /// `(self type, trait, is a trait-decl default body)`.
+    fn enclosing_item(&self) -> (Option<String>, Option<String>, bool) {
+        for (s, _) in self.scopes.iter().rev() {
+            match s {
+                Scope::Impl(ty, tr) => return (Some(ty.clone()), tr.clone(), false),
+                Scope::Trait(name) => return (None, Some(name.clone()), true),
+                Scope::Fn(_) => return (None, None, false), // nested fn: free
+                Scope::Block => {}
+            }
+        }
+        (None, None, false)
+    }
+
+    /// Whether the `impl` at code index `i` starts an item (as opposed to
+    /// `impl Trait` in type position, where it follows `->`, `(`, `,`, `:`,
+    /// `<`, `&`, or `=`).
+    fn at_item_position(&self, i: usize) -> bool {
+        if i == 0 {
+            return true;
+        }
+        let p = self.scan.tok(i - 1);
+        matches!(p.kind, TokKind::Punct if matches!(p.text.as_str(), "{" | "}" | ";" | "]"))
+    }
+
+    /// The identifier at code index `i`, if there is one.
+    fn ident_at(&self, i: usize) -> Option<String> {
+        self.scan.code.get(i)?;
+        let t = self.scan.tok(i);
+        (t.kind == TokKind::Ident).then(|| t.text.clone())
+    }
+
+    /// Parses an impl header starting at the `impl` keyword: returns
+    /// `(self type, trait, code index of the body's `{`)`. Angle brackets
+    /// are depth-tracked (with `->` inside `Fn(…) -> T` bounds handled);
+    /// only identifiers at angle depth 0 name the trait/self-type paths,
+    /// and everything after `where` is ignored.
+    fn parse_impl_header(&self, start: usize) -> Option<(String, Option<String>, usize)> {
+        let mut angle = 0usize;
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        let mut in_where = false;
+        let mut i = start + 1;
+        while i < self.scan.code.len() {
+            let t = self.scan.tok(i);
+            match t.kind {
+                TokKind::Punct if t.text == "<" => angle += 1,
+                TokKind::Punct if t.text == ">" => {
+                    // `->` inside an `Fn() -> T` bound is not a closer.
+                    let arrow = i > 0 && self.scan.tok(i - 1).is_punct('-');
+                    if !arrow {
+                        angle = angle.saturating_sub(1);
+                    }
+                }
+                TokKind::Punct if t.text == "{" && angle == 0 => {
+                    let names = if saw_for { &after_for } else { &before_for };
+                    let self_ty = names.last()?.clone();
+                    let trait_ty = saw_for.then(|| before_for.last().cloned()).flatten();
+                    return Some((self_ty, trait_ty, i));
+                }
+                TokKind::Punct if t.text == ";" => return None,
+                TokKind::Ident if angle == 0 => match t.text.as_str() {
+                    "for" => saw_for = true,
+                    "where" => in_where = true,
+                    "dyn" | "mut" => {}
+                    _ if in_where => {}
+                    name if saw_for => after_for.push(name.to_string()),
+                    name => before_for.push(name.to_string()),
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Detects a call site whose callee name sits at code index `i`, and
+    /// appends it to `node`'s call list.
+    fn collect_call(&mut self, i: usize, node: u32) {
+        let t = self.scan.tok(i);
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            return;
+        }
+        if self.scan.in_test[i] {
+            return;
+        }
+
+        // What precedes the name: `.` (method), `::` (path), or neither.
+        let after_dot = i >= 1 && self.scan.tok(i - 1).is_punct('.');
+        let after_path =
+            i >= 2 && self.scan.tok(i - 1).is_punct(':') && self.scan.tok(i - 2).is_punct(':');
+
+        // What follows: `(`, or a turbofish `::<…>(`, or nothing callable.
+        let called = self.followed_by_call_parens(i + 1);
+
+        let site = if after_dot {
+            if !called {
+                return; // field access
+            }
+            let receiver_is_self = i >= 2
+                && self.scan.tok(i - 2).is_ident("self")
+                && !(i >= 3 && self.scan.tok(i - 3).is_punct('.'));
+            Some(CallSite {
+                name: t.text.clone(),
+                kind: if receiver_is_self {
+                    CallKind::SelfMethod
+                } else {
+                    CallKind::Method
+                },
+                line: t.line,
+            })
+        } else if after_path {
+            // `Qual::name(…)` call or `Qual::name` function reference; skip
+            // when the name is itself followed by `::` (mid-path segment).
+            if self.scan.code.get(i + 1).is_some()
+                && self.scan.tok(i + 1).is_punct(':')
+                && self.scan.code.get(i + 2).is_some()
+                && self.scan.tok(i + 2).is_punct(':')
+                && !self.turbofish_at(i + 1)
+            {
+                return;
+            }
+            let qual = (i >= 3 && self.scan.tok(i - 3).kind == TokKind::Ident)
+                .then(|| self.scan.tok(i - 3).text.clone());
+            let Some(qual) = qual else { return };
+            Some(CallSite {
+                name: t.text.clone(),
+                kind: CallKind::Path { qual },
+                line: t.line,
+            })
+        } else if called {
+            // Guard against macro invocations (`name!(…)` never matches
+            // `called` since `!` intervenes) and plain free calls.
+            Some(CallSite {
+                name: t.text.clone(),
+                kind: CallKind::Free,
+                line: t.line,
+            })
+        } else {
+            None
+        };
+
+        if let Some(site) = site {
+            self.fns[node as usize].calls.push(site);
+        }
+    }
+
+    /// Whether code index `j` begins `(`, or a turbofish `::<…>` followed
+    /// by `(`.
+    fn followed_by_call_parens(&self, j: usize) -> bool {
+        if self.scan.code.get(j).is_none() {
+            return false;
+        }
+        if self.scan.tok(j).is_punct('(') {
+            return true;
+        }
+        if let Some(end) = self.turbofish_end(j) {
+            return self.scan.code.get(end).is_some() && self.scan.tok(end).is_punct('(');
+        }
+        false
+    }
+
+    /// Whether a turbofish (`::<…>`) starts at code index `j`.
+    fn turbofish_at(&self, j: usize) -> bool {
+        self.turbofish_end(j).is_some()
+    }
+
+    /// If a turbofish starts at `j`, the code index just past its `>`.
+    fn turbofish_end(&self, j: usize) -> Option<usize> {
+        if !(self.scan.code.get(j).is_some()
+            && self.scan.tok(j).is_punct(':')
+            && self.scan.code.get(j + 1).is_some()
+            && self.scan.tok(j + 1).is_punct(':')
+            && self.scan.code.get(j + 2).is_some()
+            && self.scan.tok(j + 2).is_punct('<'))
+        {
+            return None;
+        }
+        let mut angle = 1usize;
+        let mut k = j + 3;
+        while self.scan.code.get(k).is_some() {
+            let t = self.scan.tok(k);
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    return Some(k + 1);
+                }
+            } else if t.is_punct('(') || t.is_punct(';') {
+                return None; // not a turbofish after all
+            }
+            k += 1;
+        }
+        None
+    }
+}
+
+/// A function node in the workspace call graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Index of the owning file in the scan list.
+    pub file: usize,
+    /// Index into that file's [`FileItems::fns`].
+    pub item: u32,
+}
+
+/// The workspace-wide call graph: all files' items plus resolved edges.
+///
+/// Nodes are global function ids (indices into [`CallGraph::nodes`]);
+/// [`CallGraph::callees`] holds the resolved, deduplicated out-edges of
+/// each node.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Per-file item tables, parallel to the scan list.
+    pub files: Vec<FileItems>,
+    /// Global node table.
+    pub nodes: Vec<Node>,
+    /// Resolved out-edges per node (global ids, sorted, deduplicated).
+    pub callees: Vec<Vec<u32>>,
+    /// `nodes[global_of[file][item]]` maps a file-local item back to its
+    /// global id.
+    pub global_of: Vec<Vec<u32>>,
+    /// Per file: whether its items are resolution targets. Only library
+    /// source (`src/`, excluding `src/bin` and `main.rs`) can be *called
+    /// from* the hot path; free helpers in `tests/` or `examples/` that
+    /// happen to share a name with a library function must not attract
+    /// edges.
+    pub resolvable: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Parses every scan and resolves all call sites into edges.
+    pub fn build(scans: &[FileScan]) -> CallGraph {
+        let files: Vec<FileItems> = scans.iter().map(parse_items).collect();
+        let resolvable: Vec<bool> = scans
+            .iter()
+            .map(|s| {
+                let p = s.path.as_str();
+                (p.starts_with("src/") || p.contains("/src/"))
+                    && !p.contains("/bin/")
+                    && !p.ends_with("/main.rs")
+            })
+            .collect();
+
+        let mut nodes = Vec::new();
+        let mut global_of: Vec<Vec<u32>> = Vec::with_capacity(files.len());
+        for (fi, items) in files.iter().enumerate() {
+            let mut ids = Vec::with_capacity(items.fns.len());
+            for (ii, _) in items.fns.iter().enumerate() {
+                ids.push(nodes.len() as u32);
+                nodes.push(Node {
+                    file: fi,
+                    item: ii as u32,
+                });
+            }
+            global_of.push(ids);
+        }
+
+        let index = Index::build(&files, &nodes, &global_of, &resolvable);
+        let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        for (gid, node) in nodes.iter().enumerate() {
+            let item = &files[node.file].fns[node.item as usize];
+            if item.in_test {
+                continue;
+            }
+            let mut out = Vec::new();
+            for call in &item.calls {
+                index.resolve(call, item, &mut out);
+            }
+            out.sort_unstable();
+            out.dedup();
+            callees[gid] = out;
+        }
+
+        CallGraph {
+            files,
+            nodes,
+            callees,
+            global_of,
+            resolvable,
+        }
+    }
+
+    /// The item behind a global node id.
+    pub fn item(&self, gid: u32) -> &FnItem {
+        let node = &self.nodes[gid as usize];
+        &self.files[node.file].fns[node.item as usize]
+    }
+
+    /// Resolves an `entry_points` spec (`Type::method`, `Trait::method`, or
+    /// a bare free-fn name) to global node ids. Returns an empty vector for
+    /// specs that name nothing — the caller reports that as a config error.
+    pub fn resolve_entry(&self, spec: &str) -> Vec<u32> {
+        let index = Index::build(&self.files, &self.nodes, &self.global_of, &self.resolvable);
+        let mut out = Vec::new();
+        match spec.split_once("::") {
+            Some((qual, name)) => index.resolve(
+                &CallSite {
+                    name: name.to_string(),
+                    kind: CallKind::Path {
+                        qual: qual.to_string(),
+                    },
+                    line: 0,
+                },
+                &FnItem {
+                    name: String::new(),
+                    self_ty: None,
+                    trait_ty: None,
+                    in_trait_decl: false,
+                    is_decl: false,
+                    in_test: false,
+                    line: 0,
+                    calls: Vec::new(),
+                },
+                &mut out,
+            ),
+            None => out.extend(index.free.get(spec).into_iter().flatten().copied()),
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+use std::collections::BTreeMap;
+
+/// Name-resolution index over all files' items.
+struct Index<'a> {
+    /// Free fns (no impl/trait) by name.
+    free: BTreeMap<&'a str, Vec<u32>>,
+    /// All impl/trait methods by name.
+    methods: BTreeMap<&'a str, Vec<u32>>,
+    /// Impl methods by `(self type, name)`.
+    by_type: BTreeMap<(&'a str, &'a str), Vec<u32>>,
+    /// Trait-impl methods and trait-decl default bodies by
+    /// `(trait, name)`.
+    by_trait: BTreeMap<(&'a str, &'a str), Vec<u32>>,
+    /// Traits each type implements (for trait-default fall-through).
+    traits_of: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Index<'a> {
+    fn build(
+        files: &'a [FileItems],
+        nodes: &[Node],
+        global_of: &[Vec<u32>],
+        resolvable: &[bool],
+    ) -> Index<'a> {
+        let mut index = Index {
+            free: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            by_type: BTreeMap::new(),
+            by_trait: BTreeMap::new(),
+            traits_of: BTreeMap::new(),
+        };
+        for (gid, node) in nodes.iter().enumerate() {
+            let gid = gid as u32;
+            debug_assert_eq!(global_of[node.file][node.item as usize], gid);
+            let item = &files[node.file].fns[node.item as usize];
+            // Test fns and non-library files are not resolution targets.
+            if item.in_test || item.is_decl || !resolvable[node.file] {
+                continue;
+            }
+            let name = item.name.as_str();
+            match (&item.self_ty, &item.trait_ty) {
+                (Some(ty), tr) => {
+                    index.methods.entry(name).or_default().push(gid);
+                    index.by_type.entry((ty, name)).or_default().push(gid);
+                    if let Some(tr) = tr {
+                        index.by_trait.entry((tr, name)).or_default().push(gid);
+                        let list = index.traits_of.entry(ty.as_str()).or_default();
+                        if !list.contains(&tr.as_str()) {
+                            list.push(tr);
+                        }
+                    }
+                }
+                (None, Some(tr)) if item.in_trait_decl => {
+                    // Trait default body.
+                    index.methods.entry(name).or_default().push(gid);
+                    index.by_trait.entry((tr, name)).or_default().push(gid);
+                }
+                _ => index.free.entry(name).or_default().push(gid),
+            }
+        }
+        index
+    }
+
+    /// Whether `name` names a trait the index knows about.
+    fn is_trait(&self, name: &str) -> bool {
+        self.by_trait.keys().any(|&(tr, _)| tr == name)
+            || self.traits_of.values().any(|ts| ts.contains(&name))
+    }
+
+    /// Whether `name` names a type with impls.
+    fn is_type(&self, name: &str) -> bool {
+        self.by_type.keys().any(|&(ty, _)| ty == name)
+    }
+
+    /// Methods of `ty` named `name`, falling through to default bodies of
+    /// traits `ty` implements.
+    fn type_methods(&self, ty: &str, name: &str, out: &mut Vec<u32>) {
+        if let Some(ids) = self.by_type.get(&(ty, name)) {
+            out.extend_from_slice(ids);
+            return;
+        }
+        for tr in self.traits_of.get(ty).into_iter().flatten() {
+            if let Some(ids) = self.by_trait.get(&(*tr, name)) {
+                out.extend_from_slice(ids);
+            }
+        }
+    }
+
+    /// Appends the global ids `call` may reach (the conservative set).
+    fn resolve(&self, call: &CallSite, caller: &FnItem, out: &mut Vec<u32>) {
+        let name = call.name.as_str();
+        match &call.kind {
+            CallKind::Free => {
+                out.extend(self.free.get(name).into_iter().flatten().copied());
+            }
+            CallKind::SelfMethod => {
+                let before = out.len();
+                if let Some(ty) = &caller.self_ty {
+                    self.type_methods(ty, name, out);
+                } else if let (Some(tr), true) = (&caller.trait_ty, caller.in_trait_decl) {
+                    // `self.m()` inside a trait default body: every impl of
+                    // the trait, plus sibling defaults.
+                    out.extend(
+                        self.by_trait
+                            .get(&(tr.as_str(), name))
+                            .into_iter()
+                            .flatten()
+                            .copied(),
+                    );
+                }
+                if out.len() == before {
+                    // Deref / blanket-impl fallback: any method of the name.
+                    out.extend(self.methods.get(name).into_iter().flatten().copied());
+                }
+            }
+            CallKind::Method => {
+                // Unknown receiver: every method of that name, including
+                // every impl of any trait that declares it.
+                out.extend(self.methods.get(name).into_iter().flatten().copied());
+            }
+            CallKind::Path { qual } => {
+                let qual = if qual == "Self" {
+                    match &caller.self_ty {
+                        Some(ty) => ty.as_str(),
+                        None => caller.trait_ty.as_deref().unwrap_or(""),
+                    }
+                } else {
+                    qual.as_str()
+                };
+                if self.is_trait(qual) {
+                    out.extend(
+                        self.by_trait
+                            .get(&(qual, name))
+                            .into_iter()
+                            .flatten()
+                            .copied(),
+                    );
+                } else if self.is_type(qual) {
+                    self.type_methods(qual, name, out);
+                } else {
+                    // Module path or foreign type: only free fns can match.
+                    out.extend(self.free.get(name).into_iter().flatten().copied());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&FileScan::new("crates/sim/src/x.rs".into(), src))
+    }
+
+    fn graph(srcs: &[(&str, &str)]) -> CallGraph {
+        let scans: Vec<FileScan> = srcs
+            .iter()
+            .map(|(p, s)| FileScan::new((*p).to_string(), s))
+            .collect();
+        CallGraph::build(&scans)
+    }
+
+    fn names_of(g: &CallGraph, ids: &[u32]) -> Vec<String> {
+        let mut v: Vec<String> = ids.iter().map(|&id| g.item(id).qualified()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn fn_impl_trait_boundaries_are_recovered() {
+        let it = items(
+            "impl Engine for Cooo {\n fn wake(&mut self) { self.step(); }\n}\n\
+             trait Engine {\n fn wake(&mut self);\n fn idle(&self) -> bool { true }\n}\n\
+             fn free_helper() {}\n",
+        );
+        let q: Vec<String> = it.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(
+            q,
+            ["Cooo::wake", "Engine::wake", "Engine::idle", "free_helper"]
+        );
+        assert!(it.fns[1].is_decl);
+        assert!(it.fns[2].in_trait_decl && !it.fns[2].is_decl);
+    }
+
+    #[test]
+    fn impl_headers_with_generics_and_bounds_parse() {
+        let it = items(
+            "impl<O: Observer, F: Fn() -> u64> CommitEngine<O> for Checkpointed<O, F> {\n fn wake(&mut self) {}\n}\n",
+        );
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("Checkpointed"));
+        assert_eq!(it.fns[0].trait_ty.as_deref(), Some("CommitEngine"));
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_an_item() {
+        let it = items("fn f(x: impl Iterator) -> impl Iterator { g(); x }\n");
+        assert_eq!(it.fns.len(), 1);
+        assert!(it.fns[0].self_ty.is_none());
+        assert_eq!(it.fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let it = items(
+            "impl T {\n fn go(&mut self) {\n  helper();\n  self.local();\n  other.remote();\n  Widget::build();\n  iter.map(Self::lift);\n  f::<u64>();\n }\n}\n",
+        );
+        let calls = &it.fns[0].calls;
+        let kinds: Vec<(&str, &CallKind)> =
+            calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
+        assert!(kinds.contains(&("helper", &CallKind::Free)));
+        assert!(kinds.contains(&("local", &CallKind::SelfMethod)));
+        assert!(kinds.contains(&("remote", &CallKind::Method)));
+        assert!(kinds.iter().any(
+            |(n, k)| *n == "build" && matches!(k, CallKind::Path { qual } if qual == "Widget")
+        ));
+        assert!(kinds
+            .iter()
+            .any(|(n, k)| *n == "lift" && matches!(k, CallKind::Path { qual } if qual == "Self")));
+        assert!(kinds.contains(&("f", &CallKind::Free)));
+        // `iter.map` itself is a method call; field accesses are not calls.
+        assert!(kinds.contains(&("map", &CallKind::Method)));
+    }
+
+    #[test]
+    fn closure_bodies_attribute_to_the_enclosing_fn() {
+        let it =
+            items("fn outer() {\n let c = |x: u64| inner(x);\n c(1);\n}\nfn inner(_x: u64) {}\n");
+        assert!(it.fns[0].calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn trait_method_calls_fan_out_to_every_impl() {
+        let g = graph(&[(
+            "crates/sim/src/e.rs",
+            "trait Engine { fn cycle(&mut self); }\n\
+             struct A; impl Engine for A { fn cycle(&mut self) { a_only(); } }\n\
+             struct B; impl Engine for B { fn cycle(&mut self) { b_only(); } }\n\
+             fn a_only() {}\nfn b_only() {}\n\
+             fn drive(e: &mut dyn Engine) { e.cycle(); }\n",
+        )]);
+        let drive = (0..g.nodes.len() as u32)
+            .find(|&id| g.item(id).name == "drive")
+            .unwrap();
+        assert_eq!(
+            names_of(&g, &g.callees[drive as usize]),
+            ["A::cycle", "B::cycle"]
+        );
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_impl_first() {
+        let g = graph(&[(
+            "crates/sim/src/e.rs",
+            "struct A; struct B;\n\
+             impl A { fn tick(&self) { self.helper(); } fn helper(&self) {} }\n\
+             impl B { fn helper(&self) {} }\n",
+        )]);
+        let tick = (0..g.nodes.len() as u32)
+            .find(|&id| g.item(id).name == "tick")
+            .unwrap();
+        assert_eq!(names_of(&g, &g.callees[tick as usize]), ["A::helper"]);
+    }
+
+    #[test]
+    fn foreign_quals_fall_back_to_free_fns_only() {
+        let g = graph(&[(
+            "crates/sim/src/e.rs",
+            "impl A { fn new() -> A { A } }\n\
+             fn caller() { let v = Vec::new(); mem_take(); }\nfn mem_take() {}\n",
+        )]);
+        let caller = (0..g.nodes.len() as u32)
+            .find(|&id| g.item(id).name == "caller")
+            .unwrap();
+        // `Vec::new` must NOT resolve to `A::new`.
+        assert_eq!(names_of(&g, &g.callees[caller as usize]), ["mem_take"]);
+    }
+
+    #[test]
+    fn entry_specs_resolve_types_traits_and_free_fns() {
+        let g = graph(&[(
+            "crates/sim/src/e.rs",
+            "trait Engine { fn cycle(&mut self); }\n\
+             struct A; impl Engine for A { fn cycle(&mut self) {} }\n\
+             struct P; impl P { fn advance(&mut self) {} }\n\
+             fn boot() {}\n",
+        )]);
+        assert_eq!(
+            names_of(&g, &g.resolve_entry("Engine::cycle")),
+            ["A::cycle"]
+        );
+        assert_eq!(names_of(&g, &g.resolve_entry("P::advance")), ["P::advance"]);
+        assert_eq!(names_of(&g, &g.resolve_entry("boot")), ["boot"]);
+        assert!(g.resolve_entry("Nope::nothing").is_empty());
+    }
+
+    #[test]
+    fn test_code_fns_are_not_resolution_targets() {
+        let g = graph(&[(
+            "crates/sim/src/e.rs",
+            "fn live() { x.cycle(); }\n#[cfg(test)]\nmod t {\n fn cycle() {}\n impl Z { fn cycle(&self) {} }\n}\n",
+        )]);
+        let live = (0..g.nodes.len() as u32)
+            .find(|&id| g.item(id).name == "live")
+            .unwrap();
+        assert!(g.callees[live as usize].is_empty());
+    }
+}

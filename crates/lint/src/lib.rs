@@ -11,24 +11,36 @@
 //! change violates one, instead of a human noticing in review (or a
 //! nondeterministic benchmark noticing much later).
 //!
+//! The hot-path rules are *derived*, not hand-listed: a workspace call
+//! graph ([`graph`]) is built from the same token streams, seeded from the
+//! per-cycle `entry_points` declared in `lint.toml`, and walked into a hot
+//! set ([`reach`]) cut at `cold_fns`. Allocation, determinism, and panic
+//! enforcement then follow the hot path wherever it actually goes —
+//! including files the old hand list never named (`hot-path-indirect`) —
+//! and every finding cites its seeding chain.
+//!
 //! Rules are suppressible per line with
 //! `// koc-lint: allow(<rule>, "reason")`; the reason is mandatory, and a
 //! marker that suppresses nothing is itself reported, so the set of waivers
 //! in the tree stays live and auditable. Findings are emitted both
 //! human-readable and as machine-readable JSON (the `koc-lint/1` schema)
-//! for CI artifacts.
+//! for CI artifacts; the derived call graph ships as `koc-callgraph/1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lex;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 
 pub use config::Config;
 pub use rules::Finding;
 
+use graph::CallGraph;
+use reach::{GraphReport, HotMarks, Reachability};
 use scan::FileScan;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -46,6 +58,8 @@ pub struct LintReport {
     pub errors: usize,
     /// Unsuppressed findings with severity `warning`.
     pub warnings: usize,
+    /// Functions on the derived per-cycle hot path.
+    pub hot_fns: usize,
     /// The unsuppressed findings, sorted by file, line, rule.
     pub findings: Vec<Finding>,
 }
@@ -58,12 +72,46 @@ impl LintReport {
     }
 }
 
-/// Lints the workspace at `root` under `config`.
+/// One `// koc-lint: allow(...)` marker found in the tree, with its
+/// liveness after the run — what `koc-lint --list-waivers` enumerates.
+#[derive(Debug, Clone, Serialize)]
+pub struct Waiver {
+    /// Workspace-relative file holding the marker.
+    pub file: String,
+    /// 1-based line of the marker comment.
+    pub line: u32,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+    /// Whether the marker suppressed at least one finding this run
+    /// (`false` means the waiver is stale and is itself reported).
+    pub live: bool,
+}
+
+/// Everything one lint run produces: the gating report, the derived call
+/// graph, the waiver inventory, and how long graph construction took.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The findings report (the `koc-lint/1` document).
+    pub report: LintReport,
+    /// The derived call graph with hot marks (the `koc-callgraph/1`
+    /// document, written by `--out-graph`).
+    pub graph: GraphReport,
+    /// Every suppression marker in the tree, live or stale.
+    pub waivers: Vec<Waiver>,
+    /// Wall-clock seconds spent building the graph and reachability (kept
+    /// visible so graph-construction cost shows up in CI logs).
+    pub graph_seconds: f64,
+}
+
+/// Lints the workspace at `root` under `config`: scan, build the call
+/// graph, derive the hot set, run every rule, apply suppressions.
 ///
 /// # Errors
 /// Returns a message when a configured scan root cannot be read. Rule
 /// violations are *not* errors — they come back inside the report.
-pub fn lint_root(root: &Path, config: &Config) -> Result<LintReport, String> {
+pub fn analyze(root: &Path, config: &Config) -> Result<Analysis, String> {
     let mut files = Vec::new();
     for scan_root in &config.roots {
         collect_rs_files(&root.join(scan_root), &mut files)?;
@@ -86,9 +134,67 @@ pub fn lint_root(root: &Path, config: &Config) -> Result<LintReport, String> {
         scans.push(FileScan::new(rel, &source));
     }
 
+    // std::time is fine here: koc-lint is tooling, not a simulation crate
+    // (and lint.toml's determinism scope does not include it).
+    let t0 = std::time::Instant::now();
+    let graph = CallGraph::build(&scans);
+    let reach = Reachability::compute(&graph, &config.entry_points, &config.cold_fns);
+    let graph_seconds = t0.elapsed().as_secs_f64();
+
     let mut findings = Vec::new();
-    for scan in &scans {
-        rules::check_file(scan, config, &mut findings);
+    // Configuration errors in the graph seeding are findings under the
+    // unsuppressable `callgraph` rule: a typo'd entry point must fail the
+    // run, not silently shrink the protected set.
+    for spec in &reach.unresolved {
+        findings.push(Finding {
+            rule: "callgraph".to_string(),
+            severity: "error".to_string(),
+            file: "lint.toml".to_string(),
+            line: 1,
+            message: format!(
+                "entry point `{spec}` resolves to no function in the scan — \
+                 fix the spec or remove it from entry_points"
+            ),
+        });
+    }
+    // Regression guard for the hand-list → derived transition: every file
+    // the old list protected must still contain at least one hot function.
+    for legacy in &config.legacy_files {
+        let Some(fi) = scans.iter().position(|s| &s.path == legacy) else {
+            findings.push(Finding {
+                rule: "callgraph".to_string(),
+                severity: "error".to_string(),
+                file: legacy.clone(),
+                line: 1,
+                message: "legacy_files entry was not found in the scan — \
+                          fix the path or drop it"
+                    .to_string(),
+            });
+            continue;
+        };
+        let any_hot = graph.global_of[fi]
+            .iter()
+            .any(|&gid| reach.hot[gid as usize]);
+        if !any_hot {
+            findings.push(Finding {
+                rule: "callgraph".to_string(),
+                severity: "error".to_string(),
+                file: legacy.clone(),
+                line: 1,
+                message: "no function in this legacy hot-path file is \
+                          reachable from the configured entry_points — the \
+                          derived hot set regressed below the hand-listed \
+                          baseline; add the missing entry point (or drop \
+                          the file from legacy_files if it is genuinely \
+                          cold now)"
+                    .to_string(),
+            });
+        }
+    }
+
+    for (fi, scan) in scans.iter().enumerate() {
+        let hot = HotMarks::for_file(&graph, &reach, fi);
+        rules::check_file(scan, config, &hot, &mut findings);
         for (line, message) in &scan.bad_markers {
             findings.push(Finding {
                 rule: "suppression".to_string(),
@@ -102,20 +208,39 @@ pub fn lint_root(root: &Path, config: &Config) -> Result<LintReport, String> {
     rules::check_crate_roots(&scans, config, &mut findings);
     rules::check_stats_coverage(&scans, config, &mut findings);
 
-    Ok(apply_suppressions(scans, findings))
+    let paths: Vec<String> = scans.iter().map(|s| s.path.clone()).collect();
+    let graph_report = GraphReport::new(&graph, &reach, &paths);
+    let (mut report, waivers) = apply_suppressions(scans, findings);
+    report.hot_fns = reach.hot_count();
+    Ok(Analysis {
+        report,
+        graph: graph_report,
+        waivers,
+        graph_seconds,
+    })
 }
 
-/// Splits raw findings into suppressed and live, and reports unused
-/// markers so stale waivers cannot linger.
-fn apply_suppressions(scans: Vec<FileScan>, raw: Vec<Finding>) -> LintReport {
+/// Lints the workspace and returns just the findings report. See
+/// [`analyze`] for the full result (graph, waivers, timing).
+///
+/// # Errors
+/// Returns a message when a configured scan root cannot be read.
+pub fn lint_root(root: &Path, config: &Config) -> Result<LintReport, String> {
+    analyze(root, config).map(|a| a.report)
+}
+
+/// Splits raw findings into suppressed and live, reports unused markers so
+/// stale waivers cannot linger, and inventories every marker seen.
+fn apply_suppressions(scans: Vec<FileScan>, raw: Vec<Finding>) -> (LintReport, Vec<Waiver>) {
     let mut suppressed = 0usize;
     let mut live: Vec<Finding> = Vec::new();
     // Marker usage is tracked per (file index, allow index).
     let mut used: Vec<Vec<bool>> = scans.iter().map(|s| vec![false; s.allows.len()]).collect();
 
     for finding in raw {
-        // Malformed-marker findings are themselves unsuppressable.
-        let covering = (finding.rule != "suppression")
+        // Malformed-marker and graph-infrastructure findings are
+        // themselves unsuppressable.
+        let covering = (finding.rule != "suppression" && finding.rule != "callgraph")
             .then(|| {
                 scans.iter().enumerate().find_map(|(si, s)| {
                     if s.path != finding.file {
@@ -140,18 +265,30 @@ fn apply_suppressions(scans: Vec<FileScan>, raw: Vec<Finding>) -> LintReport {
         }
     }
 
+    let mut waivers: Vec<Waiver> = Vec::new();
     for (si, scan) in scans.iter().enumerate() {
         for (ai, allow) in scan.allows.iter().enumerate() {
+            waivers.push(Waiver {
+                file: scan.path.clone(),
+                line: allow.line,
+                rule: allow.rule.clone(),
+                reason: allow.reason.clone().unwrap_or_default(),
+                live: used[si][ai],
+            });
             if !used[si][ai] {
+                // The marker names its own file:line so the finding stays
+                // actionable even when tooling aggregates messages without
+                // the surrounding file/line fields (or the file has moved
+                // since the waiver was written).
                 live.push(Finding {
                     rule: "suppression".to_string(),
                     severity: "warning".to_string(),
                     file: scan.path.clone(),
                     line: allow.line,
                     message: format!(
-                        "allow({}) marker suppresses nothing — remove the \
-                         stale waiver",
-                        allow.rule
+                        "allow({}) marker at {}:{} suppresses nothing — \
+                         remove the stale waiver",
+                        allow.rule, scan.path, allow.line
                     ),
                 });
             }
@@ -163,14 +300,16 @@ fn apply_suppressions(scans: Vec<FileScan>, raw: Vec<Finding>) -> LintReport {
     });
     let errors = live.iter().filter(|f| f.severity == "error").count();
     let warnings = live.len() - errors;
-    LintReport {
+    let report = LintReport {
         schema: "koc-lint/1".to_string(),
         files_scanned: scans.len(),
         suppressed,
         errors,
         warnings,
+        hot_fns: 0,
         findings: live,
-    }
+    };
+    (report, waivers)
 }
 
 /// Recursively collects `.rs` files under `dir` (which must exist).
@@ -222,29 +361,58 @@ mod tests {
                 message: "m".into(),
             },
         ];
-        let report = apply_suppressions(scans, raw);
+        let (report, waivers) = apply_suppressions(scans, raw);
         assert_eq!(report.suppressed, 1);
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].line, 2);
+        assert_eq!(waivers.len(), 1);
+        assert!(waivers[0].live);
+        assert_eq!(waivers[0].reason, "test invariant");
     }
 
     #[test]
-    fn unused_markers_are_reported() {
+    fn unused_markers_are_reported_with_their_location() {
         let scans = vec![FileScan::new(
             "crates/sim/src/x.rs".into(),
             "// koc-lint: allow(panic, \"nothing here panics\")\nfn f() {}\n",
         )];
-        let report = apply_suppressions(scans, Vec::new());
+        let (report, waivers) = apply_suppressions(scans, Vec::new());
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].rule, "suppression");
+        assert!(
+            report.findings[0]
+                .message
+                .contains("at crates/sim/src/x.rs:1"),
+            "{}",
+            report.findings[0].message
+        );
         assert!(!report.passed());
+        assert_eq!(waivers.len(), 1);
+        assert!(!waivers[0].live);
     }
 
     #[test]
     fn report_serializes_to_json() {
-        let report = apply_suppressions(Vec::new(), Vec::new());
+        let (report, _) = apply_suppressions(Vec::new(), Vec::new());
         let json = report.to_json();
         assert!(json.contains("\"schema\":\"koc-lint/1\""), "{json}");
         assert!(json.contains("\"findings\":[]"), "{json}");
+    }
+
+    #[test]
+    fn callgraph_findings_cannot_be_waived() {
+        let scans = vec![FileScan::new(
+            "lint.toml.rs".into(), // any scanned file
+            "fn f() {}\n",
+        )];
+        let raw = vec![Finding {
+            rule: "callgraph".into(),
+            severity: "error".into(),
+            file: "lint.toml".into(),
+            line: 1,
+            message: "m".into(),
+        }];
+        let (report, _) = apply_suppressions(scans, raw);
+        assert_eq!(report.errors, 1);
     }
 }

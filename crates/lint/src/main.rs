@@ -1,13 +1,18 @@
 //! `koc-lint` — static analysis gate for the koc workspace.
 //!
 //! ```text
-//! koc-lint [--root DIR] [--config PATH] [--out PATH] [--quiet]
+//! koc-lint [--root DIR] [--config PATH] [--out PATH] [--out-graph PATH]
+//!          [--list-waivers] [--quiet]
 //! ```
 //!
-//! Scans the workspace for violations of the hot-path-alloc, determinism,
-//! panic, unsafe-policy and stats-coverage rules (see `lint.toml`), prints
-//! human-readable findings, optionally writes the machine-readable JSON
-//! report, and exits nonzero when any unsuppressed finding remains.
+//! Scans the workspace, derives the per-cycle hot set from the call graph
+//! seeded at `lint.toml`'s `entry_points`, checks the hot-path-alloc /
+//! hot-path-indirect, determinism, panic, unsafe-policy and stats-coverage
+//! rules, prints human-readable findings (each citing its seeding chain),
+//! optionally writes the machine-readable JSON report (`--out`) and the
+//! derived call graph (`--out-graph`, `koc-callgraph/1`), and exits nonzero
+//! when any unsuppressed finding remains. `--list-waivers` enumerates every
+//! `// koc-lint: allow(...)` marker in the tree with its justification.
 
 #![forbid(unsafe_code)]
 
@@ -16,18 +21,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: koc-lint [--root DIR] [--config PATH] [--out PATH] [--quiet]\n\
+    "usage: koc-lint [--root DIR] [--config PATH] [--out PATH] \
+     [--out-graph PATH] [--list-waivers] [--quiet]\n\
      \n\
-     --root DIR     workspace root to scan (default: current directory)\n\
-     --config PATH  lint config (default: <root>/lint.toml)\n\
-     --out PATH     also write the JSON report here\n\
-     --quiet        print only the summary line"
+     --root DIR       workspace root to scan (default: current directory)\n\
+     --config PATH    lint config (default: <root>/lint.toml)\n\
+     --out PATH       also write the JSON findings report here\n\
+     --out-graph PATH also write the derived call graph (koc-callgraph/1)\n\
+     --list-waivers   list every allow marker with its reason, then exit\n\
+     --quiet          print only the summary line"
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut out_path: Option<PathBuf> = None;
+    let mut graph_path: Option<PathBuf> = None;
+    let mut list_waivers = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -45,6 +55,11 @@ fn main() -> ExitCode {
                 Some(v) => out_path = Some(PathBuf::from(v)),
                 None => return fail("--out needs a value"),
             },
+            "--out-graph" => match args.next() {
+                Some(v) => graph_path = Some(PathBuf::from(v)),
+                None => return fail("--out-graph needs a value"),
+            },
+            "--list-waivers" => list_waivers = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -59,13 +74,42 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
-    let report = match koc_lint::lint_root(&root, &config) {
-        Ok(r) => r,
+    let started = std::time::Instant::now();
+    let analysis = match koc_lint::analyze(&root, &config) {
+        Ok(a) => a,
         Err(e) => return fail(&e),
     };
+    let total_seconds = started.elapsed().as_secs_f64();
+    let report = &analysis.report;
+
+    if list_waivers {
+        for w in &analysis.waivers {
+            println!(
+                "{}:{}: allow({}) — {}{}",
+                w.file,
+                w.line,
+                w.rule,
+                w.reason,
+                if w.live { "" } else { "  [STALE]" }
+            );
+        }
+        let stale = analysis.waivers.iter().filter(|w| !w.live).count();
+        println!(
+            "koc-lint: {} waivers ({} live, {} stale)",
+            analysis.waivers.len(),
+            analysis.waivers.len() - stale,
+            stale
+        );
+        return ExitCode::SUCCESS;
+    }
 
     if let Some(out) = &out_path {
         if let Err(e) = std::fs::write(out, report.to_json()) {
+            return fail(&format!("cannot write {}: {e}", out.display()));
+        }
+    }
+    if let Some(out) = &graph_path {
+        if let Err(e) = std::fs::write(out, analysis.graph.to_json()) {
             return fail(&format!("cannot write {}: {e}", out.display()));
         }
     }
@@ -79,12 +123,16 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "koc-lint: {} files, {} errors, {} warnings, {} suppressed — {}",
+        "koc-lint: {} files, {} hot fns, {} errors, {} warnings, {} \
+         suppressed — {} ({:.2}s total, {:.2}s call graph)",
         report.files_scanned,
+        report.hot_fns,
         report.errors,
         report.warnings,
         report.suppressed,
-        if report.passed() { "clean" } else { "FAILED" }
+        if report.passed() { "clean" } else { "FAILED" },
+        total_seconds,
+        analysis.graph_seconds,
     );
     if report.passed() {
         ExitCode::SUCCESS

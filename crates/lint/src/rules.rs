@@ -5,14 +5,16 @@
 
 use crate::config::Config;
 use crate::lex::TokKind;
+use crate::reach::HotMarks;
 use crate::scan::FileScan;
 use serde::Serialize;
 
 /// One reported violation.
 #[derive(Debug, Clone, Serialize)]
 pub struct Finding {
-    /// Rule name (`hot-path-alloc`, `determinism`, `panic`,
-    /// `unsafe-policy`, `stats-coverage`, `suppression`).
+    /// Rule name (`hot-path-alloc`, `hot-path-indirect`, `determinism`,
+    /// `panic`, `unsafe-policy`, `stats-coverage`, `suppression`,
+    /// `callgraph`).
     pub rule: String,
     /// `"error"` or `"warning"` — informational only: *any* unsuppressed
     /// finding fails the run.
@@ -77,39 +79,46 @@ fn is_bin(path: &str) -> bool {
     path.contains("/bin/") || path.ends_with("/main.rs")
 }
 
-/// Runs every per-file rule on one scan.
-pub fn check_file(scan: &FileScan, config: &Config, findings: &mut Vec<Finding>) {
-    if config.hot_path_files.iter().any(|f| f == &scan.path) {
-        hot_path_alloc(scan, config, findings);
-    }
+/// Runs every per-file rule on one scan. `hot` carries the call-graph
+/// reachability marks for this file: the alloc rule is enforced on exactly
+/// the hot functions, and the determinism/panic rules — normally scoped to
+/// the crates configured in `lint.toml` — additionally follow the hot path
+/// into any crate it escapes to.
+pub fn check_file(scan: &FileScan, config: &Config, hot: &HotMarks, findings: &mut Vec<Finding>) {
+    hot_path_alloc(scan, config, hot, findings);
     if in_crate_src(&scan.path, &config.determinism_crates) {
-        determinism_sources(scan, findings);
+        determinism_sources(scan, None, findings);
+    } else if hot.any_hot() {
+        determinism_sources(scan, Some(hot), findings);
     }
     if in_crate_src(&scan.path, &config.map_crates) {
-        determinism_maps(scan, findings);
+        determinism_maps(scan, None, findings);
+    } else if hot.any_hot() {
+        determinism_maps(scan, Some(hot), findings);
     }
     if in_crate_src(&scan.path, &config.panic_crates) && !is_bin(&scan.path) {
-        panic_policy(scan, findings);
+        panic_policy(scan, None, findings);
+    } else if hot.any_hot() && !is_bin(&scan.path) {
+        panic_policy(scan, Some(hot), findings);
     }
     unsafe_tokens(scan, findings);
 }
 
-/// `hot-path-alloc`: allocation constructors are banned in per-cycle
-/// modules outside constructors/cold functions and test code.
-fn hot_path_alloc(scan: &FileScan, config: &Config, findings: &mut Vec<Finding>) {
+/// `hot-path-alloc` / `hot-path-indirect`: allocation constructors are
+/// banned in every function reachable from the configured `entry_points`
+/// (cut at `cold_fns`). Findings in files the old hand-list knew about keep
+/// the `hot-path-alloc` name (so existing waivers stay valid); findings in
+/// files the list missed get `hot-path-indirect` — the wider net the
+/// call graph casts. Either way the message cites the seeding chain.
+fn hot_path_alloc(scan: &FileScan, config: &Config, hot: &HotMarks, findings: &mut Vec<Finding>) {
+    let legacy = config.legacy_files.iter().any(|f| f == &scan.path);
     for i in 0..scan.code.len() {
         if scan.in_test[i] {
             continue;
         }
-        if let Some(n) = scan.fn_name[i] {
-            if config
-                .cold_fns
-                .iter()
-                .any(|f| f == &scan.fn_names[n as usize])
-            {
-                continue;
-            }
-        }
+        let Some(chain) = hot.chain_at(i) else {
+            continue;
+        };
         let what = if scan.matches(i, &["Vec", ":", ":", "new"])
             || scan.matches(i, &["Vec", ":", ":", "with_capacity"])
         {
@@ -133,35 +142,62 @@ fn hot_path_alloc(scan: &FileScan, config: &Config, findings: &mut Vec<Finding>)
         };
         if let Some(what) = what {
             let line = scan.tok(i).line;
+            let rule = if legacy {
+                "hot-path-alloc"
+            } else {
+                "hot-path-indirect"
+            };
             findings.push(Finding::error(
-                "hot-path-alloc",
+                rule,
                 scan,
                 line,
                 format!(
-                    "{what} in hot-path module — allocate in a constructor \
-                     (cold fn) instead, or justify with \
-                     `// koc-lint: allow(hot-path-alloc, \"reason\")`"
+                    "{what} in per-cycle code (hot via {chain}) — allocate \
+                     in a constructor (cold fn) instead, justify with \
+                     `// koc-lint: allow({rule}, \"reason\")`, or cut the \
+                     function with a `cold_fns` entry if it is genuinely \
+                     cold"
                 ),
             ));
         }
     }
 }
 
+/// Scope suffix for a finding outside the rule's crate list that was
+/// reached through the hot path.
+fn via(chain: Option<&str>) -> String {
+    match chain {
+        Some(c) => format!(" (hot via {c})"),
+        None => String::new(),
+    }
+}
+
 /// `determinism` (sources): wall-clock time and unseeded randomness are
-/// banned in the simulation crates outright.
-fn determinism_sources(scan: &FileScan, findings: &mut Vec<Finding>) {
+/// banned in the simulation crates outright, and — when `hot` is given —
+/// in any hot function elsewhere.
+fn determinism_sources(scan: &FileScan, hot: Option<&HotMarks>, findings: &mut Vec<Finding>) {
     for i in 0..scan.code.len() {
         if scan.in_test[i] {
             continue;
         }
+        let chain = match hot {
+            None => None,
+            Some(h) => match h.chain_at(i) {
+                Some(c) => Some(c),
+                None => continue,
+            },
+        };
         if scan.matches(i, &["std", ":", ":", "time"]) {
             findings.push(Finding::error(
                 "determinism",
                 scan,
                 scan.tok(i).line,
-                "std::time in a simulation crate — wall-clock reads break \
-                 bit-exact reproducibility; derive timing from cycle counts"
-                    .to_string(),
+                format!(
+                    "std::time in simulation code{} — wall-clock reads break \
+                     bit-exact reproducibility; derive timing from cycle \
+                     counts",
+                    via(chain)
+                ),
             ));
         }
         if scan.tok(i).is_ident("rand")
@@ -171,9 +207,11 @@ fn determinism_sources(scan: &FileScan, findings: &mut Vec<Finding>) {
                 "determinism",
                 scan,
                 scan.tok(i).line,
-                "`rand` in a simulation crate — randomness belongs only in \
-                 seeded workload generation (koc-workloads)"
-                    .to_string(),
+                format!(
+                    "`rand` in simulation code{} — randomness belongs only \
+                     in seeded workload generation (koc-workloads)",
+                    via(chain)
+                ),
             ));
         }
     }
@@ -181,8 +219,15 @@ fn determinism_sources(scan: &FileScan, findings: &mut Vec<Finding>) {
 
 /// `determinism` (maps): `HashMap`/`HashSet` presence is a warning (prefer
 /// `koc_core::FlatMap`); iterating one is a hard error, because iteration
-/// order depends on the hasher and breaks cycle-exact determinism.
-fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
+/// order depends on the hasher and breaks cycle-exact determinism. With
+/// `hot` given, only violations inside hot functions are reported (the
+/// bindings are still collected file-wide, so a hot loop over a cold-side
+/// field is caught).
+fn determinism_maps(scan: &FileScan, hot: Option<&HotMarks>, findings: &mut Vec<Finding>) {
+    let gate = |i: usize| match hot {
+        None => Some(None),
+        Some(h) => h.chain_at(i).map(Some),
+    };
     // Pass 1: flag every type mention and collect the binding names
     // declared with a hash-map type (`name: HashMap<…>`, possibly behind a
     // `std::collections::` path, or `let name = HashMap::new()`).
@@ -195,17 +240,20 @@ fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
         if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
             continue;
         }
-        findings.push(Finding::warning(
-            "determinism",
-            scan,
-            t.line,
-            format!(
-                "{} in a simulation crate — point lookups should use \
-                 koc_core::FlatMap (usize keys, allocation-free steady \
-                 state); iteration over it is a hard error",
-                t.text
-            ),
-        ));
+        if let Some(chain) = gate(i) {
+            findings.push(Finding::warning(
+                "determinism",
+                scan,
+                t.line,
+                format!(
+                    "{} in simulation code{} — point lookups should use \
+                     koc_core::FlatMap (usize keys, allocation-free steady \
+                     state); iteration over it is a hard error",
+                    t.text,
+                    via(chain)
+                ),
+            ));
+        }
         // Walk back over `ident ::` path segments to the head of the path.
         let mut j = i;
         while j >= 3
@@ -235,6 +283,9 @@ fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
         if t.kind != TokKind::Ident || !bindings.contains(&t.text) {
             continue;
         }
+        let Some(chain) = gate(i) else {
+            continue;
+        };
         if scan.code.get(i + 1).is_some() && scan.tok(i + 1).is_punct('.') {
             let m = &scan.tok(i + 2);
             if m.kind == TokKind::Ident && MAP_ITER_METHODS.contains(&m.text.as_str()) {
@@ -243,10 +294,12 @@ fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
                     scan,
                     t.line,
                     format!(
-                        ".{}() iterates hash-map `{}` in storage order — \
+                        ".{}() iterates hash-map `{}` in storage order{} — \
                          nondeterministic; use koc_core::FlatMap or a dense \
                          Vec with stable indices",
-                        m.text, t.text
+                        m.text,
+                        t.text,
+                        via(chain)
                     ),
                 ));
             }
@@ -270,10 +323,11 @@ fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
                     scan,
                     t.line,
                     format!(
-                        "`for … in {}` iterates a hash map in storage order — \
-                         nondeterministic; use koc_core::FlatMap or a dense \
-                         Vec with stable indices",
-                        t.text
+                        "`for … in {}` iterates a hash map in storage \
+                         order{} — nondeterministic; use koc_core::FlatMap \
+                         or a dense Vec with stable indices",
+                        t.text,
+                        via(chain)
                     ),
                 ));
             }
@@ -282,11 +336,20 @@ fn determinism_maps(scan: &FileScan, findings: &mut Vec<Finding>) {
 }
 
 /// `panic`: library code must justify every `unwrap`/`expect`/`panic!`.
-fn panic_policy(scan: &FileScan, findings: &mut Vec<Finding>) {
+/// With `hot` given, enforcement follows the hot path into crates outside
+/// the configured `panic` crate list.
+fn panic_policy(scan: &FileScan, hot: Option<&HotMarks>, findings: &mut Vec<Finding>) {
     for i in 0..scan.code.len() {
         if scan.in_test[i] {
             continue;
         }
+        let chain = match hot {
+            None => None,
+            Some(h) => match h.chain_at(i) {
+                Some(c) => Some(c),
+                None => continue,
+            },
+        };
         let what = if scan.matches(i, &[".", "unwrap", "("]) {
             Some(".unwrap()")
         } else if scan.matches(i, &[".", "expect", "("]) {
@@ -302,8 +365,10 @@ fn panic_policy(scan: &FileScan, findings: &mut Vec<Finding>) {
                 scan,
                 scan.tok(i).line,
                 format!(
-                    "{what} in library code — return an error or justify the \
-                     invariant with `// koc-lint: allow(panic, \"reason\")`"
+                    "{what} in library code{} — return an error or justify \
+                     the invariant with `// koc-lint: allow(panic, \
+                     \"reason\")`",
+                    via(chain)
                 ),
             ));
         }
@@ -469,6 +534,8 @@ fn pub_fields(scan: &FileScan, struct_name: &str) -> Vec<(String, u32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::CallGraph;
+    use crate::reach::Reachability;
 
     fn scan(src: &str) -> FileScan {
         FileScan::new("crates/sim/src/x.rs".into(), src)
@@ -477,7 +544,8 @@ mod tests {
     fn cfg() -> Config {
         Config {
             roots: vec!["crates".into()],
-            hot_path_files: vec!["crates/sim/src/x.rs".into()],
+            entry_points: vec!["X::tick".into(), "S::tick".into(), "tick".into()],
+            legacy_files: vec!["crates/sim/src/x.rs".into()],
             cold_fns: vec!["new".into()],
             determinism_crates: vec!["crates/sim".into()],
             map_crates: vec!["crates/sim".into()],
@@ -486,18 +554,61 @@ mod tests {
         }
     }
 
-    fn run(src: &str) -> Vec<Finding> {
+    fn run_at(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+        let scans = vec![FileScan::new(path.into(), src)];
+        let graph = CallGraph::build(&scans);
+        let reach = Reachability::compute(&graph, &config.entry_points, &config.cold_fns);
+        let hot = HotMarks::for_file(&graph, &reach, 0);
         let mut f = Vec::new();
-        check_file(&scan(src), &cfg(), &mut f);
+        check_file(&scans[0], config, &hot, &mut f);
         f
     }
 
+    fn run(src: &str) -> Vec<Finding> {
+        run_at("crates/sim/src/x.rs", src, &cfg())
+    }
+
     #[test]
-    fn allocs_flagged_outside_cold_fns_and_tests() {
+    fn allocs_flagged_in_hot_fns_not_cold_or_tests() {
         let f = run("impl X {\n fn new() -> X { let v = Vec::new(); X }\n fn tick(&mut self) { let v = Vec::new(); }\n}\n#[cfg(test)]\nmod t { fn u() { let v = Vec::new(); } }\n");
         let hot: Vec<_> = f.iter().filter(|f| f.rule == "hot-path-alloc").collect();
-        assert_eq!(hot.len(), 1);
+        assert_eq!(hot.len(), 1, "{f:?}");
         assert_eq!(hot[0].line, 3);
+        assert!(
+            hot[0].message.contains("hot via X::tick"),
+            "{}",
+            hot[0].message
+        );
+    }
+
+    #[test]
+    fn indirect_rule_names_the_chain_outside_legacy_files() {
+        // File outside every crate scope and outside legacy_files: the
+        // call graph alone convicts `helper` via X::tick.
+        let src = "struct X;\nimpl X {\n fn tick(&mut self) { helper(); }\n}\n\
+                   fn helper(x: Option<u8>) { let v = Vec::new(); let _ = x.unwrap(); }\n";
+        let f = run_at("crates/bench/src/helper.rs", src, &cfg());
+        let alloc: Vec<_> = f.iter().filter(|f| f.rule == "hot-path-indirect").collect();
+        assert_eq!(alloc.len(), 1, "{f:?}");
+        assert!(
+            alloc[0].message.contains("X::tick → helper"),
+            "{}",
+            alloc[0].message
+        );
+        // The panic rule follows the hot path out of the configured crates.
+        let p: Vec<_> = f.iter().filter(|f| f.rule == "panic").collect();
+        assert_eq!(p.len(), 1, "{f:?}");
+        assert!(p[0].message.contains("hot via X::tick → helper"));
+    }
+
+    #[test]
+    fn cold_fn_cut_point_suppresses_indirect_findings() {
+        let src = "struct X;\nimpl X {\n fn tick(&mut self) { helper(); }\n}\n\
+                   fn helper() { let v = Vec::new(); }\n";
+        let mut config = cfg();
+        config.cold_fns.push("helper".into());
+        let f = run_at("crates/bench/src/helper.rs", src, &config);
+        assert!(!f.iter().any(|f| f.rule.starts_with("hot-path")), "{f:?}");
     }
 
     #[test]

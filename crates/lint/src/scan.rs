@@ -4,9 +4,12 @@
 
 use crate::lex::{lex, TokKind, Token};
 
-/// The rule names suppressions may reference.
+/// The rule names suppressions may reference. (`suppression` and
+/// `callgraph` findings are infrastructure errors and deliberately absent:
+/// they cannot be waived.)
 pub const RULES: &[&str] = &[
     "hot-path-alloc",
+    "hot-path-indirect",
     "determinism",
     "panic",
     "unsafe-policy",

@@ -1,0 +1,26 @@
+//! Call-graph fixture: the per-cycle entry point seeding reachability.
+//! Everything transitively called from `Driver::cycle` is hot; functions
+//! this file never reaches stay cold no matter what they allocate.
+
+use crate::engines::{self, Bursty, Steady};
+use crate::hot::Hot;
+
+/// The fixture's pipeline shell.
+pub struct Driver {
+    hot: Hot,
+    steady: Steady,
+    bursty: Bursty,
+}
+
+impl Driver {
+    /// The declared entry point (see the fixture lint.toml): seeds the
+    /// reachability walk.
+    pub fn cycle(&mut self) {
+        self.hot.tick();
+        let _ = self.hot.drain();
+        let _ = self.hot.rollback();
+        crate::graphy::helper_entry();
+        engines::drive(&mut self.steady);
+        engines::drive(&mut self.bursty);
+    }
+}

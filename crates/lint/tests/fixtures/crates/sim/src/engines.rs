@@ -1,0 +1,32 @@
+//! Trait-dispatch fan-out: the lint cannot know which `Engine` impl a
+//! `e.kick()` call runs, so a method call by that name marks every `kick`
+//! in the workspace — the clean impl stays clean, the allocating impl is
+//! convicted.
+
+/// The fixture's per-cycle engine seam.
+pub trait Engine {
+    /// Per-cycle hook.
+    fn kick(&mut self);
+}
+
+/// Clean impl: hot, but nothing to report.
+pub struct Steady;
+
+impl Engine for Steady {
+    fn kick(&mut self) {}
+}
+
+/// Impl with an allocation: convicted via the conservative fan-out.
+pub struct Bursty;
+
+impl Engine for Bursty {
+    fn kick(&mut self) {
+        let spill: Vec<u8> = Vec::new();
+        drop(spill);
+    }
+}
+
+/// Generic dispatch: the `e.kick()` call site resolves to both impls.
+pub fn drive<E: Engine>(e: &mut E) {
+    e.kick();
+}

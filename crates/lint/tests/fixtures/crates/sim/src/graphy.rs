@@ -1,0 +1,54 @@
+//! Call-graph cases: a cross-module helper that allocates, a call made
+//! inside a closure, a self-recursive function, and a cold-fn cut point.
+//! This file is NOT in the fixture's `legacy_files`, so its findings carry
+//! the `hot-path-indirect` rule and cite the seeding chain.
+
+/// Reached from `Driver::cycle`; fans out into the cases.
+pub fn helper_entry() {
+    cross_module_alloc();
+    closure_capture(&[1, 2, 3]);
+    recurse(3);
+    setup();
+}
+
+/// Flagged (`hot-path-indirect`): an allocation in a helper the old
+/// hand-written file list never named.
+fn cross_module_alloc() {
+    let scratch: Vec<u64> = Vec::new();
+    drop(scratch);
+}
+
+/// The call to `leaf` happens inside a closure: attributed to this
+/// function, so `leaf` is still marked hot.
+fn closure_capture(xs: &[u64]) {
+    let total: u64 = xs.iter().map(|x| x + leaf()).sum();
+    drop(total);
+}
+
+/// Flagged: reachable only through the closure above.
+fn leaf() -> u64 {
+    let s = String::new();
+    s.len() as u64
+}
+
+/// Self-recursive: the walk terminates and the body is enforced once.
+fn recurse(n: u64) {
+    if n > 0 {
+        recurse(n - 1);
+    }
+    let v = vec![n];
+    drop(v);
+}
+
+/// In the fixture's `cold_fns`: a cut point — neither enforced nor
+/// traversed, so nothing below here is flagged.
+fn setup() {
+    let big: Vec<u64> = Vec::with_capacity(1024);
+    only_via_setup(big);
+}
+
+/// Reachable only through the cut `setup`: stays cold, not flagged.
+fn only_via_setup(v: Vec<u64>) {
+    let copy = v.to_vec();
+    drop(copy);
+}

@@ -3,6 +3,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
+pub mod engines;
+pub mod graphy;
 pub mod hot;
 pub mod maps;
 pub mod panics;

@@ -24,12 +24,10 @@ impl InOrderEngine {
     /// Squashes everything younger than `boundary` (exclusive) by walking
     /// the ROB's rename undo records, and rewinds fetch after `boundary`.
     fn squash_younger<O: Observer>(&mut self, boundary: InstId, ctx: &mut EngineCtx<'_, '_, O>) {
-        let undo: Vec<_> = self
-            .rob
-            .squash_younger_than(boundary)
-            .into_iter()
-            .map(|e| (e.inst, e.rename))
-            .collect(); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
+        let mut undo = Vec::new(); // koc-lint: allow(hot-path-alloc, "branch-recovery squash, not per cycle")
+        while let Some(e) = self.rob.pop_younger_than(boundary) {
+            undo.push((e.inst, e.rename));
+        }
         ctx.undo_renames(&undo);
         ctx.squash_queues_from(boundary + 1);
         ctx.stats.recoveries.squashed_instructions += undo.len() as u64;
@@ -94,12 +92,12 @@ impl<O: Observer> CommitEngine<O> for InOrderEngine {
     }
 
     fn commit(&mut self, ctx: &mut EngineCtx<'_, '_, O>) {
-        let committed = self.rob.commit(ctx.config.commit_width);
-        if committed.is_empty() {
-            return;
-        }
+        let mut committed = 0u64;
         let mut frontier = 0;
-        for e in &committed {
+        while (committed as usize) < ctx.config.commit_width {
+            let Some(e) = self.rob.pop_finished() else {
+                break;
+            };
             if let Some((_, _, Some(prev))) = e.rename {
                 ctx.regs.free(prev);
             }
@@ -108,8 +106,12 @@ impl<O: Observer> CommitEngine<O> for InOrderEngine {
                 ctx.obs.event(ctx.cycle, Event::Commit { inst: e.inst });
             }
             frontier = e.inst + 1;
+            committed += 1;
         }
-        ctx.stats.committed_instructions += committed.len() as u64;
+        if committed == 0 {
+            return;
+        }
+        ctx.stats.committed_instructions += committed;
         ctx.drain_stores(frontier);
         // In-order retirement never revisits committed instructions: the
         // replay window can forget everything behind the commit point.

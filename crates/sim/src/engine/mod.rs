@@ -122,8 +122,7 @@ impl<O: Observer> EngineCtx<'_, '_, O> {
     /// Releases committed stores older than `frontier` to the memory
     /// hierarchy (L2 misses post to the timed backend as bank writes).
     pub fn drain_stores(&mut self, frontier: InstId) {
-        let drained = self.lsq.release_older_than(frontier);
-        for s in drained {
+        while let Some(s) = self.lsq.pop_store_older_than(frontier) {
             self.mem.drain_store(s.addr, self.cycle);
         }
     }

@@ -64,7 +64,7 @@ pub use stats::{Distribution, RecoveryStats, RetireBreakdown, SimStats, StallSta
 // `koc_workloads` directly.
 pub use koc_workloads::Suite;
 
-// Re-exported so streaming runs (`Session::run_source`, `Processor::new`
+// Re-exported so streaming runs (`Session::run_one`, `Processor::new`
 // over a generator) can be written without importing `koc_isa` directly.
 pub use koc_isa::{InstructionSource, IntoInstructionSource, ReplayWindow, SourceExt};
 

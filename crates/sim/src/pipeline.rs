@@ -413,7 +413,7 @@ impl<'a, O: Observer> Processor<'a, O> {
     /// engine-independent — the conformance invariant for out-of-order
     /// commit.
     pub fn arch_mapping(&self) -> Vec<Option<PhysReg>> {
-        ArchReg::all().map(|r| self.rename.lookup(r)).collect() // koc-lint: allow(hot-path-alloc, "conformance snapshot for tests, not the cycle loop")
+        ArchReg::all().map(|r| self.rename.lookup(r)).collect()
     }
 
     /// Whether the run is complete: the whole stream has been fetched,

@@ -21,7 +21,7 @@ use crate::lockstep::run_lockstep;
 use crate::pipeline::Processor;
 use crate::stats::SimStats;
 use koc_core::CheckpointPolicy;
-use koc_isa::{InstructionSource, IntoInstructionSource, Trace};
+use koc_isa::{InstructionSource, IntoInstructionSource};
 use koc_mem::{BackendKind, DramConfig, PrefetchConfig};
 use koc_obs::Observer;
 use koc_workloads::{suite::suite_average, Suite, Workload, WorkloadSpec};
@@ -466,7 +466,7 @@ impl Session {
     /// side ([`Observer`]: pass [`koc_obs::NullObserver`] for an unobserved
     /// run, or any recording observer to get it back filled in). Replaces
     /// the former `run_trace` / `run_trace_observed` / `run_source` /
-    /// `run_source_observed` quartet, which forward here.
+    /// `run_source_observed` quartet, which has been removed.
     ///
     /// Attaching an observer never changes simulated timing, and memory
     /// stays O(in-flight window) regardless of how many instructions the
@@ -477,37 +477,6 @@ impl Session {
         obs: O,
     ) -> (SimStats, O) {
         Processor::with_observer(self.config, source, obs).run_capped_observed(self.cycle_budget)
-    }
-
-    /// Runs the session's configuration over one externally supplied trace.
-    #[deprecated(since = "0.2.0", note = "use `run_one(trace, NullObserver)` instead")]
-    pub fn run_trace(&self, trace: &Trace) -> SimStats {
-        self.run_one(trace, koc_obs::NullObserver).0
-    }
-
-    /// Runs the session's configuration over one externally supplied trace
-    /// with an observer attached.
-    #[deprecated(since = "0.2.0", note = "use `run_one(trace, obs)` instead")]
-    pub fn run_trace_observed<O: Observer>(&self, trace: &Trace, obs: O) -> (SimStats, O) {
-        self.run_one(trace, obs)
-    }
-
-    /// Runs the session's configuration over one externally supplied
-    /// instruction source with an observer attached.
-    #[deprecated(since = "0.2.0", note = "use `run_one(source, obs)` instead")]
-    pub fn run_source_observed<'s, O: Observer>(
-        &self,
-        source: impl IntoInstructionSource<'s>,
-        obs: O,
-    ) -> (SimStats, O) {
-        self.run_one(source, obs)
-    }
-
-    /// Runs the session's configuration over one externally supplied
-    /// instruction source.
-    #[deprecated(since = "0.2.0", note = "use `run_one(source, NullObserver)` instead")]
-    pub fn run_source<'s>(&self, source: impl IntoInstructionSource<'s>) -> SimStats {
-        self.run_one(source, koc_obs::NullObserver).0
     }
 
     /// A fresh processor over `source`, for callers that want to drive the

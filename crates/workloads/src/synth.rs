@@ -67,6 +67,9 @@ pub struct KernelSource {
     iter: usize,
     /// Instructions of the current loop body not yet delivered.
     buf: VecDeque<Instruction>,
+    /// Scratch: destinations of the current unroll unit's loads, reused
+    /// across bodies (body emission runs inside the fetch stage).
+    loaded: Vec<ArchReg>,
 }
 
 impl KernelSource {
@@ -89,6 +92,7 @@ impl KernelSource {
             chain_ptr: None,
             iter: 0,
             buf: VecDeque::new(),
+            loaded: Vec::new(),
         }
     }
 
@@ -119,6 +123,7 @@ impl KernelSource {
         };
         let pc = &mut self.pc;
         let buf = &mut self.buf;
+        let loaded = &mut self.loaded;
 
         // Induction-variable update: a short loop-carried integer chain.
         raw(
@@ -133,7 +138,7 @@ impl KernelSource {
         );
 
         for _unit in 0..config.unroll {
-            let mut loaded: Vec<ArchReg> = Vec::with_capacity(config.loads_per_unit);
+            loaded.clear();
             for l in 0..config.loads_per_unit {
                 let addr = unit_address(config, &mut self.rng, l as u64, self.element);
                 let dest = self.pool.next();

@@ -20,7 +20,7 @@ use koc::workloads::{kernels, KernelSource};
 
 fn main() {
     // A run ~500x longer than the default suite traces, in O(window)
-    // memory. `run_source` accepts anything implementing
+    // memory. `run_one` accepts anything implementing
     // `InstructionSource` (a `&Trace` included).
     let session = SimBuilder::cooo().build();
     let config = kernels::stream_add().with_target_len(5_000_000);
