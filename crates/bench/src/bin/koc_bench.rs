@@ -555,21 +555,11 @@ fn run_compare(args: &[String]) -> ExitCode {
         eprintln!("compare requires --baseline and --current");
         return ExitCode::FAILURE;
     };
-    let read = |path: &PathBuf| -> Result<String, ExitCode> {
-        std::fs::read_to_string(path).map_err(|e| {
-            eprintln!("failed to read {}: {e}", path.display());
-            ExitCode::FAILURE
-        })
-    };
-    let baseline_text = match read(&baseline) {
-        Ok(t) => t,
-        Err(code) => return code,
-    };
-    let current_text = match read(&current) {
-        Ok(t) => t,
-        Err(code) => return code,
-    };
-    match harness::compare(&baseline_text, &current_text, &thresholds) {
+    // compare_files owns the whole missing/truncated/corrupt-file surface:
+    // every structural problem exits non-zero with the file path and the
+    // reason, and threshold verdicts are only ever computed from two
+    // well-formed reports.
+    match harness::compare_files(&baseline, &current, &thresholds) {
         Ok(outcome) => {
             for note in &outcome.notes {
                 println!("note: {note}");

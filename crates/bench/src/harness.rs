@@ -52,7 +52,7 @@
 //! report.
 
 use crate::report::Report;
-use koc_isa::json::{parse_json, Json};
+use koc_isa::json::{parse_versioned, Json};
 use koc_sim::{run_lockstep, Processor, ProcessorConfig, SimStats, SourceMode};
 use koc_workloads::{Suite, Workload, WorkloadSpec};
 use serde::Serialize;
@@ -642,13 +642,45 @@ pub fn compare(
 ) -> Result<CompareOutcome, String> {
     let baseline = parse_report(baseline).map_err(|e| format!("baseline: {e}"))?;
     let current = parse_report(current).map_err(|e| format!("current: {e}"))?;
+    Ok(compare_parsed(&baseline, &current, thresholds))
+}
+
+/// Reads and compares two report **files**, naming the offending file in
+/// every structural error — the form CI and humans debug from. A missing,
+/// truncated, or corrupt `BENCH_*.json` / `bench/baseline.json` comes back
+/// as `Err` with the path and the reason; it never panics and never turns
+/// into a bogus threshold verdict.
+///
+/// # Errors
+/// A message of the form `<role> report <path>: <reason>` when either file
+/// cannot be read or is not a well-formed `koc-bench-harness/1` document.
+pub fn compare_files(
+    baseline: &std::path::Path,
+    current: &std::path::Path,
+    thresholds: &CompareThresholds,
+) -> Result<CompareOutcome, String> {
+    let load = |role: &str, path: &std::path::Path| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{role} report {}: {e}", path.display()))?;
+        parse_report(&text).map_err(|e| format!("{role} report {}: {e}", path.display()))
+    };
+    let baseline = load("baseline", baseline)?;
+    let current = load("current", current)?;
+    Ok(compare_parsed(&baseline, &current, thresholds))
+}
+
+fn compare_parsed(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    thresholds: &CompareThresholds,
+) -> CompareOutcome {
     let mut outcome = CompareOutcome::default();
     if baseline.suite != current.suite || baseline.trace_len != current.trace_len {
         outcome.failures.push(format!(
             "suite mismatch: baseline {}@{} vs current {}@{} (regenerate the baseline)",
             baseline.suite, baseline.trace_len, current.suite, current.trace_len
         ));
-        return Ok(outcome);
+        return outcome;
     }
     if baseline.engine_filter != current.engine_filter {
         outcome.notes.push(format!(
@@ -742,18 +774,14 @@ pub fn compare(
             ));
         }
     }
-    Ok(outcome)
+    outcome
 }
 
 fn parse_report(text: &str) -> Result<BenchReport, String> {
-    let json = parse_json(text)?;
-    let schema = json
-        .get("schema")
-        .and_then(Json::as_str)
-        .ok_or("missing schema field")?;
-    if schema != SCHEMA {
-        return Err(format!("unsupported schema '{schema}' (expected {SCHEMA})"));
-    }
+    // The shared versioned front door: one place rejects empty files,
+    // truncated JSON, depth bombs, and wrong/missing schema fields with
+    // the same wording every `koc-*/N` document gets.
+    let json = parse_versioned(text, SCHEMA)?;
     let field_str = |key: &str| -> Result<String, String> {
         Ok(json
             .get(key)
@@ -769,7 +797,7 @@ fn parse_report(text: &str) -> Result<BenchReport, String> {
         _ => return Err("missing results array".into()),
     };
     Ok(BenchReport {
-        schema: schema.to_string(),
+        schema: SCHEMA.to_string(),
         suite: field_str("suite")?,
         trace_len: json
             .get("trace_len")
@@ -1220,6 +1248,69 @@ mod tests {
         assert!(run_grid_with(&filtered, 2)
             .unwrap_err()
             .contains("does not apply"));
+    }
+
+    #[test]
+    fn hostile_report_files_fail_with_the_path_and_reason_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("koc-bench-hostile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, tiny_report().to_json()).unwrap();
+
+        // Missing file: the path and the OS reason, non-zero (Err), no panic.
+        let missing = dir.join("nope.json");
+        let err = compare_files(&missing, &good, &CompareThresholds::default()).unwrap_err();
+        assert!(err.contains("nope.json"), "{err}");
+        assert!(err.starts_with("baseline report"), "{err}");
+
+        // Truncated mid-document (a torn write or interrupted download).
+        let torn = dir.join("torn.json");
+        let full = tiny_report().to_json();
+        std::fs::write(&torn, &full[..full.len() / 2]).unwrap();
+        let err = compare_files(&good, &torn, &CompareThresholds::default()).unwrap_err();
+        assert!(err.contains("torn.json"), "{err}");
+        assert!(err.starts_with("current report"), "{err}");
+
+        // Garbage bytes that are not JSON at all.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, b"\x00\xffnot json at all").unwrap();
+        let err = compare_files(&garbage, &good, &CompareThresholds::default()).unwrap_err();
+        assert!(err.contains("garbage.json"), "{err}");
+
+        // A nesting bomb must be rejected by the depth cap, not overflow
+        // the stack.
+        let bomb = dir.join("bomb.json");
+        std::fs::write(&bomb, "[".repeat(200_000)).unwrap();
+        let err = compare_files(&good, &bomb, &CompareThresholds::default()).unwrap_err();
+        assert!(err.contains("bomb.json"), "{err}");
+        assert!(err.contains("nesting"), "{err}");
+
+        // Valid JSON of the wrong schema names both schemas.
+        let wrong = dir.join("wrong.json");
+        std::fs::write(&wrong, "{\"schema\":\"koc-timeline/1\"}").unwrap();
+        let err = compare_files(&good, &wrong, &CompareThresholds::default()).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains(SCHEMA), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_schemaless_report_texts_are_structural_errors() {
+        let thresholds = CompareThresholds::default();
+        let good = tiny_report().to_json();
+        for (label, bad) in [
+            ("empty", ""),
+            ("whitespace", "  \n "),
+            ("schemaless object", "{\"results\":[]}"),
+            ("non-object", "[1,2,3]"),
+            ("truncated", "{\"schema\":\"koc-bench-harness/1\",\"res"),
+        ] {
+            let err = compare(&good, bad, &thresholds).unwrap_err();
+            assert!(err.starts_with("current:"), "{label}: {err}");
+            let err = compare(bad, &good, &thresholds).unwrap_err();
+            assert!(err.starts_with("baseline:"), "{label}: {err}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! added counter cannot silently stay invisible in bench output.
 
 use koc_core::RetireClass;
+use koc_serve::ServeStats;
 use koc_sim::{CycleBuckets, Distribution, IntervalRecord, SimStats};
 
 /// A formatted experiment report: a title, column headers, data rows and
@@ -282,6 +283,50 @@ pub fn accounting_table(title: impl Into<String>, buckets: &CycleBuckets) -> Rep
     report
 }
 
+/// Every public field of [`ServeStats`] — the job server's lifetime
+/// counters — as `(name, formatted value)` rows. Anchored by the
+/// `stats-coverage` lint rule exactly like [`stats_rows`]: a counter added
+/// to the service cannot stay invisible in its report.
+pub fn serve_rows(stats: &ServeStats) -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut push = |name: &str, value: String| rows.push((name.to_string(), value));
+    push("requests", stats.requests.to_string());
+    push("ok", stats.ok.to_string());
+    push("parse_errors", stats.parse_errors.to_string());
+    push("bad_requests", stats.bad_requests.to_string());
+    push("shed", stats.shed.to_string());
+    push("cache_hits", stats.cache_hits.to_string());
+    push("cache_misses", stats.cache_misses.to_string());
+    let hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64;
+    push("cache_hit_rate", format!("{:.3}", hit_rate));
+    push("cache_quarantined", stats.cache_quarantined.to_string());
+    push("timeouts", stats.timeouts.to_string());
+    push("cancelled", stats.cancelled.to_string());
+    push("worker_panics", stats.worker_panics.to_string());
+    push("batches", stats.batches.to_string());
+    push("batched_lanes", stats.batched_lanes.to_string());
+    push("wall_ms", stats.wall_ms.to_string());
+    push("requests_per_sec", format!("{:.2}", stats.requests_per_sec));
+    push("p50_ms", format!("{:.1}", stats.p50_ms));
+    push("p99_ms", format!("{:.1}", stats.p99_ms));
+    rows
+}
+
+/// The job server's counters as a rendered [`Report`] — what the load
+/// generator prints and what CI archives as the serve report.
+pub fn serve_table(title: impl Into<String>, stats: &ServeStats) -> Report {
+    let mut report = Report::new(title, &["stat", "value"]);
+    for (name, value) in serve_rows(stats) {
+        report.push_row(vec![name, value]);
+    }
+    report
+        .push_note("every public ServeStats field has a row (enforced by koc-lint stats-coverage)");
+    report.push_note(
+        "wall-clock figures (requests/s, p50/p99) are host-dependent; counters are exact",
+    );
+    report
+}
+
 /// An interval time-series (see `koc_obs::TimelineRecorder`) as a rendered
 /// [`Report`]: one row per interval with per-cycle rates derived from each
 /// [`IntervalRecord`]'s sums, plus the interval's dominant stall bucket.
@@ -431,6 +476,45 @@ mod tests {
         assert!(text.contains("0.500"), "IPC column: {text}");
         assert!(text.contains("10.0"), "inflight mean: {text}");
         assert!(text.contains("memory_wait"), "dominant stall: {text}");
+    }
+
+    #[test]
+    fn serve_rows_cover_every_serve_stat_field() {
+        let stats = ServeStats {
+            requests: 10,
+            ok: 8,
+            cache_hits: 4,
+            cache_misses: 4,
+            requests_per_sec: 12.5,
+            ..ServeStats::default()
+        };
+        let rows = serve_rows(&stats);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "requests",
+            "ok",
+            "parse_errors",
+            "bad_requests",
+            "shed",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "cache_quarantined",
+            "timeouts",
+            "cancelled",
+            "worker_panics",
+            "batches",
+            "batched_lanes",
+            "wall_ms",
+            "requests_per_sec",
+            "p50_ms",
+            "p99_ms",
+        ] {
+            assert!(names.contains(&expected), "missing row {expected}");
+        }
+        let text = serve_table("Serve report", &stats).render();
+        assert!(text.contains("0.500"), "hit rate row: {text}");
+        assert!(text.contains("12.50"), "requests/s row: {text}");
     }
 
     #[test]

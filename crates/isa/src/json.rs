@@ -72,19 +72,51 @@ impl Json {
     }
 }
 
+/// Maximum container nesting accepted by [`parse_json`]. The parser is
+/// recursive-descent, so without this cap a hostile document of a few
+/// kilobytes of `[` overflows the stack (an abort, not a catchable error).
+/// No workspace artifact nests deeper than a dozen levels.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
 ///
 /// # Errors
 /// Returns a description of the first syntax error, with a byte offset.
+/// Documents nested deeper than [`MAX_DEPTH`] are rejected rather than
+/// recursed into.
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing content at byte {pos}"));
     }
     Ok(value)
+}
+
+/// Parses a versioned workspace artifact: a JSON object whose `"schema"`
+/// field must equal `schema`. This is the shared front door for every
+/// on-disk and on-wire format (`koc-trace/1`, `koc-bench-harness/1`,
+/// `koc-serve/1`, ...), so schema mismatches fail uniformly and early.
+///
+/// # Errors
+/// Returns the underlying syntax error, or a description of the missing or
+/// mismatched `"schema"` field.
+pub fn parse_versioned(text: &str, schema: &str) -> Result<Json, String> {
+    let value = parse_json(text)?;
+    match value.get("schema").and_then(Json::as_str) {
+        Some(found) if found == schema => Ok(value),
+        Some(found) => Err(format!(
+            "schema mismatch: expected '{schema}', found '{found}'"
+        )),
+        None => match value {
+            Json::Obj(_) => Err(format!("missing 'schema' field (expected '{schema}')")),
+            _ => Err(format!(
+                "expected a '{schema}' object, found a non-object document"
+            )),
+        },
+    }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -93,7 +125,12 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {pos}"
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -107,7 +144,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(bytes, pos);
-                let Json::Str(key) = parse_value(bytes, pos)? else {
+                let Json::Str(key) = parse_value(bytes, pos, depth + 1)? else {
                     return Err(format!("object key must be a string at byte {pos}"));
                 };
                 skip_ws(bytes, pos);
@@ -115,7 +152,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -137,7 +174,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -262,6 +299,31 @@ mod tests {
         assert_eq!(items[1].as_u64(), Some(9_007_199_254_740_993));
         // The same values through f64 would have rounded.
         assert_ne!(9_007_199_254_740_993f64 as u64, 9_007_199_254_740_993);
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        // Deep enough to smash the stack if the parser recursed into it.
+        let bomb = "[".repeat(200_000);
+        let err = parse_json(&bomb).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(parse_json(&obj_bomb).is_err());
+        // Anything at or under the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_versioned_checks_the_schema_field() {
+        assert!(parse_versioned(r#"{"schema":"koc-x/1","v":1}"#, "koc-x/1").is_ok());
+        let err = parse_versioned(r#"{"schema":"koc-x/2"}"#, "koc-x/1").unwrap_err();
+        assert!(err.contains("expected 'koc-x/1'"), "{err}");
+        let err = parse_versioned(r#"{"v":1}"#, "koc-x/1").unwrap_err();
+        assert!(err.contains("missing 'schema'"), "{err}");
+        let err = parse_versioned("[1,2]", "koc-x/1").unwrap_err();
+        assert!(err.contains("non-object"), "{err}");
+        assert!(parse_versioned("{", "koc-x/1").is_err());
     }
 
     #[test]

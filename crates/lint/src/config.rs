@@ -33,6 +33,12 @@ pub struct Config {
     pub cold_fns: Vec<String>,
     /// Crate directories where `std::time` and `rand` are forbidden.
     pub determinism_crates: Vec<String>,
+    /// Individual files inside [`Config::determinism_crates`] allowed to
+    /// read the wall clock — the scoped escape hatch for service code whose
+    /// *job* is wall-clock deadlines (e.g. `crates/serve/src/clock.rs`).
+    /// The `rand` ban still applies; only the `std::time` check is waived,
+    /// and only for the listed files.
+    pub wall_clock_files: Vec<String>,
     /// Crate directories where `HashMap`/`HashSet` use is policed: point
     /// use is a warning (prefer `FlatMap`), iteration a hard error.
     pub map_crates: Vec<String>,
@@ -115,6 +121,7 @@ impl Config {
                 ("hot-path-alloc", "legacy_files") => config.legacy_files = place(&value)?,
                 ("hot-path-alloc", "cold_fns") => config.cold_fns = place(&value)?,
                 ("determinism", "crates") => config.determinism_crates = place(&value)?,
+                ("determinism", "wall_clock_files") => config.wall_clock_files = place(&value)?,
                 ("determinism", "map_crates") => config.map_crates = place(&value)?,
                 ("panic", "crates") => config.panic_crates = place(&value)?,
                 ("unsafe-policy", "crate_roots") => config.crate_roots = place(&value)?,
@@ -193,6 +200,7 @@ cold_fns = ["new"]
 
 [determinism]
 crates = ["crates/core"]
+wall_clock_files = ["crates/serve/src/clock.rs"]
 map_crates = ["crates/sim"]
 
 [panic]
@@ -216,6 +224,7 @@ consumer = "crates/bench/src/report.rs"
             c.legacy_files,
             ["crates/core/src/sliq.rs", "crates/core/src/iq.rs"]
         );
+        assert_eq!(c.wall_clock_files, ["crates/serve/src/clock.rs"]);
         assert_eq!(c.stats_consumer, "crates/bench/src/report.rs");
     }
 

@@ -86,10 +86,13 @@ fn is_bin(path: &str) -> bool {
 /// into any crate it escapes to.
 pub fn check_file(scan: &FileScan, config: &Config, hot: &HotMarks, findings: &mut Vec<Finding>) {
     hot_path_alloc(scan, config, hot, findings);
+    // `wall_clock_files` is a scoped waiver of the `std::time` check only —
+    // the listed file keeps every other determinism obligation (rand, maps).
+    let allow_wall_clock = config.wall_clock_files.iter().any(|f| f == &scan.path);
     if in_crate_src(&scan.path, &config.determinism_crates) {
-        determinism_sources(scan, None, findings);
+        determinism_sources(scan, None, allow_wall_clock, findings);
     } else if hot.any_hot() {
-        determinism_sources(scan, Some(hot), findings);
+        determinism_sources(scan, Some(hot), false, findings);
     }
     if in_crate_src(&scan.path, &config.map_crates) {
         determinism_maps(scan, None, findings);
@@ -174,8 +177,14 @@ fn via(chain: Option<&str>) -> String {
 
 /// `determinism` (sources): wall-clock time and unseeded randomness are
 /// banned in the simulation crates outright, and — when `hot` is given —
-/// in any hot function elsewhere.
-fn determinism_sources(scan: &FileScan, hot: Option<&HotMarks>, findings: &mut Vec<Finding>) {
+/// in any hot function elsewhere. `allow_wall_clock` waives only the
+/// `std::time` check (for files listed in `wall_clock_files`).
+fn determinism_sources(
+    scan: &FileScan,
+    hot: Option<&HotMarks>,
+    allow_wall_clock: bool,
+    findings: &mut Vec<Finding>,
+) {
     for i in 0..scan.code.len() {
         if scan.in_test[i] {
             continue;
@@ -187,7 +196,7 @@ fn determinism_sources(scan: &FileScan, hot: Option<&HotMarks>, findings: &mut V
                 None => continue,
             },
         };
-        if scan.matches(i, &["std", ":", ":", "time"]) {
+        if !allow_wall_clock && scan.matches(i, &["std", ":", ":", "time"]) {
             findings.push(Finding::error(
                 "determinism",
                 scan,
@@ -645,6 +654,21 @@ mod tests {
     #[test]
     fn std_time_and_rand_flagged() {
         let f = run("use std::time::Instant;\nuse rand::Rng;\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "determinism").count(), 2);
+    }
+
+    #[test]
+    fn wall_clock_waiver_is_scoped_to_the_listed_file_and_to_std_time() {
+        let src = "use std::time::Instant;\nuse rand::Rng;\n";
+        let mut config = cfg();
+        config.wall_clock_files = vec!["crates/sim/src/clock.rs".into()];
+        // The listed file: std::time allowed, rand still banned.
+        let f = run_at("crates/sim/src/clock.rs", src, &config);
+        let det: Vec<_> = f.iter().filter(|f| f.rule == "determinism").collect();
+        assert_eq!(det.len(), 1, "{det:?}");
+        assert!(det[0].message.contains("rand"), "{}", det[0].message);
+        // A sibling file in the same crate gets no waiver.
+        let f = run_at("crates/sim/src/x.rs", src, &config);
         assert_eq!(f.iter().filter(|f| f.rule == "determinism").count(), 2);
     }
 

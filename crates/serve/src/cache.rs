@@ -1,0 +1,284 @@
+//! The content-addressed, crash-safe result cache.
+//!
+//! Layout: one file per entry under the cache directory, named by the
+//! FNV-1a hash of the job's cache key, containing a single
+//! `koc-serve-cache/1` JSON line with the key (hash-collision guard), a
+//! checksum of the result payload, and the payload itself.
+//!
+//! Crash safety is the whole point:
+//! - **Writes are atomic**: the entry is written to a `.tmp` file and
+//!   renamed into place, so a crash mid-write leaves a temp file (swept on
+//!   open), never a half-written entry under the final name.
+//! - **Reads are verified**: schema, stored key, and checksum must all
+//!   match. Anything torn or corrupt is *quarantined* (renamed aside for
+//!   post-mortems) and reported as [`Lookup::Quarantined`] so the caller
+//!   recomputes — a damaged entry is never served.
+//!
+//! The `FaultPlan` seam injects torn writes and skipped renames to prove
+//! both properties under test.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use koc_isa::json::parse_versioned;
+use serde::write_json_string;
+
+use crate::fault::FaultPlan;
+use crate::protocol::JobResult;
+
+/// Schema tag for on-disk cache entries.
+pub const CACHE_SCHEMA: &str = "koc-serve-cache/1";
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A verified entry.
+    Hit(JobResult),
+    /// No entry.
+    Miss,
+    /// A torn or corrupt entry was detected, renamed aside, and must be
+    /// recomputed.
+    Quarantined,
+}
+
+/// The on-disk result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    seq: AtomicU64,
+    plan: Arc<FaultPlan>,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir` and sweeps leftover
+    /// temp files from interrupted writes.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or scanned.
+    pub fn open(dir: &Path, plan: Arc<FaultPlan>) -> io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                // A crash between write and rename: the entry never became
+                // visible, so the temp file is garbage by construction.
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            seq: AtomicU64::new(0),
+            plan,
+        })
+    }
+
+    /// Probes the cache for `key`, verifying schema, key, and checksum.
+    pub fn probe(&self, key: &str) -> Lookup {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => return Lookup::Miss,
+        };
+        match decode_entry(&text, key) {
+            Ok(result) => Lookup::Hit(result),
+            Err(_) => {
+                // Torn or corrupt: move it aside (never serve, never
+                // silently delete — operators can inspect it) and recompute.
+                let n = self.seq.fetch_add(1, Ordering::Relaxed);
+                let aside = path.with_extension(format!("quarantined.{n}"));
+                let _ = fs::rename(&path, &aside);
+                Lookup::Quarantined
+            }
+        }
+    }
+
+    /// Stores `result` under `key` with a temp-file + rename protocol.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error; the caller treats a failed store
+    /// as a non-fatal cache miss on the next probe.
+    pub fn store(&self, key: &str, result: &JobResult) -> io::Result<()> {
+        let entry = encode_entry(key, result);
+        let path = self.entry_path(key);
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("{n}.tmp"));
+        let bytes = entry.as_bytes();
+        let torn = self.plan.torn_cache_write.trip();
+        {
+            let mut file = fs::File::create(&tmp)?;
+            if torn {
+                // Injected fault: only half the entry reaches the file.
+                file.write_all(&bytes[..bytes.len() / 2])?;
+            } else {
+                file.write_all(bytes)?;
+            }
+            file.sync_all()?;
+        }
+        if self.plan.torn_cache_rename.trip() {
+            // Injected fault: crash before the rename — the temp file
+            // stays, the entry never appears.
+            return Ok(());
+        }
+        fs::rename(&tmp, &path)
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", fnv1a64(key.as_bytes())))
+    }
+}
+
+/// Encodes one cache entry line.
+fn encode_entry(key: &str, result: &JobResult) -> String {
+    let payload = result.encode();
+    let mut out = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"key\":");
+    write_json_string(key, &mut out);
+    out.push_str(&format!(
+        ",\"checksum\":\"{:016x}\",\"result\":{payload}}}",
+        fnv1a64(payload.as_bytes())
+    ));
+    out
+}
+
+/// Decodes and verifies one cache entry against the probing key.
+fn decode_entry(text: &str, key: &str) -> Result<JobResult, String> {
+    let doc = parse_versioned(text, CACHE_SCHEMA)?;
+    let stored_key = doc
+        .get("key")
+        .and_then(koc_isa::json::Json::as_str)
+        .ok_or("entry missing 'key'")?;
+    if stored_key != key {
+        return Err("key mismatch (hash collision or relocated entry)".to_string());
+    }
+    let checksum = doc
+        .get("checksum")
+        .and_then(koc_isa::json::Json::as_str)
+        .ok_or("entry missing 'checksum'")?;
+    let result_json = doc.get("result").ok_or("entry missing 'result'")?;
+    let result = JobResult::from_json(result_json)?;
+    // The checksum covers the canonical re-encoding of the payload: any
+    // bit damage to a counter surfaces as a mismatch.
+    if format!("{:016x}", fnv1a64(result.encode().as_bytes())) != checksum {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(result)
+}
+
+/// 64-bit FNV-1a (the workspace's standing dependency-free hash).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> JobResult {
+        JobResult {
+            cycles: 1_000,
+            committed: 800,
+            ipc: 0.8,
+            budget_exhausted: false,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("koc-serve-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_probe_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir, Arc::new(FaultPlan::default())).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Miss);
+        cache.store("k", &result()).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Hit(result()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_quarantined_then_recomputable() {
+        let dir = temp_dir("torn");
+        let plan = FaultPlan {
+            torn_cache_write: crate::fault::FaultSet::at(&[0]),
+            ..FaultPlan::default()
+        };
+        let cache = ResultCache::open(&dir, Arc::new(plan)).unwrap();
+        cache.store("k", &result()).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Quarantined, "torn entry detected");
+        assert_eq!(cache.probe("k"), Lookup::Miss, "quarantine moved it aside");
+        cache.store("k", &result()).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Hit(result()));
+        let quarantined = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .to_string_lossy()
+                    .contains("quarantined")
+            })
+            .count();
+        assert_eq!(quarantined, 1, "damaged entry kept for post-mortem");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_rename_looks_like_a_clean_miss() {
+        let dir = temp_dir("rename");
+        let plan = FaultPlan {
+            torn_cache_rename: crate::fault::FaultSet::at(&[0]),
+            ..FaultPlan::default()
+        };
+        let cache = ResultCache::open(&dir, Arc::new(plan)).unwrap();
+        cache.store("k", &result()).unwrap();
+        assert_eq!(
+            cache.probe("k"),
+            Lookup::Miss,
+            "unrenamed entry is invisible"
+        );
+        cache.store("k", &result()).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Hit(result()));
+        // Reopening sweeps the leftover temp file.
+        drop(cache);
+        let cache = ResultCache::open(&dir, Arc::new(FaultPlan::default())).unwrap();
+        let tmps = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(tmps, 0);
+        assert_eq!(cache.probe("k"), Lookup::Hit(result()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hand_corrupted_entries_are_never_served() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir, Arc::new(FaultPlan::default())).unwrap();
+        cache.store("k", &result()).unwrap();
+        // Flip a counter on disk without fixing the checksum.
+        let path = dir.join(format!("{:016x}.json", fnv1a64(b"k")));
+        let text = fs::read_to_string(&path).unwrap().replace("1000", "9999");
+        fs::write(&path, text).unwrap();
+        assert_eq!(cache.probe("k"), Lookup::Quarantined);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

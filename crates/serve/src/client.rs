@@ -1,0 +1,293 @@
+//! A retrying `koc-serve/1` client.
+//!
+//! One connection per call keeps the client trivially correct under
+//! server restarts. Transient failures — connect errors, torn responses,
+//! `overloaded` sheds — are retried with capped exponential backoff plus
+//! deterministic jitter (a seeded xorshift, not `rand`: retry schedules
+//! are reproducible like everything else in this workspace). Permanent
+//! failures (bad requests, timeouts, cancellations, worker panics) are
+//! returned immediately.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::clock::{self, Duration};
+use crate::protocol::{parse_response, ErrorKind, JobResult, JobSpec, Request, Response};
+use crate::stats::ServeStats;
+
+/// Retry schedule: `max_attempts` tries, backoff doubling from
+/// `base_backoff_ms` up to `max_backoff_ms`, jittered by up to half the
+/// step from `jitter_seed`.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff step, ms.
+    pub base_backoff_ms: u64,
+    /// Backoff cap, ms.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (1-based).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let step = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff_ms)
+            .max(1);
+        // Deterministic jitter: xorshift64 on (seed, attempt) — spreads
+        // concurrent clients without a randomness dependency.
+        let mut x = self.jitter_seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        step / 2 + x % (step / 2 + 1)
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Every attempt failed transiently (I/O, torn response, shed).
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last transient failure.
+        last: String,
+    },
+    /// The server answered with a non-retryable structured error.
+    Rejected {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Server-provided reason.
+        message: String,
+    },
+    /// The server answered something structurally impossible.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            ClientError::Rejected { kind, message } => {
+                write!(f, "server rejected ({}): {message}", kind.as_wire())
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+/// A completed submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The simulation outcome.
+    pub result: JobResult,
+    /// Whether the server served it from its result cache.
+    pub cache_hit: bool,
+    /// Progress lines received before completion.
+    pub progress_updates: u64,
+    /// Attempts used (1 = first try).
+    pub attempts: u32,
+}
+
+/// The retrying client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    /// Socket read deadline per response line, ms.
+    pub read_timeout_ms: u64,
+}
+
+/// One attempt's terminal outcome, before retry classification.
+enum Attempt<T> {
+    Done(T),
+    Transient(String),
+    Fatal(ClientError),
+}
+
+impl Client {
+    /// A client for `addr` with the given retry schedule.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Client {
+            addr: addr.into(),
+            policy,
+            read_timeout_ms: 60_000,
+        }
+    }
+
+    /// Submits a job and waits for its terminal response, retrying
+    /// transient failures.
+    ///
+    /// # Errors
+    /// [`ClientError::Rejected`] on structured non-retryable errors,
+    /// [`ClientError::Exhausted`] when every attempt failed transiently.
+    pub fn submit(&self, spec: &JobSpec) -> Result<Submission, ClientError> {
+        let request = Request::Submit(spec.clone()).encode();
+        let mut last = String::new();
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            match self.submit_once(&request) {
+                Attempt::Done((result, cache_hit, progress_updates)) => {
+                    return Ok(Submission {
+                        result,
+                        cache_hit,
+                        progress_updates,
+                        attempts: attempt,
+                    })
+                }
+                Attempt::Fatal(err) => return Err(err),
+                Attempt::Transient(reason) => {
+                    last = reason;
+                    if attempt < self.policy.max_attempts {
+                        clock::sleep_ms(self.policy.backoff_ms(attempt));
+                    }
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.policy.max_attempts.max(1),
+            last,
+        })
+    }
+
+    fn submit_once(&self, request_line: &str) -> Attempt<(JobResult, bool, u64)> {
+        let mut reader = match self.open_and_send(request_line) {
+            Ok(reader) => reader,
+            Err(reason) => return Attempt::Transient(reason),
+        };
+        let mut progress_updates = 0u64;
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Attempt::Transient("connection closed mid-job".to_string()),
+                Ok(_) => {}
+                Err(e) => return Attempt::Transient(format!("read failed: {e}")),
+            }
+            match parse_response(line.trim_end()) {
+                // A torn line (short-write fault, mid-line crash) parses
+                // as garbage: that is a transient server-side failure.
+                Err(reason) => {
+                    return Attempt::Transient(format!("unparseable response: {reason}"))
+                }
+                Ok(Response::Progress { .. }) => progress_updates += 1,
+                Ok(Response::Done { cache_hit, result }) => {
+                    return Attempt::Done((result, cache_hit, progress_updates))
+                }
+                Ok(Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message,
+                    retry_after_ms,
+                }) => {
+                    // Honor the server's hint before the regular backoff.
+                    if let Some(ms) = retry_after_ms {
+                        clock::sleep_ms(ms);
+                    }
+                    return Attempt::Transient(format!("shed: {message}"));
+                }
+                Ok(Response::Error { kind, message, .. }) => {
+                    return Attempt::Fatal(ClientError::Rejected { kind, message })
+                }
+                Ok(other) => {
+                    return Attempt::Fatal(ClientError::Protocol(format!(
+                        "unexpected response to submit: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Liveness probe (no retries — the caller is usually asking exactly
+    /// whether the server is up right now).
+    ///
+    /// # Errors
+    /// Any transport or protocol failure, as a description.
+    pub fn ping(&self) -> Result<(), String> {
+        match self.call_simple(&Request::Ping.encode())? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected ping reply: {other:?}")),
+        }
+    }
+
+    /// Fetches the server's stats snapshot.
+    ///
+    /// # Errors
+    /// Any transport or protocol failure, as a description.
+    pub fn server_stats(&self) -> Result<ServeStats, String> {
+        match self.call_simple(&Request::Stats.encode())? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(format!("unexpected stats reply: {other:?}")),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    /// Any transport or protocol failure, as a description.
+    pub fn shutdown_server(&self) -> Result<(), String> {
+        match self.call_simple(&Request::Shutdown.encode())? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
+
+    fn call_simple(&self, request_line: &str) -> Result<Response, String> {
+        let mut reader = self.open_and_send(request_line)?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        parse_response(line.trim_end())
+    }
+
+    fn open_and_send(&self, request_line: &str) -> Result<BufReader<TcpStream>, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(self.read_timeout_ms)))
+            .map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        writer
+            .write_all(format!("{request_line}\n").as_bytes())
+            .map_err(|e| format!("write failed: {e}"))?;
+        Ok(BufReader::new(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..10 {
+            let a = policy.backoff_ms(attempt);
+            let b = policy.backoff_ms(attempt);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert!(a <= policy.max_backoff_ms, "capped");
+        }
+        // Different seeds de-correlate concurrent clients.
+        let other = RetryPolicy {
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        assert!((1..10).any(|n| policy.backoff_ms(n) != other.backoff_ms(n)));
+    }
+}

@@ -1,0 +1,68 @@
+//! The service's only window onto wall-clock time.
+//!
+//! Simulation results must stay a pure function of (config, workload seed),
+//! so the determinism lint bans `std::time` across `koc-serve` — except in
+//! this file, which is exempted by `lint.toml`'s scoped
+//! `wall_clock_files` entry. Everything operational (connection deadlines,
+//! job deadlines, retry backoff, latency accounting) goes through
+//! [`ServeClock`] or the free helpers here, which keeps the exemption
+//! auditable: one file, one import.
+//!
+//! Deadline *skew* is part of the fault-injection surface: a
+//! [`ServeClock`] built with a non-zero skew behaves like a worker whose
+//! clock runs ahead by that many milliseconds, so deadlines expire early.
+//! Skew never feeds into simulation state — only into expiry checks.
+
+use std::time::Instant;
+
+pub use std::time::Duration;
+
+/// Monotonic service clock with injectable skew.
+#[derive(Debug)]
+pub struct ServeClock {
+    origin: Instant,
+    skew_ms: u64,
+}
+
+impl ServeClock {
+    /// A clock reading zero now, with deadline checks skewed forward by
+    /// `skew_ms` (0 for an honest clock).
+    pub fn with_skew(skew_ms: u64) -> Self {
+        ServeClock {
+            origin: Instant::now(),
+            skew_ms,
+        }
+    }
+
+    /// Milliseconds elapsed since the clock was created (unskewed — used
+    /// for latency accounting and timestamps).
+    pub fn now_ms(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Whether a deadline (a [`now_ms`](Self::now_ms) timestamp) has
+    /// passed, as seen by the possibly skewed clock.
+    pub fn deadline_expired(&self, deadline_at_ms: u64) -> bool {
+        self.now_ms().saturating_add(self.skew_ms) > deadline_at_ms
+    }
+}
+
+/// Blocks the calling thread for `ms` milliseconds (retry backoff, fault
+/// stalls).
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_expires_deadlines_early() {
+        let honest = ServeClock::with_skew(0);
+        let skewed = ServeClock::with_skew(3_600_000);
+        let deadline = honest.now_ms() + 60_000;
+        assert!(!honest.deadline_expired(deadline));
+        assert!(skewed.deadline_expired(deadline));
+    }
+}

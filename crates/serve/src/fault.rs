@@ -1,0 +1,146 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is threaded through the cache I/O and connection layer
+//! at construction time; each fault class is a set of *operation indices*
+//! at which the fault fires (the cache's third store, the worker's first
+//! job, ...). Because the indices are data, not probabilities, a test or a
+//! CI run replays the exact same failure sequence every time — the same
+//! philosophy as the simulator's seeded workloads, applied to the service
+//! layer.
+//!
+//! Plans are written as `koc-serve-fault/1` JSON (see
+//! [`FaultPlan::from_json_text`]) so the `koc-serve` binary can load one
+//! from disk for end-to-end drills.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use koc_isa::json::{parse_versioned, Json};
+
+/// Schema tag for on-disk fault plans.
+pub const FAULT_SCHEMA: &str = "koc-serve-fault/1";
+
+/// One fault class: fires when its operation counter hits a listed index.
+#[derive(Debug, Default)]
+pub struct FaultSet {
+    indices: Vec<u64>,
+    counter: AtomicU64,
+}
+
+impl FaultSet {
+    /// A fault set firing at the given operation indices (0-based).
+    pub fn at(indices: &[u64]) -> Self {
+        FaultSet {
+            indices: indices.to_vec(),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one operation; `true` when this one should fail.
+    pub fn trip(&self) -> bool {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.indices.contains(&n)
+    }
+}
+
+/// A deterministic schedule of injected failures, one [`FaultSet`] per
+/// fault class. `FaultPlan::default()` injects nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Cache store ops whose entry is written torn (half the bytes reach
+    /// the final file) — exercises checksum detection + quarantine.
+    pub torn_cache_write: FaultSet,
+    /// Cache store ops whose temp file is never renamed into place —
+    /// exercises the atomic-rename protocol (a crash between write and
+    /// rename must look like a miss, never a corrupt entry).
+    pub torn_cache_rename: FaultSet,
+    /// Job executions that panic inside the worker — exercises panic
+    /// isolation.
+    pub worker_panic: FaultSet,
+    /// Response writes cut short mid-line (socket closed after half the
+    /// bytes) — exercises client-side retry on torn responses.
+    pub short_response_write: FaultSet,
+    /// Job executions stalled for [`stall_ms`](Self::stall_ms) before
+    /// starting — wedges a worker to drive queue-overflow shedding.
+    pub stall_worker: FaultSet,
+    /// How long a stalled job execution sleeps.
+    pub stall_ms: u64,
+    /// Worker clock skew in milliseconds: deadlines expire this much
+    /// early (see `clock::ServeClock`).
+    pub clock_skew_ms: u64,
+}
+
+impl FaultPlan {
+    /// Parses a `koc-serve-fault/1` document.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json_text(text: &str) -> Result<FaultPlan, String> {
+        let doc = parse_versioned(text, FAULT_SCHEMA)?;
+        let set = |key: &str| -> Result<FaultSet, String> {
+            match doc.get(key) {
+                None => Ok(FaultSet::default()),
+                Some(Json::Arr(items)) => {
+                    let mut indices = Vec::with_capacity(items.len());
+                    for item in items {
+                        indices.push(
+                            item.as_u64()
+                                .ok_or_else(|| format!("'{key}' entries must be integers"))?,
+                        );
+                    }
+                    Ok(FaultSet::at(&indices))
+                }
+                Some(_) => Err(format!("'{key}' must be an array of operation indices")),
+            }
+        };
+        let ms = |key: &str| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        Ok(FaultPlan {
+            torn_cache_write: set("torn_cache_write")?,
+            torn_cache_rename: set("torn_cache_rename")?,
+            worker_panic: set("worker_panic")?,
+            short_response_write: set("short_response_write")?,
+            stall_worker: set("stall_worker")?,
+            stall_ms: ms("stall_ms")?,
+            clock_skew_ms: ms("clock_skew_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_sets_fire_at_listed_indices_only() {
+        let set = FaultSet::at(&[0, 2]);
+        assert!(set.trip());
+        assert!(!set.trip());
+        assert!(set.trip());
+        assert!(!set.trip());
+        assert!(!FaultSet::default().trip());
+    }
+
+    #[test]
+    fn plans_parse_and_reject_malformed_documents() {
+        let plan = FaultPlan::from_json_text(
+            r#"{"schema":"koc-serve-fault/1","torn_cache_write":[1],"stall_ms":250}"#,
+        )
+        .unwrap();
+        assert!(!plan.torn_cache_write.trip());
+        assert!(plan.torn_cache_write.trip());
+        assert_eq!(plan.stall_ms, 250);
+        assert_eq!(plan.clock_skew_ms, 0);
+        assert!(FaultPlan::from_json_text(r#"{"schema":"wrong/1"}"#).is_err());
+        assert!(FaultPlan::from_json_text(
+            r#"{"schema":"koc-serve-fault/1","worker_panic":"nope"}"#
+        )
+        .is_err());
+        assert!(FaultPlan::from_json_text("{").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests: the `koc-serve/1` request parser never panics, no
+//! matter how random, truncated, or hostile the byte stream is — and a
+//! live server answers every such line with a structured error and keeps
+//! serving (the graceful-degradation pattern from koc-lint's
+//! `parser_fuzz.rs`, applied to the wire).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use koc_serve::clock::Duration;
+use koc_serve::fault::FaultPlan;
+use koc_serve::protocol::{parse_request, parse_response, Request, Response};
+use koc_serve::server::{serve, ServerConfig};
+use proptest::prelude::*;
+
+/// Fragments chosen to hit the parser's decision points: schema and op
+/// tokens, JSON punctuation that never balances, deep nesting openers,
+/// numbers at type boundaries, and raw control bytes.
+const FRAGMENTS: &[&str] = &[
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "\"",
+    "\\",
+    "\"schema\"",
+    "\"koc-serve/1\"",
+    "\"koc-serve/2\"",
+    "\"op\"",
+    "\"submit\"",
+    "\"ping\"",
+    "\"job\"",
+    "\"engine\"",
+    "\"trace_len\"",
+    "\"cycle_budget\"",
+    "null",
+    "true",
+    "false",
+    "-1",
+    "0",
+    "18446744073709551615",
+    "1e308",
+    "1e999",
+    "0.5",
+    "\\u0000",
+    "\\uFFFF",
+    "\u{7f}",
+    "é",
+    " ",
+]; // koc-serve/1 wire soup
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..FRAGMENTS.len(), 0..80).prop_map(|picks| {
+        let mut s = String::new();
+        for p in picks {
+            s.push_str(FRAGMENTS[p]);
+        }
+        s
+    })
+}
+
+/// A valid request line, randomly truncated somewhere inside.
+fn truncated_request() -> impl Strategy<Value = String> {
+    (any::<u16>(), 0usize..200).prop_map(|(seed, cut)| {
+        let spec = koc_serve::protocol::JobSpec {
+            trace_len: seed as usize + 1,
+            progress: seed % 2 == 0,
+            ..koc_serve::protocol::JobSpec::default()
+        };
+        let line = Request::Submit(spec).encode();
+        let cut = cut.min(line.len().saturating_sub(1));
+        line.chars().take(cut).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_request_never_panics_on_soup(line in soup()) {
+        // Ok or Err are both acceptable; a panic or abort is not.
+        let _ = parse_request(&line);
+    }
+
+    #[test]
+    fn parse_request_never_panics_on_truncations(line in truncated_request()) {
+        prop_assert!(parse_request(&line).is_err(), "a truncated line must not parse");
+    }
+
+    #[test]
+    fn parse_response_never_panics_on_soup(line in soup()) {
+        let _ = parse_response(&line);
+    }
+}
+
+/// One live server is enough for the wire-level property: hostile lines
+/// get structured errors and the connection (and server) survive.
+#[test]
+fn live_server_answers_soup_with_structured_errors_and_stays_up() {
+    let dir = std::env::temp_dir().join(format!("koc-serve-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServerConfig::default(),
+        FaultPlan::default(),
+    )
+    .expect("bind loopback");
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10_000)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Deterministic soup (seeded walk over the fragment list): every line
+    // must draw exactly one structured response, never a hang or a crash.
+    let mut pick = 0x9E37u64;
+    for round in 0..64 {
+        let mut line = String::new();
+        for _ in 0..(round % 13) {
+            pick = pick
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let fragment = FRAGMENTS[(pick >> 33) as usize % FRAGMENTS.len()];
+            if !fragment.contains('\n') {
+                line.push_str(fragment);
+            }
+        }
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write soup");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("a reply per line");
+        match parse_response(reply.trim_end()) {
+            Ok(Response::Error { .. }) => {}
+            Ok(other) => {
+                // An all-whitespace or accidentally valid line may draw a
+                // non-error reply; anything parseable is fine.
+                let _ = other;
+            }
+            Err(e) => panic!("server emitted an unparseable reply {reply:?}: {e}"),
+        }
+    }
+    // After 64 rounds of abuse the same connection still works.
+    writer
+        .write_all(format!("{}\n", Request::Ping.encode()).as_bytes())
+        .expect("ping");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("pong line");
+    assert!(matches!(
+        parse_response(reply.trim_end()),
+        Ok(Response::Pong)
+    ));
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,7 +54,7 @@ pub use config::{BranchPredictorKind, CommitConfig, ProcessorConfig, RegisterMod
 pub use engine::{CommitEngine, DispatchStall, Dispatched, EngineCtx, Writeback};
 pub use inflight::{InFlight, InFlightTable, InstState};
 pub use lockstep::{run_lockstep, LockstepSweep};
-pub use pipeline::Processor;
+pub use pipeline::{Processor, SliceOutcome};
 pub use session::{
     ExecMode, GridWorkload, Session, SimBuilder, SourceMode, SuiteResult, Sweep, WorkloadResult,
 };

@@ -65,6 +65,23 @@ enum SkipStall {
     Dispatch(StallReason),
 }
 
+/// Where a bounded slice stopped (see [`Processor::advance_slice`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The run is over: the source drained and the machine emptied. Collect
+    /// results via [`Processor::into_stats`].
+    Complete,
+    /// The `max_cycles` budget ran out; the statistics carry
+    /// `budget_exhausted` and the run counts as over.
+    BudgetExhausted,
+    /// The replay window pulled `fetch_target` instructions; the lane is
+    /// resumable (the lockstep scheduler's stop condition).
+    FetchTarget,
+    /// The simulated clock reached `until_cycle`; the run is resumable
+    /// (the deadline/cancellation/progress stop condition).
+    CycleTarget,
+}
+
 /// What one [`Processor::step`] did, as far as the fast-forward logic is
 /// concerned.
 struct CycleActivity {
@@ -488,14 +505,44 @@ impl<'a, O: Observer> Processor<'a, O> {
     /// Panics if the simulation exceeds a generous cycle bound (indicating a
     /// pipeline deadlock, which is a bug).
     pub fn advance_until(&mut self, fetch_target: usize, max_cycles: Option<u64>) -> bool {
+        !matches!(
+            self.advance_slice(fetch_target, u64::MAX, max_cycles),
+            SliceOutcome::FetchTarget
+        )
+    }
+
+    /// The generalized resumable slice underneath
+    /// [`advance_until`](Self::advance_until): advances until the run
+    /// completes, the cycle budget is exhausted, the replay window has
+    /// pulled `fetch_target` instructions, or the simulated clock reaches
+    /// `until_cycle` — whichever comes first. The cycle target is the seam
+    /// external drivers (deadlines, cooperative cancellation, progress
+    /// streaming in `koc-serve`) hook between slices without perturbing the
+    /// simulation: like fetch-slicing, cycle-slicing is invisible to the
+    /// machine and statistics stay bit-identical. The cycle target is a
+    /// lower bound, not an exact stop: fast-forward may overshoot it to the
+    /// next event.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds a generous cycle bound (indicating a
+    /// pipeline deadlock, which is a bug).
+    pub fn advance_slice(
+        &mut self,
+        fetch_target: usize,
+        until_cycle: u64,
+        max_cycles: Option<u64>,
+    ) -> SliceOutcome {
         let cap = max_cycles.unwrap_or(u64::MAX);
         while !self.is_done() {
             if self.cycle >= cap {
                 self.stats.budget_exhausted = true;
-                return true;
+                return SliceOutcome::BudgetExhausted;
             }
             if self.fetch.fetched() >= fetch_target {
-                return false;
+                return SliceOutcome::FetchTarget;
+            }
+            if self.cycle >= until_cycle {
+                return SliceOutcome::CycleTarget;
             }
             let activity = self.step_cycle();
             // The deadlock bound scales with the stream as it is fetched
@@ -511,7 +558,7 @@ impl<'a, O: Observer> Processor<'a, O> {
                 self.fast_forward(activity.stall, cap);
             }
         }
-        true
+        SliceOutcome::Complete
     }
 
     /// Finalizes a run driven through [`advance_until`](Self::advance_until)

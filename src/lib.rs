@@ -14,7 +14,9 @@
 //!   fluent [`sim::SimBuilder`] / [`sim::Session`] / [`sim::Sweep`] API,
 //! * [`obs`] — the zero-perturbation observability layer: the
 //!   [`obs::Observer`] seam plus the pipeline event tracer, the interval
-//!   time-series recorder and top-down cycle accounting.
+//!   time-series recorder and top-down cycle accounting,
+//! * [`serve`] — the simulator as a fault-tolerant TCP job service with a
+//!   crash-safe result cache and a deterministic fault-injection harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +26,6 @@ pub use koc_frontend as frontend;
 pub use koc_isa as isa;
 pub use koc_mem as mem;
 pub use koc_obs as obs;
+pub use koc_serve as serve;
 pub use koc_sim as sim;
 pub use koc_workloads as workloads;
